@@ -1,0 +1,754 @@
+// Command kimbench runs every experiment in DESIGN.md §7 (E1–E12) and
+// prints the tables recorded in EXPERIMENTS.md. Each experiment reproduces
+// one quantitative claim of Kim (PODS 1990); kimbench reports the measured
+// shape (who wins, by what factor) next to the paper's claim.
+//
+// Usage:
+//
+//	kimbench [-quick] [-only E3]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"oodb"
+	"oodb/internal/bench"
+	"oodb/internal/model"
+	"oodb/internal/relational"
+)
+
+var (
+	quick = flag.Bool("quick", false, "smaller scales, fewer repetitions")
+	only  = flag.String("only", "", "run only the named experiment (e.g. E3)")
+)
+
+func main() {
+	flag.Parse()
+	experiments := []struct {
+		name  string
+		claim string
+		run   func() []row
+	}{
+		{"E1", "one class-hierarchy index beats per-class indexes and scans for hierarchy-scoped queries (§3.2)", e1},
+		{"E2", "a nested-attribute index expedites nested predicates vs forward traversal (§3.2)", e2},
+		{"E3", "joins are 'intolerably expensive' vs OID->pointer navigation (§3.3)", e3},
+		{"E4", "OO1-style operations: lookup / traversal / insert, OODB vs relational (§5.6)", e4},
+		{"E5", "memory-resident object access is ~an order of magnitude above a raw memory lookup (§4.2)", e5},
+		{"E6", "schema evolution must be dynamic and cheap (lazy instance maintenance) (§3.1, §5.1)", e6},
+		{"E7", "instance-granularity locking sustains concurrent writers; class locks serialize (§3.2)", e7},
+		{"E8", "the system, not the application, picks access paths (§2.2)", e8},
+		{"E9", "recovery replays the log after a crash (§3.1)", e9},
+		{"E10", "Wisconsin-style relational operations (selection, join) on the baseline (§5.6)", e10},
+		{"E11", "composite clustering expedites component retrieval (§3.2, §4.2)", e11},
+		{"E12", "version derivation and change notification (§3.3, §5.5)", e12},
+		{"E13", "group commit: concurrent transactions share one fsync (§3.1 transaction management)", e13},
+	}
+	for _, ex := range experiments {
+		if *only != "" && !strings.EqualFold(*only, ex.name) {
+			continue
+		}
+		fmt.Printf("\n== %s: %s ==\n", ex.name, ex.claim)
+		rows := ex.run()
+		width := 0
+		for _, r := range rows {
+			if len(r.label) > width {
+				width = len(r.label)
+			}
+		}
+		for _, r := range rows {
+			fmt.Printf("  %-*s  %s\n", width, r.label, r.value)
+		}
+	}
+}
+
+type row struct{ label, value string }
+
+// timeIt returns the median wall time of reps runs of fn.
+func timeIt(reps int, fn func()) time.Duration {
+	if *quick && reps > 3 {
+		reps = 3
+	}
+	times := make([]time.Duration, reps)
+	for i := range times {
+		start := time.Now()
+		fn()
+		times[i] = time.Since(start)
+	}
+	sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
+	return times[len(times)/2]
+}
+
+func perOp(d time.Duration, ops int) string {
+	return fmt.Sprintf("%10v  (%v/op)", d, d/time.Duration(ops))
+}
+
+func openDB() (*oodb.DB, func()) {
+	dir, err := os.MkdirTemp("", "kimbench")
+	check(err)
+	db, err := oodb.Open(dir, oodb.Options{NoSync: true, PoolPages: 8192})
+	check(err)
+	return db, func() { db.Close(); os.RemoveAll(dir) }
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "kimbench:", err)
+		os.Exit(1)
+	}
+}
+
+func scale(full, quickN int) int {
+	if *quick {
+		return quickN
+	}
+	return full
+}
+
+// --- E1 ------------------------------------------------------------------
+
+func e1() []row {
+	perClass := scale(500, 100)
+	const queries = 200
+	variant := func(index string, only bool) time.Duration {
+		db, done := openDB()
+		defer done()
+		h, err := bench.BuildHierarchy(db, 4, 3, perClass, 1000, 1)
+		check(err)
+		switch index {
+		case "ch":
+			check(h.IndexCH(db))
+		case "sc":
+			check(h.IndexPerClass(db))
+		}
+		q := `SELECT * FROM H0 WHERE val = %d`
+		if only {
+			q = `SELECT * FROM ONLY H3 WHERE val = %d`
+		}
+		return timeIt(5, func() {
+			for i := 0; i < queries; i++ {
+				_, err := db.Query(fmt.Sprintf(q, i%1000))
+				check(err)
+			}
+		})
+	}
+	return []row{
+		{fmt.Sprintf("hierarchy query (21 classes, %d objs/class), CH index", perClass), perOp(variant("ch", false), queries)},
+		{"hierarchy query, 21 single-class indexes", perOp(variant("sc", false), queries)},
+		{"hierarchy query, heap scan", perOp(variant("none", false), queries)},
+		{"single-class (ONLY) query, CH index", perOp(variant("ch", true), queries)},
+		{"single-class (ONLY) query, SC index", perOp(variant("sc", true), queries)},
+	}
+}
+
+// --- E2 ------------------------------------------------------------------
+
+func e2() []row {
+	nVehicles := scale(10000, 2000)
+	const queries = 100
+	variant := func(indexed bool, q string) time.Duration {
+		db, done := openDB()
+		defer done()
+		_, err := bench.BuildVehicleWorld(db, 200, nVehicles, 50, 2)
+		check(err)
+		if indexed {
+			check(db.CreateIndex("vloc", "Vehicle", []string{"manufacturer", "location"}, true))
+			check(db.CreateIndex("vdiv", "Vehicle", []string{"manufacturer", "division", "city"}, true))
+		}
+		return timeIt(3, func() {
+			for i := 0; i < queries; i++ {
+				_, err := db.Query(fmt.Sprintf(q, i%50))
+				check(err)
+			}
+		})
+	}
+	p2 := `SELECT * FROM Vehicle WHERE manufacturer.location = 'City%d'`
+	p3 := `SELECT * FROM Vehicle WHERE manufacturer.division.city = 'City%d'`
+	return []row{
+		{fmt.Sprintf("path len 2 (%d vehicles), nested index", nVehicles), perOp(variant(true, p2), queries)},
+		{"path len 2, forward traversal under scan", perOp(variant(false, p2), queries)},
+		{"path len 3, nested index", perOp(variant(true, p3), queries)},
+		{"path len 3, forward traversal under scan", perOp(variant(false, p3), queries)},
+	}
+}
+
+// --- E3 ------------------------------------------------------------------
+
+func e3() []row {
+	nParts := scale(20000, 5000)
+	const depth, conn, roots = 5, 3, 50
+	db, done := openDB()
+	defer done()
+	p, err := bench.BuildParts(db, nParts, conn, 3)
+	check(err)
+	ws := db.NewWorkspace()
+	_, err = bench.Traverse(ws, p.OIDs[0], depth) // warm/materialize
+	check(err)
+
+	swizzled := timeIt(5, func() {
+		for i := 0; i < roots; i++ {
+			_, err := bench.Traverse(ws, p.OIDs[i], depth)
+			check(err)
+		}
+	})
+	fetch := timeIt(5, func() {
+		for i := 0; i < roots; i++ {
+			_, err := bench.TraverseFetch(db, p.OIDs[i], depth)
+			check(err)
+		}
+	})
+	rp, err := bench.BuildRelParts(nParts, conn, 3)
+	check(err)
+	joins := timeIt(5, func() {
+		for i := 0; i < roots; i++ {
+			_, err := rp.TraverseRel(int64(i), depth)
+			check(err)
+		}
+	})
+	visited, _ := bench.Traverse(ws, p.OIDs[0], depth)
+	label := fmt.Sprintf("traversal depth %d (~%d visits), %d parts", depth, visited, nParts)
+	return []row{
+		{label + ", swizzled workspace", perOp(swizzled, roots)},
+		{label + ", fetch per object", perOp(fetch, roots)},
+		{label + ", relational index-joins", perOp(joins, roots)},
+	}
+}
+
+// --- E4 ------------------------------------------------------------------
+
+func e4() []row {
+	nParts := scale(20000, 5000)
+	const lookups, traversals, inserts = 1000, 20, 100
+	db, done := openDB()
+	defer done()
+	p, err := bench.BuildParts(db, nParts, 3, 4)
+	check(err)
+	check(db.CreateIndex("part_pid", "Part", []string{"pid"}, true))
+	ws := db.NewWorkspace()
+	bench.Traverse(ws, p.OIDs[0], 7)
+
+	rp, err := bench.BuildRelParts(nParts, 3, 4)
+	check(err)
+
+	looO := timeIt(3, func() {
+		for i := 0; i < lookups; i++ {
+			_, err := db.Query(fmt.Sprintf(`SELECT x, y FROM Part WHERE pid = %d`, i*7%nParts))
+			check(err)
+		}
+	})
+	idx, err := db.Engine().Indexes.Get("part_pid")
+	check(err)
+	looIdx := timeIt(3, func() {
+		for i := 0; i < lookups; i++ {
+			if got := idx.Lookup(oodb.Int(int64(i*7%nParts)), nil); len(got) != 1 {
+				check(fmt.Errorf("lookup found %d", len(got)))
+			}
+		}
+	})
+	looR := timeIt(3, func() {
+		for i := 0; i < lookups; i++ {
+			_, err := rp.Part.SelectEq("id", model.Int(int64(i*7%nParts)))
+			check(err)
+		}
+	})
+	traO := timeIt(3, func() {
+		for i := 0; i < traversals; i++ {
+			_, err := bench.Traverse(ws, p.OIDs[i], 7)
+			check(err)
+		}
+	})
+	traR := timeIt(3, func() {
+		for i := 0; i < traversals; i++ {
+			_, err := rp.TraverseRel(int64(i), 7)
+			check(err)
+		}
+	})
+	n := 0
+	insO := timeIt(3, func() {
+		check(db.Do(func(tx *oodb.Tx) error {
+			for i := 0; i < inserts; i++ {
+				n++
+				if _, err := tx.Insert("Part", oodb.Attrs{
+					"pid": oodb.Int(int64(1000000 + n)),
+					"x":   oodb.Int(int64(n)), "y": oodb.Int(int64(n)),
+					"to": oodb.SetOf(oodb.Ref(p.OIDs[n%nParts])),
+				}); err != nil {
+					return err
+				}
+			}
+			return nil
+		}))
+	})
+	insR := timeIt(3, func() {
+		for i := 0; i < inserts; i++ {
+			n++
+			_, err := rp.Part.Insert(model.Int(int64(1000000+n)),
+				model.Int(int64(n)), model.Int(int64(n)), model.String("t"))
+			check(err)
+			rp.Conn.Insert(model.Int(int64(1000000+n)), model.Int(int64(n%nParts)))
+		}
+	})
+	return []row{
+		{fmt.Sprintf("lookup by id (%d parts, indexed), OODB query", nParts), perOp(looO, lookups)},
+		{"lookup by id, OODB index API (no parse/plan/txn)", perOp(looIdx, lookups)},
+		{"lookup by id, relational select", perOp(looR, lookups)},
+		{"traversal depth 7, OODB workspace", perOp(traO, traversals)},
+		{"traversal depth 7, relational joins", perOp(traR, traversals)},
+		{"insert part + connection, OODB (txn, WAL, index)", perOp(insO, inserts)},
+		{"insert part + connection, relational (no txn)", perOp(insR, inserts)},
+	}
+}
+
+// --- E5 ------------------------------------------------------------------
+
+func e5() []row {
+	const hops = 1_000_000
+	type node struct {
+		x    int64
+		next *node
+	}
+	ring := make([]node, 100)
+	for i := range ring {
+		ring[i].x = int64(i)
+		ring[i].next = &ring[(i+1)%100]
+	}
+	cur := &ring[0]
+	var sum int64
+	native := timeIt(5, func() {
+		for i := 0; i < hops; i++ {
+			sum += cur.x
+			cur = cur.next
+		}
+	})
+	_ = sum
+
+	db, done := openDB()
+	defer done()
+	_, err := db.DefineClass("Node", nil,
+		oodb.Attr{Name: "x", Domain: "Integer"},
+		oodb.Attr{Name: "next", Domain: "Node"})
+	check(err)
+	var oids []oodb.OID
+	check(db.Do(func(tx *oodb.Tx) error {
+		for i := 0; i < 100; i++ {
+			oid, err := tx.Insert("Node", oodb.Attrs{"x": oodb.Int(int64(i))})
+			if err != nil {
+				return err
+			}
+			oids = append(oids, oid)
+		}
+		for i, oid := range oids {
+			if err := tx.Update(oid, oodb.Attrs{"next": oodb.Ref(oids[(i+1)%100])}); err != nil {
+				return err
+			}
+		}
+		return nil
+	}))
+	ws := db.NewWorkspace()
+	d, _ := ws.Fetch(oids[0])
+	for i := 0; i < 100; i++ {
+		d, _ = d.Deref("next")
+	}
+	wsHops := hops / 10
+	wsT := timeIt(5, func() {
+		for i := 0; i < wsHops; i++ {
+			nd, err := d.Deref("next")
+			check(err)
+			d = nd
+		}
+	})
+	fetchHops := hops / 100
+	fetchT := timeIt(5, func() {
+		for i := 0; i < fetchHops; i++ {
+			_, err := db.Fetch(oids[i%100])
+			check(err)
+		}
+	})
+	return []row{
+		{"native Go pointer hop", perOp(native, hops)},
+		{"workspace swizzled deref", perOp(wsT, wsHops)},
+		{"engine fetch (buffer pool + decode)", perOp(fetchT, fetchHops)},
+	}
+}
+
+// --- E6 ------------------------------------------------------------------
+
+func e6() []row {
+	perClass := scale(1000, 200)
+	db, done := openDB()
+	defer done()
+	_, err := bench.BuildHierarchy(db, 4, 3, perClass, 100, 6)
+	check(err)
+	total := 21 * perClass
+
+	addLazy := timeIt(5, func() {
+		check(db.AddAttribute("H0", oodb.Attr{Name: "c1", Domain: "Integer", Default: oodb.Int(0)}))
+		check(db.DropAttribute("H0", "c1"))
+	})
+	// Eager alternative: write the default into every instance.
+	check(db.AddAttribute("H0", oodb.Attr{Name: "c2", Domain: "Integer", Default: oodb.Int(0)}))
+	eager := timeIt(1, func() {
+		check(db.Do(func(tx *oodb.Tx) error {
+			res, err := db.QueryTx(tx, `SELECT * FROM H0`)
+			if err != nil {
+				return err
+			}
+			for _, r := range res.Rows {
+				if err := tx.Update(r.OID, oodb.Attrs{"c2": oodb.Int(0)}); err != nil {
+					return err
+				}
+			}
+			return nil
+		}))
+	})
+	return []row{
+		{fmt.Sprintf("add+drop attribute on root of %d instances (lazy)", total), fmt.Sprintf("%10v", addLazy)},
+		{"eager default sweep over all instances", fmt.Sprintf("%10v", eager)},
+	}
+}
+
+// --- E7 ------------------------------------------------------------------
+
+func e7() []row {
+	const workers, opsPer = 8, 200
+	variant := func(coarse bool) time.Duration {
+		db, done := openDB()
+		defer done()
+		_, err := db.DefineClass("Counter", nil, oodb.Attr{Name: "n", Domain: "Integer"})
+		check(err)
+		var oids []oodb.OID
+		check(db.Do(func(tx *oodb.Tx) error {
+			for i := 0; i < workers; i++ {
+				oid, err := tx.Insert("Counter", oodb.Attrs{"n": oodb.Int(0)})
+				if err != nil {
+					return err
+				}
+				oids = append(oids, oid)
+			}
+			return nil
+		}))
+		cls, err := db.ClassByName("Counter")
+		check(err)
+		return timeIt(3, func() {
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					for i := 0; i < opsPer; i++ {
+						db.Do(func(tx *oodb.Tx) error {
+							if coarse {
+								if err := db.Engine().Locks.LockClassWrite(tx.ID(), cls.ID); err != nil {
+									return err
+								}
+							}
+							return tx.Update(oids[w], oodb.Attrs{"n": oodb.Int(int64(i))})
+						})
+					}
+				}(w)
+			}
+			wg.Wait()
+		})
+	}
+	fine := variant(false)
+	coarse := variant(true)
+	ops := workers * opsPer
+	return []row{
+		{fmt.Sprintf("%d writers x %d updates, instance IX/X locks", workers, opsPer), perOp(fine, ops)},
+		{"same load, class-level X lock (serialized)", perOp(coarse, ops)},
+	}
+}
+
+// --- E8 ------------------------------------------------------------------
+
+func e8() []row {
+	perClass := scale(500, 100)
+	const queries = 200
+	db, done := openDB()
+	defer done()
+	h, err := bench.BuildHierarchy(db, 4, 3, perClass, 1000, 8)
+	check(err)
+	check(h.IndexCH(db))
+	planOn, err := db.Explain(`SELECT * FROM H0 WHERE val = 5`)
+	check(err)
+	on := timeIt(5, func() {
+		for i := 0; i < queries; i++ {
+			_, err := db.Query(fmt.Sprintf(`SELECT * FROM H0 WHERE val = %d`, i%1000))
+			check(err)
+		}
+	})
+	// Ablation: drop the index, forcing scans (the planner has nothing to
+	// pick — equivalent to disabling access-path selection).
+	check(db.DropIndex("ch_val"))
+	planOff, err := db.Explain(`SELECT * FROM H0 WHERE val = 5`)
+	check(err)
+	off := timeIt(5, func() {
+		for i := 0; i < queries; i++ {
+			_, err := db.Query(fmt.Sprintf(`SELECT * FROM H0 WHERE val = %d`, i%1000))
+			check(err)
+		}
+	})
+	return []row{
+		{"optimizer picks: " + planOn, perOp(on, queries)},
+		{"ablated:         " + planOff, perOp(off, queries)},
+	}
+}
+
+// --- E9 ------------------------------------------------------------------
+
+func e9() []row {
+	var out []row
+	for _, txns := range []int{10, 50, 200} {
+		src, err := os.MkdirTemp("", "kimbench-e9")
+		check(err)
+		db, err := oodb.Open(src, oodb.Options{NoSync: true, CheckpointBytes: 1 << 30})
+		check(err)
+		_, err = db.DefineClass("P", nil, oodb.Attr{Name: "n", Domain: "Integer"})
+		check(err)
+		for i := 0; i < txns; i++ {
+			check(db.Do(func(tx *oodb.Tx) error {
+				for j := 0; j < 100; j++ {
+					if _, err := tx.Insert("P", oodb.Attrs{"n": oodb.Int(int64(j))}); err != nil {
+						return err
+					}
+				}
+				return nil
+			}))
+		}
+		check(db.Engine().Log.Sync())
+		// Crash: abandon the handle, recover a copy.
+		med := timeIt(3, func() {
+			dir, err := os.MkdirTemp("", "kimbench-e9-copy")
+			check(err)
+			for _, f := range []string{"data.kdb", "log.wal"} {
+				data, err := os.ReadFile(filepath.Join(src, f))
+				check(err)
+				check(os.WriteFile(filepath.Join(dir, f), data, 0o644))
+			}
+			start := time.Now()
+			db2, err := oodb.Open(dir, oodb.Options{})
+			check(err)
+			_ = time.Since(start)
+			db2.Close()
+			os.RemoveAll(dir)
+		})
+		db.Close()
+		os.RemoveAll(src)
+		out = append(out, row{
+			fmt.Sprintf("recover %d committed txns (%d objects) from WAL", txns, txns*100),
+			fmt.Sprintf("%10v (copy+open+close)", med),
+		})
+	}
+	return out
+}
+
+// --- E10 -----------------------------------------------------------------
+
+func e10() []row {
+	n := scale(100000, 20000)
+	rdb := relational.NewDB()
+	rel, err := rdb.Create("wisc", "unique1", "unique2", "ten", "hundred")
+	check(err)
+	for i := 0; i < n; i++ {
+		rel.Insert(model.Int(int64(i)), model.Int(int64((i*7)%n)),
+			model.Int(int64(i%10)), model.Int(int64(i%100)))
+	}
+	sel := n / 100 // 1% selection
+	scan := timeIt(5, func() {
+		_, err := rel.SelectRange("unique1", model.Int(0), model.Int(int64(sel-1)), true)
+		check(err)
+	})
+	check(rel.CreateIndex("unique1"))
+	indexed := timeIt(5, func() {
+		_, err := rel.SelectRange("unique1", model.Int(0), model.Int(int64(sel-1)), true)
+		check(err)
+	})
+	l, _ := rdb.Create("l", "k")
+	r, _ := rdb.Create("r", "k")
+	for i := 0; i < n/10; i++ {
+		l.Insert(model.Int(int64(i)))
+		r.Insert(model.Int(int64(i % (n / 100))))
+	}
+	hash := timeIt(3, func() {
+		_, err := relational.HashJoin(l, r, "k", "k")
+		check(err)
+	})
+	return []row{
+		{fmt.Sprintf("1%% selection of %d tuples, scan", n), fmt.Sprintf("%10v", scan)},
+		{"1% selection, B+tree index", fmt.Sprintf("%10v", indexed)},
+		{fmt.Sprintf("hash join %d x %d", n/10, n/10), fmt.Sprintf("%10v", hash)},
+	}
+}
+
+// --- E11 -----------------------------------------------------------------
+
+func e11() []row {
+	nParts := scale(2000, 400)
+	build := func(clustered bool) (string, func()) {
+		dir, err := os.MkdirTemp("", "kimbench-e11")
+		check(err)
+		db, err := oodb.Open(dir, oodb.Options{NoSync: true, PoolPages: 8192})
+		check(err)
+		_, err = db.DefineClass("Asm", nil,
+			oodb.Attr{Name: "name", Domain: "String"},
+			oodb.Attr{Name: "pad", Domain: "String"},
+			oodb.Attr{Name: "parts", Domain: "Asm", SetValued: true})
+		check(err)
+		cm, err := db.Composites()
+		check(err)
+		cls, _ := db.ClassByName("Asm")
+		check(cm.DeclareComposite(cls.ID, "parts", true))
+		var root oodb.OID
+		pad := strings.Repeat("x", 200)
+		check(db.Do(func(tx *oodb.Tx) error {
+			var err error
+			root, err = tx.Insert("Asm", oodb.Attrs{"name": oodb.String("root")})
+			return err
+		}))
+		// Interleave component inserts with noise so components scatter.
+		check(db.Do(func(tx *oodb.Tx) error {
+			for i := 0; i < nParts; i++ {
+				child, err := tx.Insert("Asm", oodb.Attrs{
+					"name": oodb.String(fmt.Sprintf("c%d", i)), "pad": oodb.String(pad)})
+				if err != nil {
+					return err
+				}
+				if err := cm.Attach(tx, root, "parts", child); err != nil {
+					return err
+				}
+				for j := 0; j < 4; j++ {
+					if _, err := tx.Insert("Asm", oodb.Attrs{
+						"name": oodb.String("noise"), "pad": oodb.String(pad)}); err != nil {
+						return err
+					}
+				}
+			}
+			return nil
+		}))
+		if clustered {
+			check(db.Do(func(tx *oodb.Tx) error {
+				_, err := cm.Recluster(tx, root)
+				return err
+			}))
+		}
+		db.Close()
+		// Reopen with a tiny pool so placement shows up as buffer misses.
+		db, err = oodb.Open(dir, oodb.Options{NoSync: true, PoolPages: 32})
+		check(err)
+		cm, err = db.Composites()
+		check(err)
+		med := timeIt(3, func() {
+			comps, err := cm.Components(root)
+			check(err)
+			for _, c := range comps {
+				_, err := db.Fetch(c)
+				check(err)
+			}
+		})
+		hits, misses := db.Engine().Store.PoolStats()
+		label := fmt.Sprintf("%10v  (pool hits %d, misses %d)", med, hits, misses)
+		return label, func() { db.Close(); os.RemoveAll(dir) }
+	}
+	scattered, done1 := build(false)
+	defer done1()
+	clustered, done2 := build(true)
+	defer done2()
+	return []row{
+		{fmt.Sprintf("fetch %d components, scattered placement, 32-page pool", nParts), scattered},
+		{"same, after Recluster (DFS rewrite)", clustered},
+	}
+}
+
+// --- E13 -----------------------------------------------------------------
+
+func e13() []row {
+	// Durable commits (real fsync) with 1 vs 8 concurrent committers.
+	run := func(workers, opsPer int) (time.Duration, float64) {
+		dir, err := os.MkdirTemp("", "kimbench-e13")
+		check(err)
+		defer os.RemoveAll(dir)
+		db, err := oodb.Open(dir, oodb.Options{}) // NoSync off: durability on
+		check(err)
+		defer db.Close()
+		_, err = db.DefineClass("P", nil, oodb.Attr{Name: "n", Domain: "Integer"})
+		check(err)
+		start := time.Now()
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := 0; i < opsPer; i++ {
+					check(db.Do(func(tx *oodb.Tx) error {
+						_, err := tx.Insert("P", oodb.Attrs{"n": oodb.Int(int64(i))})
+						return err
+					}))
+				}
+			}(w)
+		}
+		wg.Wait()
+		elapsed := time.Since(start)
+		syncs := db.Engine().Log.Syncs.Load()
+		commits := workers * opsPer
+		return elapsed / time.Duration(commits), float64(commits) / float64(syncs)
+	}
+	opsPer := scale(300, 100)
+	solo, soloBatch := run(1, opsPer)
+	grp, grpBatch := run(8, opsPer)
+	return []row{
+		{"1 committer, durable commit", fmt.Sprintf("%10v/commit  (batch %.1f)", solo, soloBatch)},
+		{"8 concurrent committers, durable commit", fmt.Sprintf("%10v/commit  (batch %.1f)", grp, grpBatch)},
+	}
+}
+
+// --- E12 -----------------------------------------------------------------
+
+func e12() []row {
+	db, done := openDB()
+	defer done()
+	cl, err := db.DefineClass("Design", nil, oodb.Attr{Name: "name", Domain: "String"})
+	check(err)
+	vm, err := db.Versions()
+	check(err)
+	check(vm.EnableVersioning(cl.ID))
+	var g, cur oodb.OID
+	check(db.Do(func(tx *oodb.Tx) error {
+		var err error
+		g, cur, err = vm.CreateVersioned(tx, cl.ID, oodb.Attrs{"name": oodb.String("x")})
+		return err
+	}))
+	const derives = 200
+	chain := timeIt(3, func() {
+		check(db.Do(func(tx *oodb.Tx) error {
+			for i := 0; i < derives; i++ {
+				next, err := vm.Derive(tx, cur)
+				if err != nil {
+					return err
+				}
+				cur = next
+			}
+			return nil
+		}))
+	})
+	for i := 0; i < 1000; i++ {
+		vm.RegisterDependent(g, oodb.OID(model.MakeOID(999, uint64(i+1))))
+	}
+	notify := timeIt(3, func() {
+		check(db.Do(func(tx *oodb.Tx) error {
+			next, err := vm.Derive(tx, cur)
+			cur = next
+			return err
+		}))
+		vm.ClearStale()
+	})
+	return []row{
+		{fmt.Sprintf("derive chain of %d versions", derives), perOp(chain, derives)},
+		{"derive with 1000 registered dependents (flag fanout)", fmt.Sprintf("%10v", notify)},
+	}
+}

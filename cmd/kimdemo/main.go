@@ -1,0 +1,162 @@
+// Command kimdemo reproduces the paper's only figure functionally: it
+// builds the Figure 1 schema (the Vehicle and Company class hierarchies
+// with the manufacturer aggregation edge), populates it, and runs the
+// paper's example query — "Find all vehicles that weigh more than 7500
+// lbs, and that are manufactured by a company located in Detroit" — first
+// by heap scan, then again with a class-hierarchy index and a
+// nested-attribute index in place, printing the chosen plans.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"oodb"
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "kimdemo")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	db, err := oodb.Open(dir, oodb.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	fmt.Println("== Figure 1 schema ==")
+	must(define(db))
+	must(populate(db))
+
+	const q = `SELECT vid, weight, manufacturer.location FROM Vehicle
+	           WHERE weight > 7500 AND manufacturer.location = 'Detroit'`
+
+	fmt.Println("\n== The paper's example query, no indexes ==")
+	run(db, q)
+
+	fmt.Println("\n== With a class-hierarchy index on weight and a nested index on manufacturer.location ==")
+	must(db.CreateIndex("veh_weight", "Vehicle", []string{"weight"}, true))
+	must(db.CreateIndex("veh_loc", "Vehicle", []string{"manufacturer", "location"}, true))
+	run(db, q)
+
+	fmt.Println("\n== Hierarchy scope: FROM Vehicle vs FROM ONLY Vehicle ==")
+	run(db, `SELECT vid FROM Vehicle ORDER BY vid`)
+	run(db, `SELECT vid FROM ONLY Vehicle ORDER BY vid`)
+
+	fmt.Println("\n== Message passing with late binding ==")
+	must(db.AddMethod("Vehicle", "describe", func(eng oodb.MethodEngine, recv *oodb.Object, _ []oodb.Value) (oodb.Value, error) {
+		return oodb.String("a vehicle"), nil
+	}))
+	must(db.AddMethod("Truck", "describe", func(eng oodb.MethodEngine, recv *oodb.Object, _ []oodb.Value) (oodb.Value, error) {
+		return oodb.String("a truck (overrides Vehicle.describe)"), nil
+	}))
+	res, err := db.Query(`SELECT vid, describe FROM Vehicle ORDER BY vid`)
+	must(err)
+	for _, row := range res.Rows {
+		vid, _ := row.Values[0].AsString()
+		desc, _ := row.Values[1].AsString()
+		fmt.Printf("  %-4s -> %s\n", vid, desc)
+	}
+}
+
+func define(db *oodb.DB) error {
+	if _, err := db.DefineClass("Company", nil,
+		oodb.Attr{Name: "name", Domain: "String"},
+		oodb.Attr{Name: "location", Domain: "String"},
+	); err != nil {
+		return err
+	}
+	for _, c := range []struct{ name, super string }{
+		{"AutoCompany", "Company"},
+		{"TruckCompany", "Company"},
+		{"JapaneseAutoCompany", "AutoCompany"},
+	} {
+		if _, err := db.DefineClass(c.name, []string{c.super}); err != nil {
+			return err
+		}
+	}
+	if _, err := db.DefineClass("Vehicle", nil,
+		oodb.Attr{Name: "vid", Domain: "String"},
+		oodb.Attr{Name: "weight", Domain: "Integer"},
+		oodb.Attr{Name: "manufacturer", Domain: "Company"},
+	); err != nil {
+		return err
+	}
+	for _, c := range []struct{ name, super string }{
+		{"Automobile", "Vehicle"},
+		{"Truck", "Vehicle"},
+		{"DomesticAutomobile", "Automobile"},
+	} {
+		if _, err := db.DefineClass(c.name, []string{c.super}); err != nil {
+			return err
+		}
+	}
+	fmt.Println("  defined Company, AutoCompany, TruckCompany, JapaneseAutoCompany")
+	fmt.Println("  defined Vehicle, Automobile, Truck, DomesticAutomobile")
+	fmt.Println("  Vehicle.manufacturer has domain Company (aggregation edge)")
+	return nil
+}
+
+func populate(db *oodb.DB) error {
+	return db.Do(func(tx *oodb.Tx) error {
+		gm, err := tx.Insert("AutoCompany", oodb.Attrs{
+			"name": oodb.String("GM"), "location": oodb.String("Detroit")})
+		if err != nil {
+			return err
+		}
+		toyota, _ := tx.Insert("JapaneseAutoCompany", oodb.Attrs{
+			"name": oodb.String("Toyota"), "location": oodb.String("Toyota City")})
+		freight, _ := tx.Insert("TruckCompany", oodb.Attrs{
+			"name": oodb.String("Freightliner"), "location": oodb.String("Detroit")})
+		for _, v := range []struct {
+			class, id string
+			weight    int64
+			maker     oodb.OID
+		}{
+			{"Vehicle", "v1", 5000, gm},
+			{"Automobile", "a1", 3000, gm},
+			{"Automobile", "a2", 8000, toyota},
+			{"DomesticAutomobile", "d1", 7600, gm},
+			{"Truck", "t1", 9000, freight},
+			{"Truck", "t2", 7000, freight},
+		} {
+			if _, err := tx.Insert(v.class, oodb.Attrs{
+				"vid":          oodb.String(v.id),
+				"weight":       oodb.Int(v.weight),
+				"manufacturer": oodb.Ref(v.maker),
+			}); err != nil {
+				return err
+			}
+		}
+		fmt.Println("  inserted 3 companies and 6 vehicles")
+		return nil
+	})
+}
+
+func run(db *oodb.DB, q string) {
+	plan, err := db.Explain(q)
+	must(err)
+	fmt.Printf("  plan: %s\n", plan)
+	res, err := db.Query(q)
+	must(err)
+	for _, row := range res.Rows {
+		fmt.Print("  ")
+		for i, v := range row.Values {
+			if i > 0 {
+				fmt.Print("  ")
+			}
+			fmt.Print(v)
+		}
+		fmt.Println()
+	}
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,389 @@
+// Command kimsh is an interactive shell for a kimdb database: the
+// programmatic interface of the engine exposed as a line-oriented tool
+// (queries in the declarative language, dot-commands for DDL and object
+// manipulation).
+//
+// Usage:
+//
+//	kimsh -db /path/to/dbdir
+//
+// Commands:
+//
+//	SELECT ...                          run a query
+//	.defclass Name [super,...]          define a class
+//	.attr Class name Domain [set]       add an attribute
+//	.index name Class path.dotted [ch]  create an index (ch = hierarchy)
+//	.indexes                            list indexes
+//	.classes                            list classes
+//	.schema Class                       show a class's effective schema
+//	.insert Class a=v b=v ...           insert an object
+//	.set @c:s a=v ...                   update an object
+//	.del @c:s                           delete an object
+//	.get @c:s                           show an object
+//	.explain SELECT ...                 show the query plan
+//	.checkpoint                         force a checkpoint
+//	.help / .quit
+//
+// Value literals: integers, floats, 'strings', true/false, null, @class:seq
+// references, {v, v, ...} sets.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"oodb"
+)
+
+func main() {
+	dbdir := flag.String("db", "", "database directory (required)")
+	flag.Parse()
+	if *dbdir == "" {
+		fmt.Fprintln(os.Stderr, "kimsh: -db directory required")
+		os.Exit(2)
+	}
+	db, err := oodb.Open(*dbdir, oodb.Options{})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "kimsh:", err)
+		os.Exit(1)
+	}
+	defer db.Close()
+
+	sh := &shell{db: db, out: os.Stdout}
+	sc := bufio.NewScanner(os.Stdin)
+	fmt.Print("kimdb> ")
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == ".quit" || line == ".exit" {
+			break
+		}
+		if line != "" {
+			if err := sh.exec(line); err != nil {
+				fmt.Fprintln(os.Stderr, "error:", err)
+			}
+		}
+		fmt.Print("kimdb> ")
+	}
+	fmt.Println()
+}
+
+type shell struct {
+	db  *oodb.DB
+	out *os.File
+}
+
+func (sh *shell) exec(line string) error {
+	switch {
+	case strings.HasPrefix(strings.ToLower(line), "select"):
+		return sh.query(line)
+	case line == ".help":
+		fmt.Fprintln(sh.out, "queries: SELECT ... ; commands: .defclass .attr .index .indexes .classes .schema .insert .set .del .get .explain .snapshot .snapshots .schemadiff .checkpoint .quit")
+		return nil
+	case line == ".classes":
+		for _, cl := range sh.db.Engine().Catalog.Classes() {
+			fmt.Fprintf(sh.out, "  %4d  %s\n", cl.ID, cl.Name)
+		}
+		return nil
+	case line == ".indexes":
+		for _, idx := range sh.db.Engine().Indexes.All() {
+			kind := "single-class"
+			if idx.Hierarchy {
+				kind = "class-hierarchy"
+			}
+			if len(idx.Path) > 1 {
+				kind += ", nested"
+			}
+			fmt.Fprintf(sh.out, "  %s on class %d path %v (%s, %d entries)\n",
+				idx.Name, idx.Class, idx.Path, kind, idx.Len())
+		}
+		return nil
+	case line == ".checkpoint":
+		return sh.db.Checkpoint()
+	case line == ".snapshots":
+		vs, err := sh.db.SchemaVersions()
+		if err != nil {
+			return err
+		}
+		for _, v := range vs {
+			fmt.Fprintf(sh.out, "  %s (catalog version %d)\n", v.Label, v.Version)
+		}
+		return nil
+	}
+	fields := strings.Fields(line)
+	switch fields[0] {
+	case ".defclass":
+		if len(fields) < 2 {
+			return fmt.Errorf("usage: .defclass Name [super,...]")
+		}
+		var supers []string
+		if len(fields) > 2 {
+			supers = strings.Split(fields[2], ",")
+		}
+		_, err := sh.db.DefineClass(fields[1], supers)
+		return err
+	case ".attr":
+		if len(fields) < 4 {
+			return fmt.Errorf("usage: .attr Class name Domain [set]")
+		}
+		return sh.db.AddAttribute(fields[1], oodb.Attr{
+			Name: fields[2], Domain: fields[3],
+			SetValued: len(fields) > 4 && fields[4] == "set",
+		})
+	case ".index":
+		if len(fields) < 4 {
+			return fmt.Errorf("usage: .index name Class path.dotted [ch]")
+		}
+		hier := len(fields) > 4 && fields[4] == "ch"
+		return sh.db.CreateIndex(fields[1], fields[2], strings.Split(fields[3], "."), hier)
+	case ".snapshot":
+		if len(fields) != 2 {
+			return fmt.Errorf("usage: .snapshot label")
+		}
+		v, err := sh.db.SnapshotSchema(fields[1])
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(sh.out, "  snapshot %q at catalog version %d\n", fields[1], v)
+		return nil
+	case ".schemadiff":
+		if len(fields) != 2 {
+			return fmt.Errorf("usage: .schemadiff label")
+		}
+		diff, err := sh.db.DiffSchema(fields[1])
+		if err != nil {
+			return err
+		}
+		if len(diff) == 0 {
+			fmt.Fprintln(sh.out, "  (no changes)")
+		}
+		for _, line := range diff {
+			fmt.Fprintln(sh.out, " ", line)
+		}
+		return nil
+	case ".schema":
+		if len(fields) != 2 {
+			return fmt.Errorf("usage: .schema Class")
+		}
+		return sh.schema(fields[1])
+	case ".insert":
+		if len(fields) < 2 {
+			return fmt.Errorf("usage: .insert Class a=v ...")
+		}
+		attrs, err := parseAttrs(fields[2:])
+		if err != nil {
+			return err
+		}
+		var oid oodb.OID
+		err = sh.db.Do(func(tx *oodb.Tx) error {
+			var err error
+			oid, err = tx.Insert(fields[1], attrs)
+			return err
+		})
+		if err == nil {
+			fmt.Fprintf(sh.out, "  @%s\n", oid)
+		}
+		return err
+	case ".set":
+		if len(fields) < 3 {
+			return fmt.Errorf("usage: .set @c:s a=v ...")
+		}
+		oid, err := parseOID(fields[1])
+		if err != nil {
+			return err
+		}
+		attrs, err := parseAttrs(fields[2:])
+		if err != nil {
+			return err
+		}
+		return sh.db.Do(func(tx *oodb.Tx) error { return tx.Update(oid, attrs) })
+	case ".del":
+		if len(fields) != 2 {
+			return fmt.Errorf("usage: .del @c:s")
+		}
+		oid, err := parseOID(fields[1])
+		if err != nil {
+			return err
+		}
+		return sh.db.Do(func(tx *oodb.Tx) error { return tx.Delete(oid) })
+	case ".get":
+		if len(fields) != 2 {
+			return fmt.Errorf("usage: .get @c:s")
+		}
+		oid, err := parseOID(fields[1])
+		if err != nil {
+			return err
+		}
+		return sh.show(oid)
+	case ".explain":
+		plan, err := sh.db.Explain(strings.TrimSpace(strings.TrimPrefix(line, ".explain")))
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(sh.out, " ", plan)
+		return nil
+	default:
+		return fmt.Errorf("unknown command %q (try .help)", fields[0])
+	}
+}
+
+func (sh *shell) query(src string) error {
+	res, err := sh.db.Query(src)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(sh.out, " ", strings.Join(res.Cols, " | "))
+	for _, row := range res.Rows {
+		parts := make([]string, len(row.Values))
+		for i, v := range row.Values {
+			parts[i] = v.String()
+		}
+		fmt.Fprintln(sh.out, " ", strings.Join(parts, " | "))
+	}
+	fmt.Fprintf(sh.out, "  (%d rows)\n", len(res.Rows))
+	return nil
+}
+
+func (sh *shell) schema(name string) error {
+	cl, err := sh.db.ClassByName(name)
+	if err != nil {
+		return err
+	}
+	cat := sh.db.Engine().Catalog
+	fmt.Fprintf(sh.out, "  class %s (id %d)\n", cl.Name, cl.ID)
+	if len(cl.Supers) > 0 {
+		var supers []string
+		for _, s := range cl.Supers {
+			if sc, err := cat.Class(s); err == nil {
+				supers = append(supers, sc.Name)
+			}
+		}
+		fmt.Fprintf(sh.out, "  superclasses: %s\n", strings.Join(supers, ", "))
+	}
+	attrs, err := cat.EffectiveAttrs(cl.ID)
+	if err != nil {
+		return err
+	}
+	for _, a := range attrs {
+		domain := fmt.Sprintf("class %d", a.Domain)
+		if dc, err := cat.Class(a.Domain); err == nil {
+			domain = dc.Name
+		}
+		set := ""
+		if a.SetValued {
+			set = " set-of"
+		}
+		inherited := ""
+		if a.Source != cl.ID {
+			if sc, err := cat.Class(a.Source); err == nil {
+				inherited = fmt.Sprintf(" (inherited from %s)", sc.Name)
+			}
+		}
+		fmt.Fprintf(sh.out, "    %s:%s %s%s\n", a.Name, set, domain, inherited)
+	}
+	return nil
+}
+
+func (sh *shell) show(oid oodb.OID) error {
+	obj, err := sh.db.Fetch(oid)
+	if err != nil {
+		return err
+	}
+	cat := sh.db.Engine().Catalog
+	cl, err := cat.Class(obj.Class())
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(sh.out, "  @%s (%s)\n", oid, cl.Name)
+	attrs, err := cat.EffectiveAttrs(cl.ID)
+	if err != nil {
+		return err
+	}
+	for _, a := range attrs {
+		v, err := sh.db.Get(obj, a.Name)
+		if err != nil {
+			continue
+		}
+		fmt.Fprintf(sh.out, "    %s = %s\n", a.Name, v)
+	}
+	return nil
+}
+
+// parseOID parses "@class:seq".
+func parseOID(s string) (oodb.OID, error) {
+	s = strings.TrimPrefix(s, "@")
+	parts := strings.SplitN(s, ":", 2)
+	if len(parts) != 2 {
+		return 0, fmt.Errorf("bad oid %q (want @class:seq)", s)
+	}
+	class, err := strconv.ParseUint(parts[0], 10, 32)
+	if err != nil {
+		return 0, fmt.Errorf("bad oid class %q", parts[0])
+	}
+	seq, err := strconv.ParseUint(parts[1], 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad oid seq %q", parts[1])
+	}
+	return oodb.OID(uint64(class)<<40 | seq), nil
+}
+
+// parseAttrs parses a=v pairs.
+func parseAttrs(pairs []string) (oodb.Attrs, error) {
+	out := oodb.Attrs{}
+	for _, p := range pairs {
+		eq := strings.IndexByte(p, '=')
+		if eq <= 0 {
+			return nil, fmt.Errorf("bad attribute %q (want name=value)", p)
+		}
+		v, err := parseValue(p[eq+1:])
+		if err != nil {
+			return nil, err
+		}
+		out[p[:eq]] = v
+	}
+	return out, nil
+}
+
+// parseValue parses a shell value literal.
+func parseValue(s string) (oodb.Value, error) {
+	switch {
+	case s == "null":
+		return oodb.Null, nil
+	case s == "true":
+		return oodb.Bool(true), nil
+	case s == "false":
+		return oodb.Bool(false), nil
+	case strings.HasPrefix(s, "@"):
+		oid, err := parseOID(s)
+		if err != nil {
+			return oodb.Null, err
+		}
+		return oodb.Ref(oid), nil
+	case strings.HasPrefix(s, "'") && strings.HasSuffix(s, "'") && len(s) >= 2:
+		return oodb.String(s[1 : len(s)-1]), nil
+	case strings.HasPrefix(s, "{") && strings.HasSuffix(s, "}"):
+		inner := strings.TrimSpace(s[1 : len(s)-1])
+		if inner == "" {
+			return oodb.SetOf(), nil
+		}
+		var members []oodb.Value
+		for _, m := range strings.Split(inner, ",") {
+			v, err := parseValue(strings.TrimSpace(m))
+			if err != nil {
+				return oodb.Null, err
+			}
+			members = append(members, v)
+		}
+		return oodb.SetOf(members...), nil
+	}
+	if n, err := strconv.ParseInt(s, 10, 64); err == nil {
+		return oodb.Int(n), nil
+	}
+	if f, err := strconv.ParseFloat(s, 64); err == nil {
+		return oodb.Float(f), nil
+	}
+	return oodb.String(s), nil
+}

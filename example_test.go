@@ -1,0 +1,67 @@
+package oodb_test
+
+import (
+	"fmt"
+	"os"
+
+	"oodb"
+)
+
+// Example shows the minimal session: schema with inheritance, data,
+// a hierarchy-scoped query with a nested predicate, and an aggregate.
+func Example() {
+	dir, _ := os.MkdirTemp("", "kimdb-example")
+	defer os.RemoveAll(dir)
+	db, _ := oodb.Open(dir, oodb.Options{})
+	defer db.Close()
+
+	db.DefineClass("Company", nil,
+		oodb.Attr{Name: "location", Domain: "String"})
+	db.DefineClass("Vehicle", nil,
+		oodb.Attr{Name: "weight", Domain: "Integer"},
+		oodb.Attr{Name: "manufacturer", Domain: "Company"})
+	db.DefineClass("Truck", []string{"Vehicle"})
+
+	db.Do(func(tx *oodb.Tx) error {
+		gm, _ := tx.Insert("Company", oodb.Attrs{"location": oodb.String("Detroit")})
+		tx.Insert("Truck", oodb.Attrs{"weight": oodb.Int(9000), "manufacturer": oodb.Ref(gm)})
+		tx.Insert("Vehicle", oodb.Attrs{"weight": oodb.Int(3000), "manufacturer": oodb.Ref(gm)})
+		return nil
+	})
+
+	res, _ := db.Query(`SELECT weight FROM Vehicle WHERE manufacturer.location = 'Detroit' ORDER BY weight`)
+	for _, row := range res.Rows {
+		fmt.Println(row.Values[0])
+	}
+	agg, _ := db.Query(`SELECT COUNT(*), MAX(weight) FROM Vehicle`)
+	fmt.Println(agg.Rows[0].Values[0], agg.Rows[0].Values[1])
+	// Output:
+	// 3000
+	// 9000
+	// 2 9000
+}
+
+// ExampleDB_NewWorkspace demonstrates memory-resident navigation: the
+// second dereference is a swizzled pointer hop, not a database call.
+func ExampleDB_NewWorkspace() {
+	dir, _ := os.MkdirTemp("", "kimdb-example-ws")
+	defer os.RemoveAll(dir)
+	db, _ := oodb.Open(dir, oodb.Options{})
+	defer db.Close()
+	db.DefineClass("Node", nil,
+		oodb.Attr{Name: "label", Domain: "String"},
+		oodb.Attr{Name: "next", Domain: "Node"})
+	var a oodb.OID
+	db.Do(func(tx *oodb.Tx) error {
+		b, _ := tx.Insert("Node", oodb.Attrs{"label": oodb.String("b")})
+		var err error
+		a, err = tx.Insert("Node", oodb.Attrs{"label": oodb.String("a"), "next": oodb.Ref(b)})
+		return err
+	})
+	ws := db.NewWorkspace()
+	d, _ := ws.Fetch(a)
+	next, _ := d.Deref("next")
+	label, _ := next.Get("label")
+	fmt.Println(label)
+	// Output: "b"
+}

@@ -1,0 +1,174 @@
+// CAD example: the workload that motivated object-oriented databases
+// (Kim §2.2/§3.3) — a VLSI design environment with composite design
+// objects, versions, long checkout/checkin transactions and fast
+// in-memory navigation of the design graph.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"oodb"
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "kimdb-cad")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	db, err := oodb.Open(dir, oodb.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	// Design objects: a Module contains Cells (composite, exclusive);
+	// cells reference a shared standard-cell library entry.
+	must(defineSchema(db))
+
+	cm, err := db.Composites()
+	must(err)
+	mod, _ := db.ClassByName("Module")
+	must(cm.DeclareComposite(mod.ID, "cells", true))
+
+	vm, err := db.Versions()
+	must(err)
+	must(vm.EnableVersioning(mod.ID))
+
+	// Build v1 of the ALU as a composite design object.
+	var generic, v1, lib oodb.OID
+	must(db.Do(func(tx *oodb.Tx) error {
+		var err error
+		lib, err = tx.Insert("LibCell", oodb.Attrs{
+			"name": oodb.String("NAND2"), "delayPs": oodb.Int(14)})
+		if err != nil {
+			return err
+		}
+		generic, v1, err = vm.CreateVersioned(tx, mod.ID, oodb.Attrs{
+			"name": oodb.String("alu"), "area": oodb.Int(100)})
+		if err != nil {
+			return err
+		}
+		for i := 0; i < 4; i++ {
+			cell, err := tx.Insert("Cell", oodb.Attrs{
+				"name": oodb.String(fmt.Sprintf("c%d", i)),
+				"kind": oodb.Ref(lib),
+				"x":    oodb.Int(int64(i * 10)), "y": oodb.Int(0),
+			})
+			if err != nil {
+				return err
+			}
+			if err := cm.Attach(tx, v1, "cells", cell); err != nil {
+				return err
+			}
+		}
+		return nil
+	}))
+	comps, err := cm.Components(v1)
+	must(err)
+	fmt.Printf("alu v1: composite object with %d components\n", len(comps))
+
+	// Alice checks the module out for a long edit session; Bob is locked
+	// out cooperatively in the meantime.
+	co, err := db.Checkouts()
+	must(err)
+	desc, err := co.Checkout("alice", v1)
+	must(err)
+	if _, err := co.Checkout("bob", v1); err != nil {
+		fmt.Println("bob's checkout refused:", err)
+	}
+	must(desc.Set("area", oodb.Int(96))) // private edit
+	must(co.Checkin("alice", v1))
+	fmt.Println("alice checked in her area optimization")
+
+	// Derive v2 (v1 is auto-promoted to working), change it, release it.
+	var v2 oodb.OID
+	must(db.Do(func(tx *oodb.Tx) error {
+		var err error
+		v2, err = vm.Derive(tx, v1)
+		if err != nil {
+			return err
+		}
+		if err := vm.UpdateVersion(tx, v2, oodb.Attrs{"area": oodb.Int(88)}); err != nil {
+			return err
+		}
+		if _, err := vm.Promote(tx, v2); err != nil { // -> working
+			return err
+		}
+		_, err = vm.Promote(tx, v2) // -> released
+		return err
+	}))
+	st, _ := vm.StateOf(v2)
+	fmt.Printf("derived v2 (state %v); dynamic binding resolves the generic to ", st)
+	def, err := vm.Resolve(generic)
+	must(err)
+	obj, _ := db.Fetch(def)
+	area, _ := db.Get(obj, "area")
+	fmt.Printf("the latest version (area %v)\n", area)
+
+	// Change notification: a floorplan depends on the ALU; deriving v3
+	// flags it stale.
+	floorplan := oodb.OID(0)
+	must(db.Do(func(tx *oodb.Tx) error {
+		var err error
+		floorplan, err = tx.Insert("Cell", oodb.Attrs{"name": oodb.String("floorplan")})
+		return err
+	}))
+	vm.RegisterDependent(generic, floorplan)
+	must(db.Do(func(tx *oodb.Tx) error {
+		_, err := vm.Derive(tx, v2)
+		return err
+	}))
+	fmt.Printf("after deriving v3, stale dependents: %v\n", vm.StaleDependents())
+
+	// Interactive navigation: load the design into a workspace and walk
+	// cells -> library entries through swizzled pointers.
+	ws := db.NewWorkspace()
+	root, err := ws.Fetch(v1)
+	must(err)
+	cells, err := root.DerefSet("cells")
+	must(err)
+	total := int64(0)
+	for _, c := range cells {
+		kind, err := c.Deref("kind")
+		must(err)
+		d, _ := kind.Get("delayPs")
+		ps, _ := d.AsInt()
+		total += ps
+	}
+	fmt.Printf("navigated %d cells in memory; total path delay %dps (db fetches: %d)\n",
+		len(cells), total, wsFetches(ws))
+}
+
+func defineSchema(db *oodb.DB) error {
+	if _, err := db.DefineClass("LibCell", nil,
+		oodb.Attr{Name: "name", Domain: "String"},
+		oodb.Attr{Name: "delayPs", Domain: "Integer"},
+	); err != nil {
+		return err
+	}
+	if _, err := db.DefineClass("Cell", nil,
+		oodb.Attr{Name: "name", Domain: "String"},
+		oodb.Attr{Name: "kind", Domain: "LibCell"},
+		oodb.Attr{Name: "x", Domain: "Integer"},
+		oodb.Attr{Name: "y", Domain: "Integer"},
+	); err != nil {
+		return err
+	}
+	_, err := db.DefineClass("Module", nil,
+		oodb.Attr{Name: "name", Domain: "String"},
+		oodb.Attr{Name: "area", Domain: "Integer"},
+		oodb.Attr{Name: "cells", Domain: "Cell", SetValued: true},
+	)
+	return err
+}
+
+func wsFetches(ws *oodb.Workspace) uint64 { return ws.Fetches }
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,165 @@
+// Deductive example (Kim §5.4): rules over an object base — a bill of
+// materials with recursive reachability, plus a derived "critical part"
+// classification, queried both forward (all facts) and backward (goal
+// with constants).
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"oodb"
+	"oodb/internal/rules"
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "kimdb-deductive")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	db, err := oodb.Open(dir, oodb.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	// Schema: parts with a supplier and direct subparts.
+	if _, err := db.DefineClass("Supplier", nil,
+		oodb.Attr{Name: "name", Domain: "String"},
+		oodb.Attr{Name: "singleSource", Domain: "Boolean"},
+	); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := db.DefineClass("BPart", nil,
+		oodb.Attr{Name: "name", Domain: "String"},
+		oodb.Attr{Name: "supplier", Domain: "Supplier"},
+		oodb.Attr{Name: "subparts", Domain: "BPart", SetValued: true},
+	); err != nil {
+		log.Fatal(err)
+	}
+
+	// A small bill of materials:
+	//   engine -> {block, piston}; piston -> {ring}; ring from a
+	//   single-source supplier.
+	names := map[string]oodb.OID{}
+	must(db.Do(func(tx *oodb.Tx) error {
+		acme, err := tx.Insert("Supplier", oodb.Attrs{
+			"name": oodb.String("Acme"), "singleSource": oodb.Bool(false)})
+		if err != nil {
+			return err
+		}
+		rare, _ := tx.Insert("Supplier", oodb.Attrs{
+			"name": oodb.String("RareMetals"), "singleSource": oodb.Bool(true)})
+		for _, p := range []struct {
+			name     string
+			supplier oodb.OID
+		}{
+			{"engine", acme}, {"block", acme}, {"piston", acme}, {"ring", rare},
+		} {
+			oid, err := tx.Insert("BPart", oodb.Attrs{
+				"name": oodb.String(p.name), "supplier": oodb.Ref(p.supplier)})
+			if err != nil {
+				return err
+			}
+			names[p.name] = oid
+		}
+		if err := tx.Update(names["engine"], oodb.Attrs{
+			"subparts": oodb.SetOf(oodb.Ref(names["block"]), oodb.Ref(names["piston"]))}); err != nil {
+			return err
+		}
+		return tx.Update(names["piston"], oodb.Attrs{
+			"subparts": oodb.SetOf(oodb.Ref(names["ring"]))})
+	}))
+
+	// Map the object base into predicates.
+	eng, edb := db.RuleEngine()
+	must(edb.MapClass("part", "BPart"))
+	must(edb.MapAttr("subpart", "BPart", "subparts"))
+	must(edb.MapAttr("supplier", "BPart", "supplier"))
+	must(edb.MapAttr("partName", "BPart", "name"))
+	must(edb.MapAttr("singleSource", "Supplier", "singleSource"))
+
+	// contains(X, Y): Y is anywhere beneath X (recursive).
+	must(eng.AddRule(rules.Rule{
+		Head: rules.A("contains", rules.V("X"), rules.V("Y")),
+		Body: []rules.Atom{rules.A("subpart", rules.V("X"), rules.V("Y"))},
+	}))
+	must(eng.AddRule(rules.Rule{
+		Head: rules.A("contains", rules.V("X"), rules.V("Z")),
+		Body: []rules.Atom{
+			rules.A("contains", rules.V("X"), rules.V("Y")),
+			rules.A("subpart", rules.V("Y"), rules.V("Z")),
+		},
+	}))
+	// critical(X): X (transitively) contains a part from a single-source
+	// supplier.
+	must(eng.AddRule(rules.Rule{
+		Head: rules.A("risky", rules.V("P")),
+		Body: []rules.Atom{
+			rules.A("supplier", rules.V("P"), rules.V("S")),
+			rules.A("singleSource", rules.V("S"), rules.C(oodb.Bool(true))),
+		},
+	}))
+	must(eng.AddRule(rules.Rule{
+		Head: rules.A("critical", rules.V("X")),
+		Body: []rules.Atom{rules.A("risky", rules.V("X"))},
+	}))
+	must(eng.AddRule(rules.Rule{
+		Head: rules.A("critical", rules.V("X")),
+		Body: []rules.Atom{
+			rules.A("contains", rules.V("X"), rules.V("Y")),
+			rules.A("risky", rules.V("Y")),
+		},
+	}))
+
+	// Forward: compute every contains fact.
+	facts, err := eng.Infer("contains")
+	must(err)
+	fmt.Printf("contains/2 has %d derived facts\n", len(facts))
+
+	// Backward: what does the engine contain?
+	sols, err := eng.Query(rules.A("contains",
+		rules.C(oodb.Ref(names["engine"])), rules.V("Y")))
+	must(err)
+	fmt.Print("engine contains:")
+	for _, env := range sols {
+		fmt.Printf(" %s", partName(db, env["Y"]))
+	}
+	fmt.Println()
+
+	// Which parts are critical?
+	crit, err := eng.Infer("critical")
+	must(err)
+	fmt.Print("critical parts:")
+	for _, f := range crit {
+		fmt.Printf(" %s", partName(db, f[0]))
+	}
+	fmt.Println()
+
+	// Ground query: is the block critical?
+	sols, err = eng.Query(rules.A("critical", rules.C(oodb.Ref(names["block"]))))
+	must(err)
+	fmt.Printf("block critical? %v\n", len(sols) > 0)
+}
+
+func partName(db *oodb.DB, v oodb.Value) string {
+	oid, ok := v.AsRef()
+	if !ok {
+		return v.String()
+	}
+	obj, err := db.Fetch(oid)
+	if err != nil {
+		return v.String()
+	}
+	nv, _ := db.Get(obj, "name")
+	s, _ := nv.AsString()
+	return s
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,120 @@
+// Federation example (Kim §5.2): "suppose that an Employee database is
+// managed by a relational database system ... and a Company database is
+// managed by an object-oriented database system. An object-oriented data
+// model may be used as the common data model for presenting the schemas
+// of these different databases to the user."
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"oodb"
+	"oodb/internal/federation"
+	"oodb/internal/model"
+	"oodb/internal/relational"
+)
+
+func main() {
+	// --- Member 1: a relational Employee database ----------------------
+	rdb := relational.NewDB()
+	dept, err := rdb.Create("Department", "id", "name", "city")
+	must(err)
+	emp, err := rdb.Create("Employee", "id", "name", "dept", "salary")
+	must(err)
+	dept.Insert(model.String("d1"), model.String("Engineering"), model.String("Austin"))
+	dept.Insert(model.String("d2"), model.String("Sales"), model.String("Detroit"))
+	emp.Insert(model.String("e1"), model.String("alice"), model.String("d1"), model.Int(120))
+	emp.Insert(model.String("e2"), model.String("bob"), model.String("d2"), model.Int(90))
+	emp.Insert(model.String("e3"), model.String("carol"), model.String("d1"), model.Int(130))
+
+	hr := federation.NewRelSource(rdb)
+	must(hr.Export("Employee"))
+	must(hr.Export("Department"))
+	// The FK becomes an aggregation edge of the common model.
+	must(hr.DeclareFK("Employee", "dept", federation.FK{Relation: "Department", KeyCol: "id"}))
+
+	// --- Member 2: an object-oriented Company database ------------------
+	dir, err := os.MkdirTemp("", "kimdb-federation")
+	must(err)
+	defer os.RemoveAll(dir)
+	odb, err := oodb.Open(dir, oodb.Options{})
+	must(err)
+	defer odb.Close()
+	_, err = odb.DefineClass("Company", nil,
+		oodb.Attr{Name: "name", Domain: "String"},
+		oodb.Attr{Name: "location", Domain: "String"})
+	must(err)
+	_, err = odb.DefineClass("AutoCompany", []string{"Company"})
+	must(err)
+	must(odb.Do(func(tx *oodb.Tx) error {
+		if _, err := tx.Insert("AutoCompany", oodb.Attrs{
+			"name": oodb.String("GM"), "location": oodb.String("Detroit")}); err != nil {
+			return err
+		}
+		_, err := tx.Insert("Company", oodb.Attrs{
+			"name": oodb.String("MCC"), "location": oodb.String("Austin")})
+		return err
+	}))
+
+	// --- One federation, one data model, one query language ------------
+	fed := federation.New()
+	fed.Register("hr", hr)
+	fed.Register("corp", odb.FederationSource())
+	fmt.Println("federation members:", fed.Sources())
+
+	// A nested path through the relational member: dept is a foreign key,
+	// but the user writes it exactly like an object reference.
+	res, err := fed.Query("hr",
+		`SELECT name, dept.city FROM Employee WHERE dept.name = 'Engineering' ORDER BY name`)
+	must(err)
+	fmt.Println("engineers (relational member, FK traversed as aggregation):")
+	printRows(res)
+
+	// The same query shape against the object member, with hierarchy
+	// scope: GM is an AutoCompany but answers FROM Company.
+	res, err = fed.Query("corp",
+		`SELECT name, location FROM Company WHERE location = 'Detroit'`)
+	must(err)
+	fmt.Println("Detroit companies (object member, hierarchy scope):")
+	printRows(res)
+
+	// Cross-member application logic under the single model: for every
+	// employee in a city, find the companies located there.
+	res, err = fed.Query("hr", `SELECT name, dept.city FROM Employee ORDER BY name`)
+	must(err)
+	for _, row := range res.Rows {
+		city := row.Values[1]
+		cres, err := fed.Query("corp", fmt.Sprintf(
+			`SELECT name FROM Company WHERE location = %s`, city))
+		must(err)
+		var companies []string
+		for _, c := range cres.Rows {
+			s, _ := c.Values[0].AsString()
+			companies = append(companies, s)
+		}
+		name, _ := row.Values[0].AsString()
+		cs, _ := city.AsString()
+		fmt.Printf("%s works in %s; companies there: %v\n", name, cs, companies)
+	}
+}
+
+func printRows(res *federation.Result) {
+	for _, row := range res.Rows {
+		fmt.Print("  ")
+		for i, v := range row.Values {
+			if i > 0 {
+				fmt.Print("  ")
+			}
+			fmt.Print(v)
+		}
+		fmt.Println()
+	}
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,132 @@
+// Multimedia example (Kim §2.2): "multimedia systems which deal with
+// images, voice, and textual documents" need long unstructured data,
+// user-visible set attributes, and content organization — here a compound
+// document store with multi-page payloads (spilled to overflow chains by
+// the storage engine), tags, and views over the catalog.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"oodb"
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "kimdb-multimedia")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	db, err := oodb.Open(dir, oodb.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	// Document hierarchy: Document <- {Image, Audio}. The payload is a
+	// Bytes attribute; anything larger than a 4 KiB page spills to
+	// overflow chains transparently.
+	must2(db.DefineClass("Document", nil,
+		oodb.Attr{Name: "title", Domain: "String"},
+		oodb.Attr{Name: "tags", Domain: "String", SetValued: true},
+		oodb.Attr{Name: "payload", Domain: "Bytes"},
+	))
+	must2(db.DefineClass("Image", []string{"Document"},
+		oodb.Attr{Name: "width", Domain: "Integer"},
+		oodb.Attr{Name: "height", Domain: "Integer"},
+	))
+	must2(db.DefineClass("Audio", []string{"Document"},
+		oodb.Attr{Name: "seconds", Domain: "Integer"},
+	))
+
+	// Store three documents; the image payload is 64 KiB — sixteen pages
+	// of overflow chain behind one object.
+	bigPixels := make([]byte, 64<<10)
+	for i := range bigPixels {
+		bigPixels[i] = byte(i * 31)
+	}
+	var img oodb.OID
+	must(db.Do(func(tx *oodb.Tx) error {
+		var err error
+		img, err = tx.Insert("Image", oodb.Attrs{
+			"title":   oodb.String("die-photo"),
+			"tags":    oodb.SetOf(oodb.String("vlsi"), oodb.String("scan")),
+			"payload": oodb.BytesValue(bigPixels),
+			"width":   oodb.Int(1024), "height": oodb.Int(64),
+		})
+		if err != nil {
+			return err
+		}
+		if _, err := tx.Insert("Audio", oodb.Attrs{
+			"title":   oodb.String("design-review"),
+			"tags":    oodb.SetOf(oodb.String("meeting"), oodb.String("vlsi")),
+			"payload": oodb.BytesValue(make([]byte, 8<<10)),
+			"seconds": oodb.Int(1800),
+		}); err != nil {
+			return err
+		}
+		_, err = tx.Insert("Document", oodb.Attrs{
+			"title":   oodb.String("spec.txt"),
+			"tags":    oodb.SetOf(oodb.String("text")),
+			"payload": oodb.BytesValue([]byte("The ALU shall ...")),
+		})
+		return err
+	}))
+
+	// The big payload round-trips intact.
+	obj, err := db.Fetch(img)
+	must(err)
+	pv, _ := db.Get(obj, "payload")
+	data, _ := pv.AsBytes()
+	want := byte((50000 * 31) % 256)
+	fmt.Printf("stored 64 KiB image; read back %d bytes, byte[50000]=%d (want %d)\n",
+		len(data), data[50000], want)
+
+	// Set-membership query across the document hierarchy.
+	res, err := db.Query(`SELECT title FROM Document WHERE tags CONTAINS 'vlsi' ORDER BY title`)
+	must(err)
+	fmt.Print("documents tagged vlsi:")
+	for _, row := range res.Rows {
+		s, _ := row.Values[0].AsString()
+		fmt.Printf(" %s", s)
+	}
+	fmt.Println()
+
+	// A view as the library's "recordings" catalog.
+	views, err := db.Views()
+	must(err)
+	must(views.Define("LongRecordings", `SELECT title, seconds FROM Audio WHERE seconds > 600`))
+	tx := db.Engine().Begin()
+	vres, err := views.Run(tx, "LongRecordings")
+	tx.Commit()
+	must(err)
+	for _, row := range vres.Rows {
+		title, _ := row.Values[0].AsString()
+		secs, _ := row.Values[1].AsInt()
+		fmt.Printf("long recording: %s (%d s)\n", title, secs)
+	}
+
+	// Long data survives restart (overflow chains are ordinary pages).
+	must(db.Close())
+	db2, err := oodb.Open(dir, oodb.Options{})
+	must(err)
+	obj, err = db2.Fetch(img)
+	must(err)
+	pv, _ = db2.Get(obj, "payload")
+	data, _ = pv.AsBytes()
+	fmt.Printf("after reopen: payload still %d bytes intact\n", len(data))
+	db2.Close()
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
+func must2[T any](v T, err error) T {
+	must(err)
+	return v
+}

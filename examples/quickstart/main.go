@@ -1,0 +1,107 @@
+// Quickstart: the minimal kimdb session — define a schema with
+// inheritance, store objects, query with nested predicates and hierarchy
+// scope, and dispatch a message with late binding.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"oodb"
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "kimdb-quickstart")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	// Open (or create) a database.
+	db, err := oodb.Open(dir, oodb.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	// A small schema: Person, and Employee specializing it. Attribute
+	// domains are classes — "manager" is a reference to another Employee.
+	if _, err := db.DefineClass("Person", nil,
+		oodb.Attr{Name: "name", Domain: "String"},
+		oodb.Attr{Name: "age", Domain: "Integer"},
+	); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := db.DefineClass("Employee", []string{"Person"},
+		oodb.Attr{Name: "salary", Domain: "Integer"},
+		oodb.Attr{Name: "manager", Domain: "Employee"},
+	); err != nil {
+		log.Fatal(err)
+	}
+
+	// Insert objects transactionally.
+	var alice oodb.OID
+	err = db.Do(func(tx *oodb.Tx) error {
+		var err error
+		alice, err = tx.Insert("Employee", oodb.Attrs{
+			"name": oodb.String("Alice"), "age": oodb.Int(47), "salary": oodb.Int(200),
+		})
+		if err != nil {
+			return err
+		}
+		if _, err := tx.Insert("Employee", oodb.Attrs{
+			"name": oodb.String("Bob"), "age": oodb.Int(31), "salary": oodb.Int(120),
+			"manager": oodb.Ref(alice),
+		}); err != nil {
+			return err
+		}
+		_, err = tx.Insert("Person", oodb.Attrs{
+			"name": oodb.String("Carol"), "age": oodb.Int(25),
+		})
+		return err
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A query against Person ranges over Person AND Employee (hierarchy
+	// scope); nested predicates traverse references.
+	res, err := db.Query(`SELECT name, age FROM Person WHERE age > 20 ORDER BY age`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("everyone over 20 (hierarchy scope):")
+	for _, row := range res.Rows {
+		fmt.Printf("  %v, age %v\n", row.Values[0], row.Values[1])
+	}
+
+	res, err = db.Query(`SELECT name FROM Employee WHERE manager.name = 'Alice'`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("reports to Alice (nested predicate):")
+	for _, row := range res.Rows {
+		fmt.Printf("  %v\n", row.Values[0])
+	}
+
+	// Behavior: a method on Person, overridden by Employee, dispatched
+	// with late binding.
+	must(db.AddMethod("Person", "greet", func(eng oodb.MethodEngine, recv *oodb.Object, _ []oodb.Value) (oodb.Value, error) {
+		return oodb.String("hello"), nil
+	}))
+	must(db.AddMethod("Employee", "greet", func(eng oodb.MethodEngine, recv *oodb.Object, _ []oodb.Value) (oodb.Value, error) {
+		return oodb.String("hello from the office"), nil
+	}))
+	greeting, err := db.Send(alice, "greet")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("alice says:", greeting)
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

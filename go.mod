@@ -1,0 +1,3 @@
+module oodb
+
+go 1.22

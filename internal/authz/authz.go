@@ -1,0 +1,379 @@
+// Package authz implements kimdb's authorization model after Rabitti,
+// Bertino, Kim & Woelk ("A Model of Authorization for Next-Generation
+// Database Systems", TODS 1990), the model the paper cites for the impact
+// of object orientation on authorization (§3.2) and for extending
+// authorization research (§5).
+//
+// Three lattices drive implicit authorization:
+//
+//   - a role lattice over subjects: a role implies every authorization
+//     granted to roles beneath it;
+//   - a granularity lattice over authorization objects: database → class →
+//     instance, and class → attribute, with an optional "deep" class grant
+//     that also covers the class's subclasses (the class-hierarchy
+//     dimension unique to OODBs);
+//   - an implication order over authorization types: Write implies Read.
+//
+// Grants are positive or negative, strong or weak. Strong grants cannot be
+// overridden (a strong negative anywhere on an implication path denies);
+// weak grants may be overridden by more specific weak or strong grants,
+// with negative beating positive at equal specificity. Absent any
+// applicable grant, access is denied (closed world).
+package authz
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"oodb/internal/model"
+	"oodb/internal/schema"
+)
+
+// AuthType is an authorization type.
+type AuthType int
+
+// The authorization types. Write implies Read.
+const (
+	Read AuthType = iota
+	Write
+)
+
+func (t AuthType) String() string {
+	if t == Write {
+		return "write"
+	}
+	return "read"
+}
+
+// implies reports whether holding grant type g satisfies a request for r.
+func (g AuthType) implies(r AuthType) bool { return g == r || (g == Write && r == Read) }
+
+// Object is an authorization object: one node of the granularity lattice.
+type Object struct {
+	kind  objKind
+	class model.ClassID
+	oid   model.OID
+	attr  string // attribute-level objects only
+	deep  bool   // class grants only: cover subclasses too
+}
+
+type objKind int
+
+const (
+	objDatabase objKind = iota
+	objClass
+	objInstance
+	objAttribute
+)
+
+// Database returns the whole-database authorization object.
+func Database() Object { return Object{kind: objDatabase} }
+
+// Class returns the authorization object for one class (its instances).
+func Class(c model.ClassID) Object { return Object{kind: objClass, class: c} }
+
+// ClassDeep returns the authorization object for a class and all its
+// subclasses.
+func ClassDeep(c model.ClassID) Object { return Object{kind: objClass, class: c, deep: true} }
+
+// Instance returns the authorization object for one object.
+func Instance(oid model.OID) Object { return Object{kind: objInstance, oid: oid} }
+
+// Attribute returns the authorization object for one attribute of a class
+// (and, via the class hierarchy, the same attribute inherited by its
+// subclasses) — the finest granularity of the RBK lattice, what the paper
+// calls protecting "the attributes and methods of a class".
+func Attribute(class model.ClassID, attr string) Object {
+	return Object{kind: objAttribute, class: class, attr: attr}
+}
+
+func (o Object) String() string {
+	switch o.kind {
+	case objDatabase:
+		return "database"
+	case objClass:
+		if o.deep {
+			return fmt.Sprintf("class*(%d)", o.class)
+		}
+		return fmt.Sprintf("class(%d)", o.class)
+	case objAttribute:
+		return fmt.Sprintf("attr(%d.%s)", o.class, o.attr)
+	default:
+		return fmt.Sprintf("instance(%s)", o.oid)
+	}
+}
+
+// Grant is one authorization.
+type Grant struct {
+	Role     string
+	Type     AuthType
+	Object   Object
+	Negative bool
+	Strong   bool
+}
+
+// Errors of the authorization layer.
+var (
+	ErrNoSuchRole     = errors.New("authz: no such role")
+	ErrRoleCycle      = errors.New("authz: role edge would create a cycle")
+	ErrStrongConflict = errors.New("authz: contradicts an existing strong grant")
+	ErrDenied         = errors.New("authz: access denied")
+
+	// ErrNoGrant is the closed-world denial: no applicable grant exists.
+	// It wraps ErrDenied; callers can distinguish "nothing grants this"
+	// from "a negative grant denies this".
+	ErrNoGrant = fmt.Errorf("%w: no applicable grant", ErrDenied)
+)
+
+// Authorizer holds the role lattice and grant base.
+type Authorizer struct {
+	mu     sync.RWMutex
+	cat    *schema.Catalog
+	under  map[string][]string // role -> roles directly beneath it
+	roles  map[string]bool
+	grants []Grant
+}
+
+// New returns an empty authorizer over the catalog (needed to interpret
+// deep class grants against the class hierarchy).
+func New(cat *schema.Catalog) *Authorizer {
+	return &Authorizer{
+		cat:   cat,
+		under: make(map[string][]string),
+		roles: make(map[string]bool),
+	}
+}
+
+// AddRole defines a role.
+func (a *Authorizer) AddRole(name string) {
+	a.mu.Lock()
+	a.roles[name] = true
+	a.mu.Unlock()
+}
+
+// AddRoleEdge places weaker directly beneath stronger in the role lattice:
+// stronger inherits weaker's authorizations.
+func (a *Authorizer) AddRoleEdge(stronger, weaker string) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if !a.roles[stronger] {
+		return fmt.Errorf("%w: %q", ErrNoSuchRole, stronger)
+	}
+	if !a.roles[weaker] {
+		return fmt.Errorf("%w: %q", ErrNoSuchRole, weaker)
+	}
+	// Cycle check: stronger must not already be beneath weaker.
+	if a.reachableLocked(weaker, stronger) {
+		return fmt.Errorf("%w: %s -> %s", ErrRoleCycle, stronger, weaker)
+	}
+	a.under[stronger] = append(a.under[stronger], weaker)
+	return nil
+}
+
+// reachableLocked reports whether to is beneath from.
+func (a *Authorizer) reachableLocked(from, to string) bool {
+	if from == to {
+		return true
+	}
+	seen := map[string]bool{}
+	stack := []string{from}
+	for len(stack) > 0 {
+		r := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if r == to {
+			return true
+		}
+		if seen[r] {
+			continue
+		}
+		seen[r] = true
+		stack = append(stack, a.under[r]...)
+	}
+	return false
+}
+
+// rolesOf returns role and every role beneath it.
+func (a *Authorizer) rolesOf(role string) map[string]bool {
+	out := map[string]bool{}
+	stack := []string{role}
+	for len(stack) > 0 {
+		r := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if out[r] {
+			continue
+		}
+		out[r] = true
+		stack = append(stack, a.under[r]...)
+	}
+	return out
+}
+
+// Grant records an authorization. Granting a strong authorization that
+// directly contradicts an existing strong grant (same role, overlapping
+// object, overlapping type, opposite sign) is rejected — the grant-time
+// consistency rule of the RBK model.
+func (a *Authorizer) Grant(g Grant) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if !a.roles[g.Role] {
+		return fmt.Errorf("%w: %q", ErrNoSuchRole, g.Role)
+	}
+	if g.Strong {
+		for _, ex := range a.grants {
+			if !ex.Strong || ex.Negative == g.Negative || ex.Role != g.Role {
+				continue
+			}
+			if a.objectsOverlapLocked(ex.Object, g.Object) && (ex.Type.implies(g.Type) || g.Type.implies(ex.Type)) {
+				return fmt.Errorf("%w: %v vs %v", ErrStrongConflict, ex, g)
+			}
+		}
+	}
+	a.grants = append(a.grants, g)
+	return nil
+}
+
+// Revoke removes every grant matching (role, type, object, negative).
+func (a *Authorizer) Revoke(role string, t AuthType, obj Object, negative bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	kept := a.grants[:0]
+	for _, g := range a.grants {
+		if g.Role == role && g.Type == t && g.Object == obj && g.Negative == negative {
+			continue
+		}
+		kept = append(kept, g)
+	}
+	a.grants = kept
+}
+
+// covers reports whether grant object g covers request object r, and at
+// what specificity distance (0 = exact, larger = more general).
+func (a *Authorizer) coversLocked(g, r Object) (bool, int) {
+	switch g.kind {
+	case objDatabase:
+		return true, 3
+	case objClass:
+		var rc model.ClassID
+		switch r.kind {
+		case objClass:
+			rc = r.class
+		case objInstance:
+			rc = r.oid.Class()
+		case objAttribute:
+			rc = r.class
+		default:
+			return false, 0
+		}
+		sub := 0
+		if r.kind != objClass {
+			sub = 1 // instance or attribute: one level finer
+		}
+		if g.class == rc {
+			return true, sub
+		}
+		if g.deep && a.cat.IsSubclassOf(rc, g.class) {
+			return true, sub + 1
+		}
+		return false, 0
+	case objAttribute:
+		if r.kind != objAttribute || g.attr != r.attr {
+			return false, 0
+		}
+		if g.class == r.class {
+			return true, 0
+		}
+		// An attribute grant on a class covers the inherited attribute in
+		// its subclasses.
+		if a.cat.IsSubclassOf(r.class, g.class) {
+			return true, 1
+		}
+		return false, 0
+	default: // instance grant
+		if r.kind == objInstance && g.oid == r.oid {
+			return true, 0
+		}
+		return false, 0
+	}
+}
+
+// objectsOverlapLocked reports whether two grant objects can cover a
+// common request (for strong-conflict detection).
+func (a *Authorizer) objectsOverlapLocked(x, y Object) bool {
+	if ok, _ := a.coversLocked(x, y); ok {
+		return true
+	}
+	ok, _ := a.coversLocked(y, x)
+	return ok
+}
+
+// Check decides whether role may perform t on obj.
+func (a *Authorizer) Check(role string, t AuthType, obj Object) error {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	if !a.roles[role] {
+		return fmt.Errorf("%w: %q", ErrNoSuchRole, role)
+	}
+	roles := a.rolesOf(role)
+
+	type hit struct {
+		g    Grant
+		dist int
+	}
+	var strongNeg, strongPos *hit
+	var weakBest *hit
+	for _, g := range a.grants {
+		if !roles[g.Role] {
+			continue
+		}
+		// A negative grant applies to a request its type is implied BY:
+		// denying Read also denies Write (you cannot write what you may
+		// not read); a positive grant applies when it implies the request.
+		var typeApplies bool
+		if g.Negative {
+			typeApplies = t.implies(g.Type) || g.Type.implies(t)
+		} else {
+			typeApplies = g.Type.implies(t)
+		}
+		if !typeApplies {
+			continue
+		}
+		ok, dist := a.coversLocked(g.Object, obj)
+		if !ok {
+			continue
+		}
+		h := hit{g: g, dist: dist}
+		if g.Strong {
+			if g.Negative {
+				if strongNeg == nil || dist < strongNeg.dist {
+					strongNeg = &h
+				}
+			} else if strongPos == nil || dist < strongPos.dist {
+				strongPos = &h
+			}
+			continue
+		}
+		if weakBest == nil || dist < weakBest.dist ||
+			(dist == weakBest.dist && g.Negative && !weakBest.g.Negative) {
+			hcopy := h
+			weakBest = &hcopy
+		}
+	}
+	switch {
+	case strongNeg != nil:
+		return fmt.Errorf("%w: strong negative %v", ErrDenied, strongNeg.g.Object)
+	case strongPos != nil:
+		return nil
+	case weakBest != nil && !weakBest.g.Negative:
+		return nil
+	case weakBest != nil:
+		return fmt.Errorf("%w: negative grant on %v", ErrDenied, weakBest.g.Object)
+	default:
+		return ErrNoGrant
+	}
+}
+
+// Allowed is Check as a boolean.
+func (a *Authorizer) Allowed(role string, t AuthType, obj Object) bool {
+	return a.Check(role, t, obj) == nil
+}

@@ -1,0 +1,268 @@
+package authz
+
+import (
+	"errors"
+	"testing"
+
+	"oodb/internal/model"
+	"oodb/internal/schema"
+)
+
+// hier builds Vehicle <- Automobile <- DomesticAutomobile.
+func hier(t *testing.T) (*schema.Catalog, model.ClassID, model.ClassID, model.ClassID) {
+	t.Helper()
+	cat := schema.NewCatalog()
+	v, _ := cat.DefineClass("Vehicle", nil)
+	a, _ := cat.DefineClass("Automobile", []model.ClassID{v.ID})
+	d, _ := cat.DefineClass("DomesticAutomobile", []model.ClassID{a.ID})
+	return cat, v.ID, a.ID, d.ID
+}
+
+func newAuth(t *testing.T) (*Authorizer, model.ClassID, model.ClassID, model.ClassID) {
+	t.Helper()
+	cat, v, a, d := hier(t)
+	az := New(cat)
+	for _, r := range []string{"admin", "engineer", "guest"} {
+		az.AddRole(r)
+	}
+	if err := az.AddRoleEdge("admin", "engineer"); err != nil {
+		t.Fatal(err)
+	}
+	if err := az.AddRoleEdge("engineer", "guest"); err != nil {
+		t.Fatal(err)
+	}
+	return az, v, a, d
+}
+
+func TestClosedWorldDeniesByDefault(t *testing.T) {
+	az, v, _, _ := newAuth(t)
+	if az.Allowed("guest", Read, Class(v)) {
+		t.Fatal("no grant, yet allowed")
+	}
+}
+
+func TestClassGrantCoversInstances(t *testing.T) {
+	az, v, _, _ := newAuth(t)
+	az.Grant(Grant{Role: "guest", Type: Read, Object: Class(v)})
+	if !az.Allowed("guest", Read, Class(v)) {
+		t.Fatal("class read denied")
+	}
+	oid := model.MakeOID(v, 7)
+	if !az.Allowed("guest", Read, Instance(oid)) {
+		t.Fatal("instance read not implied by class grant")
+	}
+	// Write not implied by read.
+	if az.Allowed("guest", Write, Instance(oid)) {
+		t.Fatal("read grant allowed write")
+	}
+}
+
+func TestWriteImpliesRead(t *testing.T) {
+	az, v, _, _ := newAuth(t)
+	az.Grant(Grant{Role: "guest", Type: Write, Object: Class(v)})
+	if !az.Allowed("guest", Read, Class(v)) {
+		t.Fatal("write grant should imply read")
+	}
+}
+
+func TestRoleLatticeInheritance(t *testing.T) {
+	az, v, _, _ := newAuth(t)
+	az.Grant(Grant{Role: "guest", Type: Read, Object: Class(v)})
+	// admin is above engineer above guest: both inherit the grant.
+	if !az.Allowed("engineer", Read, Class(v)) {
+		t.Fatal("engineer should inherit guest's grant")
+	}
+	if !az.Allowed("admin", Read, Class(v)) {
+		t.Fatal("admin should inherit guest's grant")
+	}
+	// The reverse is false.
+	az.Grant(Grant{Role: "admin", Type: Write, Object: Database()})
+	if az.Allowed("guest", Write, Database()) {
+		t.Fatal("guest inherited upward")
+	}
+}
+
+func TestRoleCycleRejected(t *testing.T) {
+	az, _, _, _ := newAuth(t)
+	if err := az.AddRoleEdge("guest", "admin"); !errors.Is(err, ErrRoleCycle) {
+		t.Fatalf("expected ErrRoleCycle, got %v", err)
+	}
+	if err := az.AddRoleEdge("nope", "guest"); !errors.Is(err, ErrNoSuchRole) {
+		t.Fatalf("expected ErrNoSuchRole, got %v", err)
+	}
+}
+
+func TestDeepClassGrantCoversSubclasses(t *testing.T) {
+	az, v, a, d := newAuth(t)
+	az.Grant(Grant{Role: "guest", Type: Read, Object: ClassDeep(v)})
+	for _, c := range []model.ClassID{v, a, d} {
+		if !az.Allowed("guest", Read, Class(c)) {
+			t.Errorf("deep grant missed class %d", c)
+		}
+		if !az.Allowed("guest", Read, Instance(model.MakeOID(c, 1))) {
+			t.Errorf("deep grant missed instance of class %d", c)
+		}
+	}
+	// Shallow grant does not cover subclasses.
+	az2, v2, a2, _ := newAuth(t)
+	az2.Grant(Grant{Role: "guest", Type: Read, Object: Class(v2)})
+	if az2.Allowed("guest", Read, Class(a2)) {
+		t.Fatal("shallow class grant covered a subclass")
+	}
+}
+
+func TestWeakNegativeOverridesGeneralPositive(t *testing.T) {
+	az, v, _, _ := newAuth(t)
+	oid := model.MakeOID(v, 3)
+	az.Grant(Grant{Role: "guest", Type: Read, Object: Class(v)})
+	az.Grant(Grant{Role: "guest", Type: Read, Object: Instance(oid), Negative: true})
+	// The instance-level negative is more specific: that instance is
+	// hidden, siblings stay visible.
+	if az.Allowed("guest", Read, Instance(oid)) {
+		t.Fatal("specific negative not applied")
+	}
+	if !az.Allowed("guest", Read, Instance(model.MakeOID(v, 4))) {
+		t.Fatal("negative leaked to siblings")
+	}
+}
+
+func TestWeakPositiveOverridesGeneralNegative(t *testing.T) {
+	az, v, _, _ := newAuth(t)
+	oid := model.MakeOID(v, 3)
+	az.Grant(Grant{Role: "guest", Type: Read, Object: Class(v), Negative: true})
+	az.Grant(Grant{Role: "guest", Type: Read, Object: Instance(oid)})
+	if !az.Allowed("guest", Read, Instance(oid)) {
+		t.Fatal("specific positive should override general negative")
+	}
+	if az.Allowed("guest", Read, Instance(model.MakeOID(v, 4))) {
+		t.Fatal("general negative not applied to siblings")
+	}
+}
+
+func TestNegativeBeatsPositiveAtEqualSpecificity(t *testing.T) {
+	az, v, _, _ := newAuth(t)
+	az.Grant(Grant{Role: "guest", Type: Read, Object: Class(v)})
+	az.Grant(Grant{Role: "guest", Type: Read, Object: Class(v), Negative: true})
+	if az.Allowed("guest", Read, Class(v)) {
+		t.Fatal("tie should resolve to deny")
+	}
+}
+
+func TestStrongNegativeCannotBeOverridden(t *testing.T) {
+	az, v, _, _ := newAuth(t)
+	oid := model.MakeOID(v, 3)
+	az.Grant(Grant{Role: "guest", Type: Read, Object: Class(v), Negative: true, Strong: true})
+	az.Grant(Grant{Role: "guest", Type: Read, Object: Instance(oid)})
+	// A more specific weak positive cannot override the strong negative.
+	if az.Allowed("guest", Read, Instance(oid)) {
+		t.Fatal("weak positive overrode strong negative")
+	}
+}
+
+func TestStrongConflictRejectedAtGrantTime(t *testing.T) {
+	az, v, _, _ := newAuth(t)
+	if err := az.Grant(Grant{Role: "guest", Type: Read, Object: Class(v), Strong: true}); err != nil {
+		t.Fatal(err)
+	}
+	err := az.Grant(Grant{Role: "guest", Type: Read, Object: Instance(model.MakeOID(v, 1)), Negative: true, Strong: true})
+	if !errors.Is(err, ErrStrongConflict) {
+		t.Fatalf("expected ErrStrongConflict, got %v", err)
+	}
+	// A weak contradiction is fine (and loses to the strong grant).
+	if err := az.Grant(Grant{Role: "guest", Type: Read, Object: Class(v), Negative: true}); err != nil {
+		t.Fatal(err)
+	}
+	if !az.Allowed("guest", Read, Class(v)) {
+		t.Fatal("strong positive should beat weak negative")
+	}
+}
+
+func TestNegativeReadDeniesWrite(t *testing.T) {
+	az, v, _, _ := newAuth(t)
+	az.Grant(Grant{Role: "guest", Type: Write, Object: Class(v)})
+	az.Grant(Grant{Role: "guest", Type: Read, Object: Class(v), Negative: true, Strong: true})
+	// You cannot write what you may not read.
+	if az.Allowed("guest", Write, Class(v)) {
+		t.Fatal("write allowed despite read prohibition")
+	}
+}
+
+func TestDatabaseGrant(t *testing.T) {
+	az, v, a, _ := newAuth(t)
+	az.Grant(Grant{Role: "admin", Type: Write, Object: Database()})
+	for _, obj := range []Object{Database(), Class(v), Class(a), Instance(model.MakeOID(a, 1))} {
+		if !az.Allowed("admin", Write, obj) {
+			t.Errorf("database grant missed %v", obj)
+		}
+	}
+}
+
+func TestRevoke(t *testing.T) {
+	az, v, _, _ := newAuth(t)
+	az.Grant(Grant{Role: "guest", Type: Read, Object: Class(v)})
+	if !az.Allowed("guest", Read, Class(v)) {
+		t.Fatal("setup")
+	}
+	az.Revoke("guest", Read, Class(v), false)
+	if az.Allowed("guest", Read, Class(v)) {
+		t.Fatal("revoke ineffective")
+	}
+}
+
+func TestUnknownRole(t *testing.T) {
+	az, v, _, _ := newAuth(t)
+	if err := az.Check("stranger", Read, Class(v)); !errors.Is(err, ErrNoSuchRole) {
+		t.Fatalf("expected ErrNoSuchRole, got %v", err)
+	}
+	if err := az.Grant(Grant{Role: "stranger", Type: Read, Object: Class(v)}); !errors.Is(err, ErrNoSuchRole) {
+		t.Fatalf("grant to unknown role: %v", err)
+	}
+}
+
+func TestAttributeGranularity(t *testing.T) {
+	az, v, a, _ := newAuth(t)
+	// Class-wide read, but the salary attribute is hidden.
+	az.Grant(Grant{Role: "guest", Type: Read, Object: ClassDeep(v)})
+	az.Grant(Grant{Role: "guest", Type: Read, Object: Attribute(v, "salary"), Negative: true})
+	if !az.Allowed("guest", Read, Instance(model.MakeOID(v, 1))) {
+		t.Fatal("instance read denied")
+	}
+	if az.Allowed("guest", Read, Attribute(v, "salary")) {
+		t.Fatal("hidden attribute readable")
+	}
+	if !az.Allowed("guest", Read, Attribute(v, "weight")) {
+		t.Fatal("other attribute denied")
+	}
+	// The attribute negative follows inheritance into subclasses.
+	if az.Allowed("guest", Read, Attribute(a, "salary")) {
+		t.Fatal("inherited attribute readable in subclass")
+	}
+	// But an attribute grant on the subclass is more specific and wins.
+	az.Grant(Grant{Role: "guest", Type: Read, Object: Attribute(a, "salary")})
+	if !az.Allowed("guest", Read, Attribute(a, "salary")) {
+		t.Fatal("subclass attribute override ignored")
+	}
+}
+
+func TestAttributeGrantDoesNotLeakUpward(t *testing.T) {
+	az, v, _, _ := newAuth(t)
+	az.Grant(Grant{Role: "guest", Type: Read, Object: Attribute(v, "weight")})
+	// Attribute access does not imply class or instance access.
+	if az.Allowed("guest", Read, Class(v)) {
+		t.Fatal("attribute grant covered the class")
+	}
+	if az.Allowed("guest", Read, Instance(model.MakeOID(v, 1))) {
+		t.Fatal("attribute grant covered an instance")
+	}
+	if !az.Allowed("guest", Read, Attribute(v, "weight")) {
+		t.Fatal("attribute itself denied")
+	}
+}
+
+func TestDatabaseGrantCoversAttributes(t *testing.T) {
+	az, v, _, _ := newAuth(t)
+	az.Grant(Grant{Role: "admin", Type: Write, Object: Database()})
+	if !az.Allowed("admin", Write, Attribute(v, "anything")) {
+		t.Fatal("database grant missed attribute level")
+	}
+}

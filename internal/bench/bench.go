@@ -1,0 +1,451 @@
+// Package bench provides the workload generators and measured operations
+// behind kimdb's benchmark harness (DESIGN.md §7). Three workload families
+// cover the paper's quantitative claims:
+//
+//   - synthetic class hierarchies (fanout × depth, instances per class,
+//     a shared integer attribute) for the indexing experiments E1/E8;
+//   - the paper's Figure 1 vehicle/company schema, scaled, for the
+//     nested-attribute experiments E2;
+//   - an OO1-style parts database (Cattell's benchmark, [RUBE87], which
+//     §5.6 endorses as the right shape for OODB measurement: lookup,
+//     traversal, insert over a connection graph), built identically in
+//     the object engine and the relational baseline so E3/E4 compare
+//     access paths, not data.
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+
+	"oodb"
+	"oodb/internal/model"
+	"oodb/internal/relational"
+)
+
+// Hierarchy describes a generated class hierarchy.
+type Hierarchy struct {
+	Root     string
+	Classes  []string // all classes, root first
+	PerClass int
+	ValRange int
+}
+
+// BuildHierarchy creates a class tree "H0" rooted hierarchy with the given
+// fanout and depth (depth 1 = root only), an integer attribute "val" on
+// the root, and perClass instances per class with val uniform in
+// [0, valRange).
+func BuildHierarchy(db *oodb.DB, fanout, depth, perClass, valRange int, seed int64) (*Hierarchy, error) {
+	h := &Hierarchy{Root: "H0", PerClass: perClass, ValRange: valRange}
+	if _, err := db.DefineClass("H0", nil,
+		oodb.Attr{Name: "val", Domain: "Integer"},
+		oodb.Attr{Name: "tag", Domain: "String"},
+	); err != nil {
+		return nil, err
+	}
+	h.Classes = append(h.Classes, "H0")
+	level := []string{"H0"}
+	n := 1
+	for d := 1; d < depth; d++ {
+		var next []string
+		for _, parent := range level {
+			for f := 0; f < fanout; f++ {
+				name := fmt.Sprintf("H%d", n)
+				n++
+				if _, err := db.DefineClass(name, []string{parent}); err != nil {
+					return nil, err
+				}
+				h.Classes = append(h.Classes, name)
+				next = append(next, name)
+			}
+		}
+		level = next
+	}
+	r := rand.New(rand.NewSource(seed))
+	for _, class := range h.Classes {
+		err := db.Do(func(tx *oodb.Tx) error {
+			for i := 0; i < perClass; i++ {
+				if _, err := tx.Insert(class, oodb.Attrs{
+					"val": oodb.Int(int64(r.Intn(valRange))),
+					"tag": oodb.String(class),
+				}); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return h, nil
+}
+
+// IndexPerClass builds one single-class index per hierarchy class on
+// "val" (the baseline organization of E1).
+func (h *Hierarchy) IndexPerClass(db *oodb.DB) error {
+	for _, class := range h.Classes {
+		if err := db.CreateIndex("sc_"+class, class, []string{"val"}, false); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// IndexCH builds one class-hierarchy index on "val" over the whole
+// hierarchy.
+func (h *Hierarchy) IndexCH(db *oodb.DB) error {
+	return db.CreateIndex("ch_val", h.Root, []string{"val"}, true)
+}
+
+// VehicleWorld is a scaled Figure 1 database.
+type VehicleWorld struct {
+	Companies []oodb.OID
+	Vehicles  []oodb.OID
+	Cities    int
+}
+
+// BuildVehicleWorld creates the Figure 1 schema (Company hierarchy,
+// Vehicle hierarchy, Vehicle.manufacturer -> Company, Company.division ->
+// Division for 3-level paths) with nCompanies companies spread over
+// `cities` cities and nVehicles vehicles.
+func BuildVehicleWorld(db *oodb.DB, nCompanies, nVehicles, cities int, seed int64) (*VehicleWorld, error) {
+	w := &VehicleWorld{Cities: cities}
+	if _, err := db.DefineClass("Division", nil,
+		oodb.Attr{Name: "city", Domain: "String"},
+	); err != nil {
+		return nil, err
+	}
+	if _, err := db.DefineClass("Company", nil,
+		oodb.Attr{Name: "name", Domain: "String"},
+		oodb.Attr{Name: "location", Domain: "String"},
+		oodb.Attr{Name: "division", Domain: "Division"},
+	); err != nil {
+		return nil, err
+	}
+	for _, sub := range []string{"AutoCompany", "TruckCompany"} {
+		if _, err := db.DefineClass(sub, []string{"Company"}); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := db.DefineClass("Vehicle", nil,
+		oodb.Attr{Name: "vid", Domain: "String"},
+		oodb.Attr{Name: "weight", Domain: "Integer"},
+		oodb.Attr{Name: "manufacturer", Domain: "Company"},
+	); err != nil {
+		return nil, err
+	}
+	for _, sub := range []string{"Automobile", "Truck"} {
+		if _, err := db.DefineClass(sub, []string{"Vehicle"}); err != nil {
+			return nil, err
+		}
+	}
+	r := rand.New(rand.NewSource(seed))
+	companyClasses := []string{"Company", "AutoCompany", "TruckCompany"}
+	err := db.Do(func(tx *oodb.Tx) error {
+		for i := 0; i < nCompanies; i++ {
+			div, err := tx.Insert("Division", oodb.Attrs{
+				"city": oodb.String(fmt.Sprintf("City%d", r.Intn(cities))),
+			})
+			if err != nil {
+				return err
+			}
+			oid, err := tx.Insert(companyClasses[i%len(companyClasses)], oodb.Attrs{
+				"name":     oodb.String(fmt.Sprintf("Co%d", i)),
+				"location": oodb.String(fmt.Sprintf("City%d", r.Intn(cities))),
+				"division": oodb.Ref(div),
+			})
+			if err != nil {
+				return err
+			}
+			w.Companies = append(w.Companies, oid)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	vehicleClasses := []string{"Vehicle", "Automobile", "Truck"}
+	const batch = 500
+	for start := 0; start < nVehicles; start += batch {
+		end := start + batch
+		if end > nVehicles {
+			end = nVehicles
+		}
+		err := db.Do(func(tx *oodb.Tx) error {
+			for i := start; i < end; i++ {
+				oid, err := tx.Insert(vehicleClasses[i%len(vehicleClasses)], oodb.Attrs{
+					"vid":          oodb.String(fmt.Sprintf("v%d", i)),
+					"weight":       oodb.Int(int64(1000 + r.Intn(9000))),
+					"manufacturer": oodb.Ref(w.Companies[r.Intn(len(w.Companies))]),
+				})
+				if err != nil {
+					return err
+				}
+				w.Vehicles = append(w.Vehicles, oid)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return w, nil
+}
+
+// Parts is an OO1-style parts database in the object engine.
+type Parts struct {
+	OIDs []oodb.OID
+	Conn int
+}
+
+// BuildParts creates nParts Part objects, each with integer fields x, y,
+// a string type, and `conn` outgoing connections to other parts. Per OO1,
+// connections exhibit locality: 90% connect to one of the 1% nearest
+// parts by id.
+func BuildParts(db *oodb.DB, nParts, conn int, seed int64) (*Parts, error) {
+	if _, err := db.DefineClass("Part", nil,
+		oodb.Attr{Name: "pid", Domain: "Integer"},
+		oodb.Attr{Name: "x", Domain: "Integer"},
+		oodb.Attr{Name: "y", Domain: "Integer"},
+		oodb.Attr{Name: "ptype", Domain: "String"},
+		oodb.Attr{Name: "to", Domain: "Part", SetValued: true},
+	); err != nil {
+		return nil, err
+	}
+	p := &Parts{Conn: conn}
+	r := rand.New(rand.NewSource(seed))
+	const batch = 500
+	for start := 0; start < nParts; start += batch {
+		end := start + batch
+		if end > nParts {
+			end = nParts
+		}
+		err := db.Do(func(tx *oodb.Tx) error {
+			for i := start; i < end; i++ {
+				oid, err := tx.Insert("Part", oodb.Attrs{
+					"pid":   oodb.Int(int64(i)),
+					"x":     oodb.Int(int64(r.Intn(100000))),
+					"y":     oodb.Int(int64(r.Intn(100000))),
+					"ptype": oodb.String(fmt.Sprintf("type%d", r.Intn(10))),
+				})
+				if err != nil {
+					return err
+				}
+				p.OIDs = append(p.OIDs, oid)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	// Second pass: wire connections (OO1 locality).
+	for start := 0; start < nParts; start += batch {
+		end := start + batch
+		if end > nParts {
+			end = nParts
+		}
+		err := db.Do(func(tx *oodb.Tx) error {
+			for i := start; i < end; i++ {
+				members := make([]oodb.Value, 0, conn)
+				for c := 0; c < conn; c++ {
+					members = append(members, oodb.Ref(p.OIDs[connTarget(r, i, nParts)]))
+				}
+				if err := tx.Update(p.OIDs[i], oodb.Attrs{"to": oodb.SetOf(members...)}); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return p, nil
+}
+
+// connTarget picks an OO1-style connection target: 90% within the 1%
+// nearest ids, 10% uniform.
+func connTarget(r *rand.Rand, from, n int) int {
+	if r.Intn(10) == 0 {
+		return r.Intn(n)
+	}
+	window := n / 100
+	if window < 10 {
+		window = 10
+	}
+	t := from + r.Intn(2*window+1) - window
+	if t < 0 {
+		t += n
+	}
+	if t >= n {
+		t -= n
+	}
+	return t
+}
+
+// Traverse walks the connection graph depth levels deep from root through
+// the workspace (swizzled navigation), returning the number of parts
+// visited.
+func Traverse(ws *oodb.Workspace, root oodb.OID, depth int) (int, error) {
+	visited := 0
+	var walk func(oid oodb.OID, d int) error
+	walk = func(oid oodb.OID, d int) error {
+		d--
+		desc, err := ws.Fetch(oid)
+		if err != nil {
+			return err
+		}
+		visited++
+		if d == 0 {
+			return nil
+		}
+		targets, err := desc.DerefSet("to")
+		if err != nil {
+			return err
+		}
+		for _, t := range targets {
+			if err := walk(t.OID(), d); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(root, depth); err != nil {
+		return 0, err
+	}
+	return visited, nil
+}
+
+// TraverseFetch is the same walk performed with a database fetch per
+// object (no workspace, no swizzling) — the per-access cost the paper
+// calls an order of magnitude above a memory lookup.
+func TraverseFetch(db *oodb.DB, root oodb.OID, depth int) (int, error) {
+	visited := 0
+	var walk func(oid oodb.OID, d int) error
+	walk = func(oid oodb.OID, d int) error {
+		d--
+		obj, err := db.Fetch(oid)
+		if err != nil {
+			return err
+		}
+		visited++
+		if d == 0 {
+			return nil
+		}
+		to, err := db.Get(obj, "to")
+		if err != nil {
+			return err
+		}
+		members, _ := to.AsSet()
+		for _, m := range members {
+			ref, ok := m.AsRef()
+			if !ok {
+				continue
+			}
+			if err := walk(ref, d); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(root, depth); err != nil {
+		return 0, err
+	}
+	return visited, nil
+}
+
+// RelParts is the same parts database in the relational baseline: a part
+// relation plus a connection relation, joined by part id.
+type RelParts struct {
+	DB   *relational.DB
+	Part *relational.Relation
+	Conn *relational.Relation
+	N    int
+}
+
+// BuildRelParts mirrors BuildParts relationally with indexes on the join
+// columns (part.id and conn.from) — the favorable configuration for the
+// relational side.
+func BuildRelParts(nParts, conn int, seed int64) (*RelParts, error) {
+	rdb := relational.NewDB()
+	part, err := rdb.Create("part", "id", "x", "y", "ptype")
+	if err != nil {
+		return nil, err
+	}
+	connRel, err := rdb.Create("conn", "from", "to")
+	if err != nil {
+		return nil, err
+	}
+	r := rand.New(rand.NewSource(seed))
+	for i := 0; i < nParts; i++ {
+		if _, err := part.Insert(
+			model.Int(int64(i)),
+			model.Int(int64(r.Intn(100000))),
+			model.Int(int64(r.Intn(100000))),
+			model.String(fmt.Sprintf("type%d", r.Intn(10))),
+		); err != nil {
+			return nil, err
+		}
+	}
+	for i := 0; i < nParts; i++ {
+		for c := 0; c < conn; c++ {
+			if _, err := connRel.Insert(
+				model.Int(int64(i)),
+				model.Int(int64(connTarget(r, i, nParts))),
+			); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := part.CreateIndex("id"); err != nil {
+		return nil, err
+	}
+	if err := connRel.CreateIndex("from"); err != nil {
+		return nil, err
+	}
+	return &RelParts{DB: rdb, Part: part, Conn: connRel, N: nParts}, nil
+}
+
+// TraverseRel performs the same depth-limited traversal with joins: each
+// hop is an index lookup on conn.from followed by an index lookup on
+// part.id (index nested-loop join, the relational system's best case for
+// this access pattern).
+func (rp *RelParts) TraverseRel(root int64, depth int) (int, error) {
+	visited := 0
+	var walk func(id int64, d int) error
+	walk = func(id int64, d int) error {
+		d--
+		rows, err := rp.Part.SelectEq("id", model.Int(id))
+		if err != nil {
+			return err
+		}
+		if len(rows) == 0 {
+			return nil
+		}
+		visited++
+		if d == 0 {
+			return nil
+		}
+		crows, err := rp.Conn.SelectEq("from", model.Int(id))
+		if err != nil {
+			return err
+		}
+		for _, cr := range crows {
+			tuple, err := rp.Conn.Get(cr)
+			if err != nil {
+				return err
+			}
+			to, _ := rp.Conn.Col(tuple, "to")
+			tid, _ := to.AsInt()
+			if err := walk(tid, d); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(root, depth); err != nil {
+		return 0, err
+	}
+	return visited, nil
+}

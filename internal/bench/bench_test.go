@@ -1,0 +1,139 @@
+package bench
+
+import (
+	"os"
+	"testing"
+
+	"oodb"
+)
+
+func openDB(t *testing.T) *oodb.DB {
+	t.Helper()
+	dir, err := os.MkdirTemp("", "bench-test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { os.RemoveAll(dir) })
+	db, err := oodb.Open(dir, oodb.Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	return db
+}
+
+func TestBuildHierarchyShape(t *testing.T) {
+	db := openDB(t)
+	h, err := BuildHierarchy(db, 3, 3, 10, 100, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1 + 3 + 9 = 13 classes.
+	if len(h.Classes) != 13 {
+		t.Fatalf("classes = %d", len(h.Classes))
+	}
+	res, err := db.Query(`SELECT * FROM H0`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 130 {
+		t.Fatalf("rows = %d, want 130", len(res.Rows))
+	}
+	// Both index organizations build and agree with a scan.
+	if err := h.IndexCH(db); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.IndexPerClass(db); err != nil {
+		t.Fatal(err)
+	}
+	scanTotal := 0
+	for k := 0; k < 100; k++ {
+		res, err := db.Query(`SELECT * FROM H0 WHERE val = ` + itoa(k))
+		if err != nil {
+			t.Fatal(err)
+		}
+		scanTotal += len(res.Rows)
+	}
+	if scanTotal != 130 {
+		t.Fatalf("value histogram sums to %d, want 130", scanTotal)
+	}
+}
+
+func TestBuildVehicleWorldShape(t *testing.T) {
+	db := openDB(t)
+	w, err := BuildVehicleWorld(db, 10, 50, 5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Companies) != 10 || len(w.Vehicles) != 50 {
+		t.Fatalf("built %d companies, %d vehicles", len(w.Companies), len(w.Vehicles))
+	}
+	// Every vehicle has a manufacturer with a resolvable location.
+	res, err := db.Query(`SELECT vid FROM Vehicle WHERE manufacturer = null`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 0 {
+		t.Fatalf("%d vehicles without manufacturer", len(res.Rows))
+	}
+	// The three-level path resolves.
+	if _, err := db.Query(`SELECT * FROM Vehicle WHERE manufacturer.division.city = 'City0'`); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuildPartsAndTraversals(t *testing.T) {
+	db := openDB(t)
+	p, err := BuildParts(db, 200, 3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.OIDs) != 200 {
+		t.Fatalf("parts = %d", len(p.OIDs))
+	}
+	ws := db.NewWorkspace()
+	n1, err := Traverse(ws, p.OIDs[0], 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n2, err := TraverseFetch(db, p.OIDs[0], 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n1 != n2 {
+		t.Fatalf("workspace traversal visited %d, fetch traversal %d", n1, n2)
+	}
+	// Depth 4 with 3 connections: 1 + 3 + 9 + 27 = 40 visits.
+	if n1 != 40 {
+		t.Fatalf("visits = %d, want 40", n1)
+	}
+
+	rp, err := BuildRelParts(200, 3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n3, err := rp.TraverseRel(0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n3 != 40 {
+		t.Fatalf("relational visits = %d, want 40 (same graph shape)", n3)
+	}
+	if rp.Part.Len() != 200 || rp.Conn.Len() != 600 {
+		t.Fatalf("relational sizes: %d parts, %d conns", rp.Part.Len(), rp.Conn.Len())
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,280 @@
+package core
+
+import (
+	"fmt"
+
+	"oodb/internal/model"
+	"oodb/internal/schema"
+)
+
+// DDL operations. Schema evolution is auto-committed: each operation takes
+// exclusive class locks (under a dedicated transaction id), mutates the
+// catalog, maintains affected instances and indexes, and checkpoints so
+// catalog and data are durably consistent — the engine's invariant that WAL
+// replay never needs to reconstruct DDL.
+
+// ddl runs fn with exclusive locks on the given classes.
+func (db *DB) ddl(classes []model.ClassID, fn func() error) error {
+	if db.closed.Load() {
+		return ErrClosed
+	}
+	db.ddlMu.Lock()
+	defer db.ddlMu.Unlock()
+	id := db.nextTxn.Add(1)
+	defer db.Locks.ReleaseAll(id)
+	for _, c := range classes {
+		if err := db.Locks.LockClassWrite(id, c); err != nil {
+			return err
+		}
+	}
+	if err := fn(); err != nil {
+		return err
+	}
+	return db.Checkpoint()
+}
+
+// DefineClass creates a class (see schema.Catalog.DefineClass) and its
+// storage segment.
+func (db *DB) DefineClass(name string, supers []model.ClassID, attrs ...schema.AttrSpec) (*schema.Class, error) {
+	var cl *schema.Class
+	err := db.ddl(nil, func() error {
+		var err error
+		cl, err = db.Catalog.DefineClass(name, supers, attrs...)
+		if err != nil {
+			return err
+		}
+		return db.Store.CreateSegment(cl.ID)
+	})
+	return cl, err
+}
+
+// DropClass deletes every instance of the class, removes indexes rooted at
+// it, and drops it from the catalog (subclasses re-link per Banerjee).
+func (db *DB) DropClass(class model.ClassID) error {
+	return db.ddl([]model.ClassID{class}, func() error {
+		// Unindex the class's instances everywhere, then drop the segment.
+		err := db.Store.ScanClass(class, func(oid model.OID, data []byte) bool {
+			if obj, derr := model.DecodeObject(data); derr == nil {
+				_ = db.Indexes.OnDelete(obj)
+			}
+			return true
+		})
+		if err != nil {
+			return err
+		}
+		if err := db.Store.DropSegment(class); err != nil {
+			return err
+		}
+		// Indexes rooted at the dropped class are dropped with it.
+		for _, idx := range db.Indexes.All() {
+			if idx.Class == class {
+				_ = db.Indexes.Drop(idx.Name)
+			}
+		}
+		_, err = db.Catalog.DropClass(class)
+		return err
+	})
+}
+
+// AddAttribute adds an attribute to a class. Existing instances are
+// untouched: they read the attribute's default until first written (lazy
+// evolution; see AttrValue).
+func (db *DB) AddAttribute(class model.ClassID, spec schema.AttrSpec) (*schema.Attribute, error) {
+	var attr *schema.Attribute
+	err := db.ddl([]model.ClassID{class}, func() error {
+		var err error
+		attr, _, err = db.Catalog.AddAttribute(class, spec)
+		return err
+	})
+	return attr, err
+}
+
+// DropAttribute removes a locally defined attribute. Indexes whose path
+// uses the attribute are dropped, and stored values become inert (attribute
+// ids are never reused).
+func (db *DB) DropAttribute(class model.ClassID, name string) error {
+	a, err := db.Catalog.ResolveAttr(class, name)
+	if err != nil {
+		return err
+	}
+	return db.ddl([]model.ClassID{class}, func() error {
+		if _, err := db.Catalog.DropAttribute(class, name); err != nil {
+			return err
+		}
+		for _, idx := range db.Indexes.All() {
+			for _, step := range idx.Path {
+				if step == a.ID {
+					_ = db.Indexes.Drop(idx.Name)
+					break
+				}
+			}
+		}
+		return nil
+	})
+}
+
+// RenameAttribute renames a locally defined attribute.
+func (db *DB) RenameAttribute(class model.ClassID, oldName, newName string) error {
+	return db.ddl([]model.ClassID{class}, func() error {
+		_, err := db.Catalog.RenameAttribute(class, oldName, newName)
+		return err
+	})
+}
+
+// AddSuperclass adds an inheritance edge. Indexes rooted above the class
+// gain coverage of its instances, so they are repopulated.
+func (db *DB) AddSuperclass(class, super model.ClassID) error {
+	return db.ddl([]model.ClassID{class, super}, func() error {
+		if _, err := db.Catalog.AddSuperclass(class, super); err != nil {
+			return err
+		}
+		return db.repopulateClass(class)
+	})
+}
+
+// DropSuperclass removes an inheritance edge; hierarchy indexes that no
+// longer cover the class shed its instances.
+func (db *DB) DropSuperclass(class, super model.ClassID) error {
+	return db.ddl([]model.ClassID{class, super}, func() error {
+		if _, err := db.Catalog.DropSuperclass(class, super); err != nil {
+			return err
+		}
+		return db.reindexAfterUncover(class)
+	})
+}
+
+// AddMethod defines a method with its implementation.
+func (db *DB) AddMethod(class model.ClassID, name string, impl schema.MethodImpl) error {
+	return db.ddl([]model.ClassID{class}, func() error {
+		_, err := db.Catalog.AddMethod(class, name, impl)
+		return err
+	})
+}
+
+// RegisterMethod re-attaches an implementation to a persisted method
+// signature (no catalog change, no checkpoint).
+func (db *DB) RegisterMethod(class model.ClassID, name string, impl schema.MethodImpl) error {
+	return db.Catalog.RegisterMethod(class, name, impl)
+}
+
+// CreateIndex defines and populates an index. path names attributes
+// (resolved against the effective definitions along the way); hierarchy
+// selects a class-hierarchy index.
+func (db *DB) CreateIndex(name string, class model.ClassID, path []string, hierarchy bool) error {
+	attrPath, err := db.resolvePath(class, path)
+	if err != nil {
+		return err
+	}
+	return db.ddl([]model.ClassID{class}, func() error {
+		return db.buildIndex(name, class, attrPath, hierarchy)
+	})
+}
+
+// DropIndex removes an index.
+func (db *DB) DropIndex(name string) error {
+	return db.ddl(nil, func() error {
+		return db.Indexes.Drop(name)
+	})
+}
+
+// resolvePath maps attribute names to AttrIDs step by step: each interior
+// step must be a reference attribute, and the next step resolves against
+// its domain class.
+func (db *DB) resolvePath(class model.ClassID, path []string) ([]model.AttrID, error) {
+	cur := class
+	out := make([]model.AttrID, 0, len(path))
+	for i, name := range path {
+		a, err := db.Catalog.ResolveAttr(cur, name)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, a.ID)
+		if i < len(path)-1 {
+			if schema.IsPrimitive(a.Domain) {
+				return nil, fmt.Errorf("core: path step %q has primitive domain; cannot continue path", name)
+			}
+			cur = a.Domain
+		}
+	}
+	return out, nil
+}
+
+// buildIndex creates the index and populates it from the covered classes.
+func (db *DB) buildIndex(name string, class model.ClassID, path []model.AttrID, hierarchy bool) error {
+	idx, err := db.Indexes.Create(name, class, path, hierarchy)
+	if err != nil {
+		return err
+	}
+	classes := []model.ClassID{class}
+	if hierarchy {
+		if classes, err = db.Catalog.Descendants(class); err != nil {
+			return err
+		}
+	}
+	for _, c := range classes {
+		err := db.Store.ScanClass(c, func(oid model.OID, data []byte) bool {
+			obj, derr := model.DecodeObject(data)
+			if derr != nil {
+				return true
+			}
+			if perr := db.Indexes.Populate(idx, obj); perr != nil {
+				err = perr
+				return false
+			}
+			return true
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// repopulateClass re-feeds every instance of class (and its descendants)
+// through index maintenance — used when inheritance edges change coverage.
+func (db *DB) repopulateClass(class model.ClassID) error {
+	classes, err := db.Catalog.Descendants(class)
+	if err != nil {
+		return err
+	}
+	for _, c := range classes {
+		var ierr error
+		err := db.Store.ScanClass(c, func(oid model.OID, data []byte) bool {
+			obj, derr := model.DecodeObject(data)
+			if derr != nil {
+				return true
+			}
+			if perr := db.Indexes.OnPut(obj, obj); perr != nil {
+				ierr = perr
+				return false
+			}
+			return true
+		})
+		if err != nil {
+			return err
+		}
+		if ierr != nil {
+			return ierr
+		}
+	}
+	return nil
+}
+
+// reindexAfterUncover rebuilds every hierarchy index from scratch — the
+// blunt-but-correct response to a class leaving a hierarchy (its instances
+// may need to leave several indexes at once).
+func (db *DB) reindexAfterUncover(class model.ClassID) error {
+	for _, idx := range db.Indexes.All() {
+		name, root, path, hier := idx.Name, idx.Class, idx.Path, idx.Hierarchy
+		if !hier {
+			continue
+		}
+		if err := db.Indexes.Drop(name); err != nil {
+			return err
+		}
+		if err := db.buildIndex(name, root, path, hier); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,125 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"oodb/internal/model"
+	"oodb/internal/schema"
+)
+
+func TestSchemaSnapshotAndDiff(t *testing.T) {
+	td := openVehicleDB(t)
+	if _, err := td.SnapshotSchema("v1"); err != nil {
+		t.Fatal(err)
+	}
+	// Evolve: add an attribute, add a class, drop an attribute.
+	if _, err := td.AddAttribute(td.vehicle.ID, schema.AttrSpec{
+		Name: "color", Domain: schema.ClassString}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := td.DefineClass("Motorcycle", []model.ClassID{td.vehicle.ID}); err != nil {
+		t.Fatal(err)
+	}
+	if err := td.DropAttribute(td.truck.ID, "payload"); err != nil {
+		t.Fatal(err)
+	}
+
+	diff, err := td.DiffSchema("v1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]bool{
+		"+ class Motorcycle":      false,
+		"+ attr Vehicle.color":    false,
+		"+ attr Truck.color":      false,
+		"- attr Truck.payload":    false,
+		"+ attr Automobile.color": false,
+	}
+	for _, line := range diff {
+		if _, ok := want[line]; ok {
+			want[line] = true
+		}
+	}
+	for line, seen := range want {
+		if !seen {
+			t.Errorf("diff missing %q (got %v)", line, diff)
+		}
+	}
+
+	// The old catalog is inspectable: payload existed, color did not.
+	old, err := td.CatalogAt("v1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := old.ResolveAttr(td.truck.ID, "payload"); err != nil {
+		t.Error("snapshot lost Truck.payload")
+	}
+	if _, err := old.ResolveAttr(td.vehicle.ID, "color"); err == nil {
+		t.Error("snapshot sees future attribute")
+	}
+}
+
+func TestSchemaSnapshotsSurviveReopen(t *testing.T) {
+	dir := t.TempDir()
+	db, _ := Open(dir, Options{})
+	db.DefineClass("P", nil, schema.AttrSpec{Name: "n", Domain: schema.ClassInteger})
+	if _, err := db.SnapshotSchema("before"); err != nil {
+		t.Fatal(err)
+	}
+	db.DropAttribute(mustClass(t, db, "P"), "n")
+	db.Close()
+
+	db2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	vs, err := db2.SchemaVersions()
+	if err != nil || len(vs) != 1 || vs[0].Label != "before" {
+		t.Fatalf("versions = %v, %v", vs, err)
+	}
+	old, err := db2.CatalogAt("before")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := old.ResolveAttr(mustClass(t, db2, "P"), "n"); err != nil {
+		t.Error("snapshot lost P.n across reopen")
+	}
+	diff, _ := db2.DiffSchema("before")
+	found := false
+	for _, line := range diff {
+		if line == "- attr P.n" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("diff = %v", diff)
+	}
+}
+
+func TestSnapshotErrors(t *testing.T) {
+	td := openVehicleDB(t)
+	if _, err := td.CatalogAt("nope"); !errors.Is(err, ErrNoSuchSnapshot) {
+		t.Fatalf("expected ErrNoSuchSnapshot, got %v", err)
+	}
+	if _, err := td.SnapshotSchema("x"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := td.SnapshotSchema("x"); err == nil {
+		t.Fatal("duplicate label accepted")
+	}
+	vs, _ := td.SchemaVersions()
+	if len(vs) != 1 {
+		t.Fatalf("versions = %v", vs)
+	}
+}
+
+func mustClass(t *testing.T, db *DB, name string) model.ClassID {
+	t.Helper()
+	cl, err := db.Catalog.ClassByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cl.ID
+}

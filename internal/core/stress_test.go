@@ -1,0 +1,207 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"oodb/internal/model"
+	"oodb/internal/schema"
+)
+
+// TestConcurrentSameClassWriters hammers one class from many goroutines.
+// The lock manager serializes per-object conflicts, but distinct objects
+// of the same class share heap pages — this test (under -race) guards the
+// heap latch that serializes page mutation.
+func TestConcurrentSameClassWriters(t *testing.T) {
+	db, err := Open(t.TempDir(), Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	cl, err := db.DefineClass("P", nil,
+		schema.AttrSpec{Name: "n", Domain: schema.ClassInteger},
+		schema.AttrSpec{Name: "pad", Domain: schema.ClassString})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.CreateIndex("pn", cl.ID, []string{"n"}, true); err != nil {
+		t.Fatal(err)
+	}
+
+	const workers = 8
+	const opsPer = 150
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(int64(w)))
+			var mine []model.OID
+			for i := 0; i < opsPer; i++ {
+				err := db.Do(func(tx *Tx) error {
+					switch {
+					case len(mine) == 0 || r.Intn(3) == 0:
+						oid, err := tx.InsertClass(cl.ID, map[string]model.Value{
+							"n":   model.Int(int64(r.Intn(50))),
+							"pad": model.String(string(make([]byte, r.Intn(300)))),
+						})
+						if err != nil {
+							return err
+						}
+						mine = append(mine, oid)
+						return nil
+					case r.Intn(4) == 0:
+						victim := mine[r.Intn(len(mine))]
+						if err := tx.Delete(victim); err != nil {
+							return err
+						}
+						for j, o := range mine {
+							if o == victim {
+								mine = append(mine[:j], mine[j+1:]...)
+								break
+							}
+						}
+						return nil
+					default:
+						return tx.Update(mine[r.Intn(len(mine))], map[string]model.Value{
+							"n":   model.Int(int64(r.Intn(50))),
+							"pad": model.String(string(make([]byte, r.Intn(600)))),
+						})
+					}
+				})
+				if err != nil {
+					errs <- fmt.Errorf("worker %d op %d: %w", w, i, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	// Invariant: the index agrees exactly with a scan, key by key.
+	idx, err := db.Indexes.Get("pn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	scanCounts := map[int64]int{}
+	total := 0
+	err = db.Store.ScanClass(cl.ID, func(oid model.OID, data []byte) bool {
+		obj, derr := model.DecodeObject(data)
+		if derr != nil {
+			t.Errorf("corrupt object %v: %v", oid, derr)
+			return true
+		}
+		v, _ := db.AttrValue(obj, "n")
+		n, _ := v.AsInt()
+		scanCounts[n]++
+		total++
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total == 0 {
+		t.Fatal("no objects survived the stress run")
+	}
+	for k := int64(0); k < 50; k++ {
+		got := len(idx.Lookup(model.Int(k), nil))
+		if got != scanCounts[k] {
+			t.Errorf("index[n=%d] has %d entries, scan found %d", k, got, scanCounts[k])
+		}
+	}
+	if idx.Len() != total {
+		t.Errorf("index size %d != live objects %d", idx.Len(), total)
+	}
+}
+
+// TestConcurrentReadersAndWriters mixes scans, point reads and writers on
+// one class; under -race it guards reader/writer page access.
+func TestConcurrentReadersAndWriters(t *testing.T) {
+	db, err := Open(t.TempDir(), Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	cl, _ := db.DefineClass("P", nil, schema.AttrSpec{Name: "n", Domain: schema.ClassInteger})
+	var oids []model.OID
+	db.Do(func(tx *Tx) error {
+		for i := 0; i < 100; i++ {
+			oid, err := tx.InsertClass(cl.ID, map[string]model.Value{"n": model.Int(int64(i))})
+			if err != nil {
+				return err
+			}
+			oids = append(oids, oid)
+		}
+		return nil
+	})
+
+	var writers, readers sync.WaitGroup
+	stop := make(chan struct{})
+	// Writers.
+	for w := 0; w < 4; w++ {
+		writers.Add(1)
+		go func(w int) {
+			defer writers.Done()
+			r := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < 100; i++ {
+				db.Do(func(tx *Tx) error {
+					return tx.Update(oids[r.Intn(len(oids))], map[string]model.Value{
+						"n": model.Int(int64(r.Intn(1000)))})
+				})
+			}
+		}(w)
+	}
+	// Scanning readers.
+	for w := 0; w < 3; w++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				db.Do(func(tx *Tx) error {
+					n := 0
+					if err := tx.Scan(cl.ID, func(*model.Object) bool { n++; return true }); err != nil {
+						return err
+					}
+					if n != 100 {
+						t.Errorf("scan saw %d objects, want 100", n)
+					}
+					return nil
+				})
+			}
+		}()
+	}
+	// Point readers through the lock-free path (read-uncommitted).
+	for w := 0; w < 3; w++ {
+		readers.Add(1)
+		go func(w int) {
+			defer readers.Done()
+			r := rand.New(rand.NewSource(int64(w + 100)))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, err := db.FetchObject(oids[r.Intn(len(oids))]); err != nil {
+					t.Errorf("fetch: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	writers.Wait()
+	close(stop)
+	readers.Wait()
+}

@@ -1,0 +1,370 @@
+package core
+
+import (
+	"fmt"
+
+	"oodb/internal/model"
+	"oodb/internal/txn"
+	"oodb/internal/wal"
+)
+
+// Tx is a database transaction: strict two-phase locked, WAL-logged,
+// all-or-nothing. A Tx must be used by a single goroutine and finished
+// with exactly one Commit or Abort.
+type Tx struct {
+	db    *DB
+	id    uint64
+	began bool // RecBegin written
+	done  bool
+	undos []undo
+}
+
+// undo records the inverse of one applied operation, for in-process
+// rollback (crash rollback uses the same images from the WAL).
+type undo struct {
+	oid    model.OID
+	before *model.Object // nil: operation was an insert — undo deletes
+}
+
+// Begin starts a transaction.
+func (db *DB) Begin() *Tx {
+	return &Tx{db: db, id: db.nextTxn.Add(1)}
+}
+
+// ID returns the transaction identifier.
+func (tx *Tx) ID() uint64 { return tx.id }
+
+func (tx *Tx) ensureBegan() error {
+	if tx.done {
+		return ErrTxnFinished
+	}
+	if tx.db.closed.Load() {
+		return ErrClosed
+	}
+	if !tx.began {
+		if _, err := tx.db.Log.Append(wal.Record{Txn: tx.id, Type: wal.RecBegin}); err != nil {
+			return err
+		}
+		tx.began = true
+		tx.db.activeTxns.Add(1)
+	}
+	return nil
+}
+
+// abortOn wraps lock errors: a deadlock victim is rolled back before the
+// error is surfaced, so the caller can simply retry the transaction.
+func (tx *Tx) abortOn(err error) error {
+	if err == nil {
+		return nil
+	}
+	if err == txn.ErrDeadlock {
+		tx.Abort()
+	}
+	return err
+}
+
+// resolveAttrs maps attribute names to (Attribute, checked value) pairs
+// against the effective definition of class.
+func (tx *Tx) resolveAttrs(class model.ClassID, attrs map[string]model.Value) (map[model.AttrID]model.Value, error) {
+	out := make(map[model.AttrID]model.Value, len(attrs))
+	for name, v := range attrs {
+		a, err := tx.db.Catalog.ResolveAttr(class, name)
+		if err != nil {
+			return nil, err
+		}
+		if err := tx.db.Catalog.CheckValue(a, v); err != nil {
+			return nil, err
+		}
+		out[a.ID] = v
+	}
+	return out, nil
+}
+
+// Insert creates a new instance of the named class with the given
+// attribute values and returns its OID.
+func (tx *Tx) Insert(className string, attrs map[string]model.Value) (model.OID, error) {
+	cl, err := tx.db.Catalog.ClassByName(className)
+	if err != nil {
+		return model.NilOID, err
+	}
+	return tx.InsertClass(cl.ID, attrs)
+}
+
+// InsertClass is Insert by class id.
+func (tx *Tx) InsertClass(class model.ClassID, attrs map[string]model.Value) (model.OID, error) {
+	if err := tx.ensureBegan(); err != nil {
+		return model.NilOID, err
+	}
+	resolved, err := tx.resolveAttrs(class, attrs)
+	if err != nil {
+		return model.NilOID, err
+	}
+	oid, err := tx.db.Store.NewOID(class)
+	if err != nil {
+		return model.NilOID, err
+	}
+	if err := tx.abortOn(tx.db.Locks.LockInstanceWrite(tx.id, oid)); err != nil {
+		return model.NilOID, err
+	}
+	obj := model.NewObject(oid)
+	for id, v := range resolved {
+		obj.Set(id, v)
+	}
+	if err := tx.applyPut(nil, obj); err != nil {
+		return model.NilOID, err
+	}
+	return oid, nil
+}
+
+// Update overwrites the given attributes of an existing object.
+func (tx *Tx) Update(oid model.OID, attrs map[string]model.Value) error {
+	if err := tx.ensureBegan(); err != nil {
+		return err
+	}
+	if err := tx.abortOn(tx.db.Locks.LockInstanceWrite(tx.id, oid)); err != nil {
+		return err
+	}
+	old, err := tx.db.FetchObject(oid)
+	if err != nil {
+		return err
+	}
+	resolved, err := tx.resolveAttrs(oid.Class(), attrs)
+	if err != nil {
+		return err
+	}
+	next := old.Clone()
+	for id, v := range resolved {
+		next.Set(id, v)
+	}
+	return tx.applyPut(old, next)
+}
+
+// Delete removes an object.
+func (tx *Tx) Delete(oid model.OID) error {
+	if err := tx.ensureBegan(); err != nil {
+		return err
+	}
+	if err := tx.abortOn(tx.db.Locks.LockInstanceWrite(tx.id, oid)); err != nil {
+		return err
+	}
+	old, err := tx.db.FetchObject(oid)
+	if err != nil {
+		return err
+	}
+	if _, err := tx.db.Log.Append(wal.Record{
+		Txn: tx.id, Type: wal.RecDelete, OID: oid, Before: model.EncodeObject(old),
+	}); err != nil {
+		return err
+	}
+	if err := tx.db.Store.Delete(oid); err != nil {
+		return err
+	}
+	if err := tx.db.Indexes.OnDelete(old); err != nil {
+		return err
+	}
+	tx.undos = append(tx.undos, undo{oid: oid, before: old})
+	return nil
+}
+
+// applyPut logs, stores and indexes one object write.
+func (tx *Tx) applyPut(old, next *model.Object) error {
+	rec := wal.Record{Txn: tx.id, Type: wal.RecPut, OID: next.OID, After: model.EncodeObject(next)}
+	if old != nil {
+		rec.Before = model.EncodeObject(old)
+	}
+	if _, err := tx.db.Log.Append(rec); err != nil {
+		return err
+	}
+	if err := tx.db.Store.Put(next.OID, rec.After); err != nil {
+		return err
+	}
+	if err := tx.db.Indexes.OnPut(old, next); err != nil {
+		return err
+	}
+	tx.undos = append(tx.undos, undo{oid: next.OID, before: old})
+	return nil
+}
+
+// Rewrite physically relocates an object to the tail of its class
+// segment without changing its state: the record is deleted and re-put, so
+// it lands on the segment's current tail page. Rewriting a set of objects
+// in sequence therefore places them on contiguous pages — the physical
+// clustering primitive (Kim §4.2) used by the composite layer's Recluster.
+func (tx *Tx) Rewrite(oid model.OID) error {
+	if err := tx.ensureBegan(); err != nil {
+		return err
+	}
+	if err := tx.abortOn(tx.db.Locks.LockInstanceWrite(tx.id, oid)); err != nil {
+		return err
+	}
+	old, err := tx.db.FetchObject(oid)
+	if err != nil {
+		return err
+	}
+	img := model.EncodeObject(old)
+	if _, err := tx.db.Log.Append(wal.Record{
+		Txn: tx.id, Type: wal.RecPut, OID: oid, Before: img, After: img,
+	}); err != nil {
+		return err
+	}
+	if err := tx.db.Store.Delete(oid); err != nil {
+		return err
+	}
+	if err := tx.db.Store.Put(oid, img); err != nil {
+		return err
+	}
+	tx.undos = append(tx.undos, undo{oid: oid, before: old})
+	return nil
+}
+
+// Fetch returns the object under a shared lock. The returned object is a
+// private copy; mutate it freely and write back with Update.
+func (tx *Tx) Fetch(oid model.OID) (*model.Object, error) {
+	if tx.done {
+		return nil, ErrTxnFinished
+	}
+	if err := tx.abortOn(tx.db.Locks.LockInstanceRead(tx.id, oid)); err != nil {
+		return nil, err
+	}
+	return tx.db.FetchObject(oid)
+}
+
+// LockClassScan takes the class-scan (S) lock footprint over the given
+// classes; the query executor calls it before scanning.
+func (tx *Tx) LockClassScan(classes []model.ClassID) error {
+	if tx.done {
+		return ErrTxnFinished
+	}
+	return tx.abortOn(tx.db.Locks.LockHierarchyRead(tx.id, classes))
+}
+
+// Scan iterates the stored instances of exactly one class under a class
+// S lock.
+func (tx *Tx) Scan(class model.ClassID, fn func(*model.Object) bool) error {
+	if tx.done {
+		return ErrTxnFinished
+	}
+	if err := tx.abortOn(tx.db.Locks.LockClassRead(tx.id, class)); err != nil {
+		return err
+	}
+	var derr error
+	err := tx.db.Store.ScanClass(class, func(oid model.OID, data []byte) bool {
+		obj, err := model.DecodeObject(data)
+		if err != nil {
+			derr = err
+			return false
+		}
+		return fn(obj)
+	})
+	if err != nil {
+		return err
+	}
+	return derr
+}
+
+// Commit makes the transaction durable and releases its locks.
+func (tx *Tx) Commit() error {
+	if tx.done {
+		return ErrTxnFinished
+	}
+	tx.done = true
+	defer tx.db.Locks.ReleaseAll(tx.id)
+	if !tx.began {
+		return nil // read-only: nothing to log
+	}
+	decremented := false
+	finish := func() {
+		if !decremented {
+			decremented = true
+			tx.db.activeTxns.Add(-1)
+		}
+	}
+	defer finish()
+	if _, err := tx.db.Log.Append(wal.Record{Txn: tx.id, Type: wal.RecCommit}); err != nil {
+		return err
+	}
+	if !tx.db.opts.NoSync {
+		// Group commit: concurrent committers share one fsync.
+		if err := tx.db.Log.SyncGroup(); err != nil {
+			return err
+		}
+	}
+	// Leave the active set before deciding on a checkpoint, or a lone
+	// committer would block its own WAL truncation.
+	finish()
+	tx.db.maybeCheckpoint()
+	return nil
+}
+
+// Abort rolls the transaction back: every applied operation is reversed
+// (store and indexes) and the reversal is logged as compensation records
+// — after a crash, replaying the aborted transaction forward (originals
+// then compensations) reproduces the rolled-back state, so recovery never
+// undoes an aborted transaction a second time (which could overwrite a
+// later committed write once locks are released here). Ends with an abort
+// record and lock release.
+func (tx *Tx) Abort() error {
+	if tx.done {
+		return ErrTxnFinished
+	}
+	tx.done = true
+	defer tx.db.Locks.ReleaseAll(tx.id)
+	if tx.began {
+		defer tx.db.activeTxns.Add(-1)
+	}
+	var firstErr error
+	keep := func(err error) {
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	for i := len(tx.undos) - 1; i >= 0; i-- {
+		u := tx.undos[i]
+		cur, _ := tx.db.FetchObject(u.oid) // nil if currently absent
+		if u.before != nil {
+			img := model.EncodeObject(u.before)
+			_, err := tx.db.Log.Append(wal.Record{
+				Txn: tx.id, Type: wal.RecPut, OID: u.oid, After: img,
+			})
+			keep(err)
+			keep(tx.db.Store.Put(u.oid, img))
+			keep(tx.db.Indexes.OnPut(cur, u.before))
+		} else {
+			_, err := tx.db.Log.Append(wal.Record{
+				Txn: tx.id, Type: wal.RecDelete, OID: u.oid,
+			})
+			keep(err)
+			keep(tx.db.Store.Delete(u.oid))
+			if cur != nil {
+				keep(tx.db.Indexes.OnDelete(cur))
+			}
+		}
+	}
+	if tx.began {
+		_, err := tx.db.Log.Append(wal.Record{Txn: tx.id, Type: wal.RecAbort})
+		keep(err)
+	}
+	return firstErr
+}
+
+// Do runs fn inside a transaction, committing on nil and aborting on
+// error, with one automatic retry after a deadlock abort.
+func (db *DB) Do(fn func(tx *Tx) error) error {
+	for attempt := 0; ; attempt++ {
+		tx := db.Begin()
+		err := fn(tx)
+		if err == nil {
+			return tx.Commit()
+		}
+		if !tx.done {
+			tx.Abort()
+		}
+		if err == txn.ErrDeadlock && attempt == 0 {
+			continue
+		}
+		return err
+	}
+}
+
+// String renders a transaction for diagnostics.
+func (tx *Tx) String() string { return fmt.Sprintf("txn(%d)", tx.id) }

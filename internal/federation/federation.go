@@ -1,0 +1,479 @@
+// Package federation implements the migration path of Kim §5.2: "allow
+// the user to access a heterogeneous mix of databases under the illusion
+// of a single common data model", with the object-oriented data model as
+// the common model.
+//
+// Sources adapt member databases to the common model: the bundled adapters
+// cover a kimdb object database (classes, hierarchy scope, nested paths)
+// and the relational engine (relations as classes, columns as attributes,
+// declared foreign keys traversed as aggregation — a relational tuple
+// presents its referenced tuples as nested objects). New kinds of member
+// database join the federation by implementing Source, exactly the
+// extensibility argument the paper makes for the OO common model.
+package federation
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"oodb/internal/core"
+	"oodb/internal/model"
+	"oodb/internal/query"
+	"oodb/internal/relational"
+)
+
+// Entity is one object of a member database viewed through the common
+// model: attribute paths resolve to values, nested steps traversing
+// whatever the member database uses for relationships.
+type Entity interface {
+	// Get resolves an attribute path; ok is false if any step is unknown.
+	Get(path []string) (v model.Value, ok bool)
+}
+
+// Source adapts one member database.
+type Source interface {
+	// Classes lists the class names this source exports.
+	Classes() []string
+	// Scan iterates the instances of a class.
+	Scan(class string, fn func(Entity) bool) error
+}
+
+// Errors of the federation layer.
+var (
+	ErrNoSource = errors.New("federation: no such source")
+	ErrNoClass  = errors.New("federation: no such class in source")
+)
+
+// Federation is a registry of sources plus the federated query facility.
+type Federation struct {
+	sources map[string]Source
+}
+
+// New returns an empty federation.
+func New() *Federation { return &Federation{sources: make(map[string]Source)} }
+
+// Register adds a member database under a name.
+func (f *Federation) Register(name string, src Source) {
+	f.sources[name] = src
+}
+
+// Sources lists registered member names.
+func (f *Federation) Sources() []string {
+	out := make([]string, 0, len(f.sources))
+	for n := range f.sources {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Row is one federated result row.
+type Row struct {
+	Entity Entity
+	Values []model.Value
+}
+
+// Result is a federated query result.
+type Result struct {
+	Cols []string
+	Rows []Row
+}
+
+// Query runs a query (the standard kimdb query language) against one
+// member database. The FROM class resolves inside that source; predicates
+// and projections evaluate through the common model, so the same query
+// text works against an object member and a relational member.
+func (f *Federation) Query(source, src string) (*Result, error) {
+	s, ok := f.sources[source]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoSource, source)
+	}
+	q, err := query.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	if len(q.Aggregates) > 0 {
+		return nil, errors.New("federation: aggregates are not supported in federated queries")
+	}
+	found := false
+	for _, c := range s.Classes() {
+		if c == q.From {
+			found = true
+			break
+		}
+	}
+	if !found {
+		return nil, fmt.Errorf("%w: %s.%s", ErrNoClass, source, q.From)
+	}
+	res := &Result{}
+	if len(q.Select) == 0 {
+		res.Cols = []string{"entity"}
+	} else {
+		for _, p := range q.Select {
+			res.Cols = append(res.Cols, p.String())
+		}
+	}
+	var evalErr error
+	err = s.Scan(q.From, func(ent Entity) bool {
+		if q.Where != nil {
+			ok, err := evalBool(q.Where, ent)
+			if err != nil {
+				evalErr = err
+				return false
+			}
+			if !ok {
+				return true
+			}
+		}
+		row := Row{Entity: ent}
+		for _, p := range q.Select {
+			v, _ := ent.Get(p.Steps)
+			row.Values = append(row.Values, v)
+		}
+		res.Rows = append(res.Rows, row)
+		return q.Limit == 0 || q.OrderBy != nil || len(res.Rows) < q.Limit
+	})
+	if err != nil {
+		return nil, err
+	}
+	if evalErr != nil {
+		return nil, evalErr
+	}
+	if q.OrderBy != nil {
+		keys := make([]model.Value, len(res.Rows))
+		for i, row := range res.Rows {
+			keys[i], _ = row.Entity.Get(q.OrderBy.Steps)
+		}
+		idxs := make([]int, len(res.Rows))
+		for i := range idxs {
+			idxs[i] = i
+		}
+		sort.SliceStable(idxs, func(a, b int) bool {
+			c := model.Compare(keys[idxs[a]], keys[idxs[b]])
+			if q.Desc {
+				return c > 0
+			}
+			return c < 0
+		})
+		sorted := make([]Row, len(res.Rows))
+		for i, j := range idxs {
+			sorted[i] = res.Rows[j]
+		}
+		res.Rows = sorted
+	}
+	if q.Limit > 0 && len(res.Rows) > q.Limit {
+		res.Rows = res.Rows[:q.Limit]
+	}
+	return res, nil
+}
+
+// evalBool evaluates a parsed predicate against an entity of the common
+// model.
+func evalBool(ex query.Expr, ent Entity) (bool, error) {
+	switch n := ex.(type) {
+	case *query.Binary:
+		switch n.Op {
+		case query.OpAnd:
+			l, err := evalBool(n.L, ent)
+			if err != nil || !l {
+				return false, err
+			}
+			return evalBool(n.R, ent)
+		case query.OpOr:
+			l, err := evalBool(n.L, ent)
+			if err != nil || l {
+				return l, err
+			}
+			return evalBool(n.R, ent)
+		case query.OpIn:
+			lv, err := evalValue(n.L, ent)
+			if err != nil {
+				return false, err
+			}
+			list, ok := n.R.(*query.List)
+			if !ok {
+				return false, errors.New("federation: IN requires a literal list")
+			}
+			for _, item := range list.Items {
+				if model.Equal(lv, item) {
+					return true, nil
+				}
+			}
+			return false, nil
+		case query.OpContains:
+			lv, err := evalValue(n.L, ent)
+			if err != nil {
+				return false, err
+			}
+			rv, err := evalValue(n.R, ent)
+			if err != nil {
+				return false, err
+			}
+			return lv.Contains(rv), nil
+		default:
+			lv, err := evalValue(n.L, ent)
+			if err != nil {
+				return false, err
+			}
+			rv, err := evalValue(n.R, ent)
+			if err != nil {
+				return false, err
+			}
+			return cmp(n.Op, lv, rv), nil
+		}
+	case *query.Not:
+		v, err := evalBool(n.E, ent)
+		return !v, err
+	case *query.PathExpr:
+		v, _ := ent.Get(n.Path.Steps)
+		b, _ := v.AsBool()
+		return b, nil
+	case *query.Lit:
+		b, _ := n.V.AsBool()
+		return b, nil
+	default:
+		return false, fmt.Errorf("federation: cannot evaluate %T", ex)
+	}
+}
+
+func evalValue(ex query.Expr, ent Entity) (model.Value, error) {
+	switch n := ex.(type) {
+	case *query.Lit:
+		return n.V, nil
+	case *query.PathExpr:
+		v, _ := ent.Get(n.Path.Steps)
+		return v, nil
+	default:
+		return model.Null, fmt.Errorf("federation: cannot evaluate %T as value", ex)
+	}
+}
+
+func cmp(op query.BinOp, l, r model.Value) bool {
+	switch op {
+	case query.OpEq:
+		return model.Compare(l, r) == 0
+	case query.OpNe:
+		return model.Compare(l, r) != 0
+	}
+	if l.IsNull() || r.IsNull() {
+		return false
+	}
+	c := model.Compare(l, r)
+	switch op {
+	case query.OpLt:
+		return c < 0
+	case query.OpLe:
+		return c <= 0
+	case query.OpGt:
+		return c > 0
+	case query.OpGe:
+		return c >= 0
+	default:
+		return false
+	}
+}
+
+// ---------------------------------------------------------------------
+// Object-database source.
+
+// OOSource exports a kimdb database into a federation.
+type OOSource struct {
+	db *core.DB
+}
+
+// NewOOSource wraps an object database.
+func NewOOSource(db *core.DB) *OOSource { return &OOSource{db: db} }
+
+// Classes implements Source.
+func (s *OOSource) Classes() []string {
+	var out []string
+	for _, cl := range s.db.Catalog.Classes() {
+		out = append(out, cl.Name)
+	}
+	return out
+}
+
+// Scan implements Source with hierarchy scope (a class exports its own
+// and its subclasses' instances — the common model is the OO model).
+func (s *OOSource) Scan(class string, fn func(Entity) bool) error {
+	cl, err := s.db.Catalog.ClassByName(class)
+	if err != nil {
+		return err
+	}
+	classes, err := s.db.Catalog.Descendants(cl.ID)
+	if err != nil {
+		return err
+	}
+	for _, c := range classes {
+		stop := false
+		err := s.db.Store.ScanClass(c, func(_ model.OID, data []byte) bool {
+			obj, derr := model.DecodeObject(data)
+			if derr != nil {
+				return true
+			}
+			if !fn(&ooEntity{src: s, obj: obj}) {
+				stop = true
+				return false
+			}
+			return true
+		})
+		if err != nil {
+			return err
+		}
+		if stop {
+			return nil
+		}
+	}
+	return nil
+}
+
+type ooEntity struct {
+	src *OOSource
+	obj *model.Object
+}
+
+// Get resolves nested paths through object references.
+func (e *ooEntity) Get(path []string) (model.Value, bool) {
+	obj := e.obj
+	for i, step := range path {
+		a, err := e.src.db.Catalog.ResolveAttr(obj.Class(), step)
+		if err != nil {
+			return model.Null, false
+		}
+		v, ok := obj.Attrs[a.ID]
+		if !ok {
+			v = a.Default
+		}
+		if i == len(path)-1 {
+			return v, true
+		}
+		oid, ok := v.AsRef()
+		if !ok {
+			return model.Null, true // null mid-path: value is null
+		}
+		next, err := e.src.db.FetchObject(oid)
+		if err != nil {
+			return model.Null, true
+		}
+		obj = next
+	}
+	return model.Null, false
+}
+
+// ---------------------------------------------------------------------
+// Relational source.
+
+// FK declares that a column of a relation references the key column of
+// another relation — presented in the common model as an aggregation: a
+// path step through the column continues inside the referenced tuple.
+type FK struct {
+	Relation string // referenced relation
+	KeyCol   string // referenced key column
+}
+
+// RelSource exports a relational database into the federation.
+type RelSource struct {
+	db       *relational.DB
+	fks      map[string]map[string]FK // relation -> column -> FK
+	exported map[string]bool          // relations published as classes
+}
+
+// NewRelSource wraps a relational database.
+func NewRelSource(db *relational.DB) *RelSource {
+	return &RelSource{db: db, fks: make(map[string]map[string]FK)}
+}
+
+// DeclareFK registers a foreign key for path traversal.
+func (s *RelSource) DeclareFK(relation, column string, fk FK) error {
+	if _, err := s.db.Relation(relation); err != nil {
+		return err
+	}
+	if _, err := s.db.Relation(fk.Relation); err != nil {
+		return err
+	}
+	m := s.fks[relation]
+	if m == nil {
+		m = make(map[string]FK)
+		s.fks[relation] = m
+	}
+	m[column] = fk
+	return nil
+}
+
+// Classes implements Source: the relations published with Export appear
+// as classes of the common model.
+func (s *RelSource) Classes() []string {
+	out := make([]string, 0, len(s.exported))
+	for name := range s.exported {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Export publishes a relation as a class of the federation.
+func (s *RelSource) Export(relation string) error {
+	if _, err := s.db.Relation(relation); err != nil {
+		return err
+	}
+	if s.exported == nil {
+		s.exported = make(map[string]bool)
+	}
+	s.exported[relation] = true
+	return nil
+}
+
+// Scan implements Source.
+func (s *RelSource) Scan(class string, fn func(Entity) bool) error {
+	if !s.exported[class] {
+		return fmt.Errorf("%w: %q", ErrNoClass, class)
+	}
+	rel, err := s.db.Relation(class)
+	if err != nil {
+		return err
+	}
+	rel.Scan(func(row int, tuple []model.Value) bool {
+		return fn(&relEntity{src: s, rel: rel, tuple: tuple})
+	})
+	return nil
+}
+
+type relEntity struct {
+	src   *RelSource
+	rel   *relational.Relation
+	tuple []model.Value
+}
+
+// Get resolves a path: the first step is a column; further steps traverse
+// declared foreign keys into referenced tuples.
+func (e *relEntity) Get(path []string) (model.Value, bool) {
+	rel, tuple := e.rel, e.tuple
+	for i, step := range path {
+		v, err := rel.Col(tuple, step)
+		if err != nil {
+			return model.Null, false
+		}
+		if i == len(path)-1 {
+			return v, true
+		}
+		fk, ok := e.src.fks[rel.Name][step]
+		if !ok {
+			return model.Null, false // no FK: path cannot continue
+		}
+		target, err := e.src.db.Relation(fk.Relation)
+		if err != nil {
+			return model.Null, false
+		}
+		rows, err := target.SelectEq(fk.KeyCol, v)
+		if err != nil || len(rows) == 0 {
+			return model.Null, true // dangling FK: null
+		}
+		next, err := target.Get(rows[0])
+		if err != nil {
+			return model.Null, true
+		}
+		rel, tuple = target, next
+	}
+	return model.Null, false
+}

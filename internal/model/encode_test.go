@@ -1,0 +1,180 @@
+package model
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestValueCodecRoundTrip(t *testing.T) {
+	vals := []Value{
+		Null,
+		Int(0), Int(1), Int(-1), Int(math.MaxInt64), Int(math.MinInt64),
+		Float(0), Float(-2.75), Float(math.Inf(1)),
+		Bool(true), Bool(false),
+		String(""), String("Detroit"), String("日本語\x00embedded"),
+		Bytes(nil), Bytes([]byte{0, 255, 1}),
+		Ref(MakeOID(12, 99)),
+		Set(), Set(Int(1), String("x"), Set(Bool(true))),
+	}
+	for _, v := range vals {
+		enc := AppendValue(nil, v)
+		got, n, err := DecodeValue(enc)
+		if err != nil {
+			t.Fatalf("decode %v: %v", v, err)
+		}
+		if n != len(enc) {
+			t.Errorf("decode %v consumed %d of %d bytes", v, n, len(enc))
+		}
+		if !Equal(got, v) {
+			t.Errorf("round trip %v -> %v", v, got)
+		}
+	}
+}
+
+func TestValueCodecRoundTripProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	for i := 0; i < 500; i++ {
+		v := randValue(r, 3)
+		enc := AppendValue(nil, v)
+		got, n, err := DecodeValue(enc)
+		if err != nil {
+			t.Fatalf("decode %v: %v", v, err)
+		}
+		if n != len(enc) || !Equal(got, v) {
+			t.Fatalf("round trip %v -> %v (%d/%d bytes)", v, got, n, len(enc))
+		}
+	}
+}
+
+func TestDecodeValueCorrupt(t *testing.T) {
+	bad := [][]byte{
+		nil,
+		{byte(KindInt)},            // missing varint
+		{byte(KindFloat), 1, 2},    // short float
+		{byte(KindString), 5, 'a'}, // declared length exceeds data
+		{byte(KindSet), 200},       // set count exceeds data
+		{0xEE},                     // unknown kind
+	}
+	for i, buf := range bad {
+		if _, _, err := DecodeValue(buf); err == nil {
+			t.Errorf("case %d: expected corruption error", i)
+		}
+	}
+}
+
+func TestKeyOrderMatchesCompare(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	vals := make([]Value, 120)
+	for i := range vals {
+		vals[i] = randValue(r, 2)
+	}
+	for _, a := range vals {
+		ka := Key(a)
+		for _, b := range vals {
+			kb := Key(b)
+			if sign(bytes.Compare(ka, kb)) != sign(Compare(a, b)) {
+				t.Fatalf("key order disagrees with Compare for %v vs %v", a, b)
+			}
+		}
+	}
+}
+
+func TestKeyStringEscaping(t *testing.T) {
+	// "a\x00b" must sort between "a" and "a\x01".
+	a := Key(String("a"))
+	ab0 := Key(String("a\x00b"))
+	a1 := Key(String("a\x01"))
+	if !(bytes.Compare(a, ab0) < 0 && bytes.Compare(ab0, a1) < 0) {
+		t.Fatal("zero-byte escaping breaks string key order")
+	}
+}
+
+func TestKeyNumericMixes(t *testing.T) {
+	pairs := [][2]Value{
+		{Int(2), Float(2.5)},
+		{Float(-0.5), Int(0)},
+		{Int(-10), Int(10)},
+		{Float(math.Inf(-1)), Int(math.MinInt32)},
+	}
+	for _, p := range pairs {
+		if sign(bytes.Compare(Key(p[0]), Key(p[1]))) != sign(Compare(p[0], p[1])) {
+			t.Errorf("key order wrong for %v vs %v", p[0], p[1])
+		}
+	}
+}
+
+func TestObjectCodecRoundTrip(t *testing.T) {
+	o := NewObject(MakeOID(7, 123))
+	o.Set(1, Int(7500))
+	o.Set(2, String("Vehicle"))
+	o.Set(9, Ref(MakeOID(8, 4)))
+	o.Set(11, Set(Int(1), Int(2)))
+
+	enc := EncodeObject(o)
+	got, err := DecodeObject(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.OID != o.OID {
+		t.Fatalf("OID %v != %v", got.OID, o.OID)
+	}
+	if len(got.Attrs) != len(o.Attrs) {
+		t.Fatalf("attr count %d != %d", len(got.Attrs), len(o.Attrs))
+	}
+	for id, v := range o.Attrs {
+		if !Equal(got.Get(id), v) {
+			t.Errorf("attr %d: %v != %v", id, got.Get(id), v)
+		}
+	}
+}
+
+func TestObjectEncodingDeterministic(t *testing.T) {
+	build := func() *Object {
+		o := NewObject(MakeOID(3, 1))
+		for i := AttrID(1); i <= 20; i++ {
+			o.Set(i, Int(int64(i)*3))
+		}
+		return o
+	}
+	a, b := EncodeObject(build()), EncodeObject(build())
+	if !bytes.Equal(a, b) {
+		t.Fatal("object encoding not deterministic")
+	}
+}
+
+func TestObjectSetNullDeletes(t *testing.T) {
+	o := NewObject(MakeOID(1, 1))
+	o.Set(5, Int(1))
+	o.Set(5, Null)
+	if _, present := o.Attrs[5]; present {
+		t.Fatal("setting null should delete the stored attribute")
+	}
+	if !o.Get(5).IsNull() {
+		t.Fatal("Get of absent attribute should be null")
+	}
+}
+
+func TestObjectClone(t *testing.T) {
+	o := NewObject(MakeOID(1, 1))
+	o.Set(1, Int(10))
+	c := o.Clone()
+	c.Set(1, Int(20))
+	if v, _ := o.Get(1).AsInt(); v != 10 {
+		t.Fatal("clone aliases original attribute map")
+	}
+}
+
+func TestDecodeObjectCorrupt(t *testing.T) {
+	o := NewObject(MakeOID(2, 2))
+	o.Set(1, String("x"))
+	enc := EncodeObject(o)
+	for cut := 1; cut < len(enc); cut++ {
+		if _, err := DecodeObject(enc[:cut]); err == nil {
+			// Some prefixes may decode as a smaller valid object only if
+			// counts allow; an object with one attr must fail at any cut.
+			t.Fatalf("truncation at %d not detected", cut)
+		}
+	}
+}

@@ -1,0 +1,108 @@
+package model
+
+import (
+	"encoding/binary"
+	"sort"
+)
+
+// Object is the stored state of one instance: its identity and the values of
+// its attributes. Attribute values are keyed by global AttrID, so an object
+// image remains interpretable across schema evolution — attributes added
+// after the object was written are simply absent (and read as the class
+// default), attributes dropped are ignored on load.
+//
+// The behavior of an object (its methods) lives on its class in the catalog;
+// Object carries state only.
+type Object struct {
+	OID   OID
+	Attrs map[AttrID]Value
+}
+
+// NewObject returns an empty object with the given identity.
+func NewObject(oid OID) *Object {
+	return &Object{OID: oid, Attrs: make(map[AttrID]Value)}
+}
+
+// Class returns the class of the instance (embedded in its OID).
+func (o *Object) Class() ClassID { return o.OID.Class() }
+
+// Get returns the stored value of attribute a, or null if the attribute has
+// no stored value.
+func (o *Object) Get(a AttrID) Value {
+	if v, ok := o.Attrs[a]; ok {
+		return v
+	}
+	return Null
+}
+
+// Set stores v as the value of attribute a. Setting null removes the stored
+// value, keeping images minimal.
+func (o *Object) Set(a AttrID, v Value) {
+	if v.IsNull() {
+		delete(o.Attrs, a)
+		return
+	}
+	o.Attrs[a] = v
+}
+
+// Clone returns a deep-enough copy of the object: the attribute map is
+// copied; Values are immutable and shared.
+func (o *Object) Clone() *Object {
+	dup := &Object{OID: o.OID, Attrs: make(map[AttrID]Value, len(o.Attrs))}
+	for k, v := range o.Attrs {
+		dup.Attrs[k] = v
+	}
+	return dup
+}
+
+// sortedAttrIDs returns the object's attribute ids in ascending order so
+// encoding is deterministic (required for testing recovery byte-for-byte).
+func (o *Object) sortedAttrIDs() []AttrID {
+	ids := make([]AttrID, 0, len(o.Attrs))
+	for id := range o.Attrs {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// EncodeObject returns the storage image of the object: OID, attribute
+// count, then (AttrID, Value) pairs in ascending AttrID order.
+func EncodeObject(o *Object) []byte {
+	buf := make([]byte, 0, 16+8*len(o.Attrs))
+	buf = binary.AppendUvarint(buf, uint64(o.OID))
+	buf = binary.AppendUvarint(buf, uint64(len(o.Attrs)))
+	for _, id := range o.sortedAttrIDs() {
+		buf = binary.AppendUvarint(buf, uint64(id))
+		buf = AppendValue(buf, o.Attrs[id])
+	}
+	return buf
+}
+
+// DecodeObject decodes a storage image produced by EncodeObject.
+func DecodeObject(buf []byte) (*Object, error) {
+	oid, n := binary.Uvarint(buf)
+	if n <= 0 {
+		return nil, ErrCorrupt
+	}
+	cnt, m := binary.Uvarint(buf[n:])
+	if m <= 0 || cnt > uint64(len(buf)) {
+		return nil, ErrCorrupt
+	}
+	n += m
+	obj := &Object{OID: OID(oid), Attrs: make(map[AttrID]Value, cnt)}
+	for i := uint64(0); i < cnt; i++ {
+		id, m := binary.Uvarint(buf[n:])
+		if m <= 0 {
+			return nil, ErrCorrupt
+		}
+		n += m
+		v, used, err := DecodeValue(buf[n:])
+		if err != nil {
+			return nil, err
+		}
+		n += used
+		obj.Attrs[AttrID(id)] = v
+	}
+	return obj, nil
+}

@@ -1,0 +1,72 @@
+package model
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestMakeOIDRoundTrip(t *testing.T) {
+	cases := []struct {
+		class ClassID
+		seq   uint64
+	}{
+		{0, 0},
+		{1, 1},
+		{42, 1 << 20},
+		{MaxClassID, 1<<40 - 1},
+	}
+	for _, c := range cases {
+		oid := MakeOID(c.class, c.seq)
+		if oid.Class() != c.class {
+			t.Errorf("MakeOID(%d,%d).Class() = %d", c.class, c.seq, oid.Class())
+		}
+		if oid.Seq() != c.seq {
+			t.Errorf("MakeOID(%d,%d).Seq() = %d", c.class, c.seq, oid.Seq())
+		}
+	}
+}
+
+func TestMakeOIDProperty(t *testing.T) {
+	f := func(class uint32, seq uint64) bool {
+		c := ClassID(class) & MaxClassID
+		s := seq & (1<<40 - 1)
+		oid := MakeOID(c, s)
+		return oid.Class() == c && oid.Seq() == s
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMakeOIDPanicsOnOverflow(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for out-of-range class")
+		}
+	}()
+	MakeOID(MaxClassID+1, 0)
+}
+
+func TestNilOID(t *testing.T) {
+	if !NilOID.IsNil() {
+		t.Fatal("NilOID.IsNil() = false")
+	}
+	if NilOID.String() != "nil" {
+		t.Fatalf("NilOID.String() = %q", NilOID.String())
+	}
+	oid := MakeOID(3, 7)
+	if oid.IsNil() {
+		t.Fatal("non-nil OID reported nil")
+	}
+	if oid.String() != "3:7" {
+		t.Fatalf("String() = %q, want 3:7", oid.String())
+	}
+}
+
+func TestOIDZeroSeqZeroClassIsNil(t *testing.T) {
+	// MakeOID(0,0) collides with the null reference by construction; the
+	// catalog never assigns class id 0, so this documents the invariant.
+	if !MakeOID(0, 0).IsNil() {
+		t.Fatal("MakeOID(0,0) should be NilOID")
+	}
+}

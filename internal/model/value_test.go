@@ -1,0 +1,243 @@
+package model
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestValueAccessors(t *testing.T) {
+	if i, ok := Int(42).AsInt(); !ok || i != 42 {
+		t.Errorf("Int accessor: %v %v", i, ok)
+	}
+	if f, ok := Float(2.5).AsFloat(); !ok || f != 2.5 {
+		t.Errorf("Float accessor: %v %v", f, ok)
+	}
+	if f, ok := Int(7).AsFloat(); !ok || f != 7 {
+		t.Errorf("Int widened to float: %v %v", f, ok)
+	}
+	if b, ok := Bool(true).AsBool(); !ok || !b {
+		t.Errorf("Bool accessor: %v %v", b, ok)
+	}
+	if s, ok := String("hi").AsString(); !ok || s != "hi" {
+		t.Errorf("String accessor: %q %v", s, ok)
+	}
+	if b, ok := Bytes([]byte{1, 2}).AsBytes(); !ok || len(b) != 2 || b[0] != 1 {
+		t.Errorf("Bytes accessor: %v %v", b, ok)
+	}
+	oid := MakeOID(5, 9)
+	if r, ok := Ref(oid).AsRef(); !ok || r != oid {
+		t.Errorf("Ref accessor: %v %v", r, ok)
+	}
+	if _, ok := Int(1).AsString(); ok {
+		t.Error("cross-kind accessor succeeded")
+	}
+}
+
+func TestRefNilIsNull(t *testing.T) {
+	if !Ref(NilOID).IsNull() {
+		t.Fatal("Ref(NilOID) should be null")
+	}
+}
+
+func TestBytesImmutable(t *testing.T) {
+	src := []byte{1, 2, 3}
+	v := Bytes(src)
+	src[0] = 99
+	b, _ := v.AsBytes()
+	if b[0] != 1 {
+		t.Fatal("Bytes value aliased caller's slice")
+	}
+}
+
+func TestSetNormalization(t *testing.T) {
+	s := Set(Int(3), Int(1), Int(2), Int(1))
+	members, ok := s.AsSet()
+	if !ok || len(members) != 3 {
+		t.Fatalf("set members = %v", members)
+	}
+	for i, want := range []int64{1, 2, 3} {
+		if got, _ := members[i].AsInt(); got != want {
+			t.Errorf("members[%d] = %v, want %d", i, members[i], want)
+		}
+	}
+	if !Equal(Set(Int(2), Int(1)), Set(Int(1), Int(2), Int(2))) {
+		t.Error("normalized sets should be equal")
+	}
+}
+
+func TestSetContains(t *testing.T) {
+	s := Set(String("a"), String("c"))
+	if !s.Contains(String("a")) || s.Contains(String("b")) {
+		t.Fatal("Contains wrong")
+	}
+	if Int(1).Contains(Int(1)) {
+		t.Fatal("non-set Contains should be false")
+	}
+}
+
+func TestCompareOrderAcrossKinds(t *testing.T) {
+	ordered := []Value{
+		Null,
+		Int(-5),
+		Float(-1.5),
+		Int(0),
+		Float(0.5),
+		Int(1),
+		Int(2),
+		Bool(false),
+		Bool(true),
+		String("a"),
+		String("b"),
+		Bytes([]byte{0}),
+		Ref(MakeOID(1, 1)),
+		Ref(MakeOID(1, 2)),
+		Set(),
+		Set(Int(1)),
+		Set(Int(1), Int(2)),
+		Set(Int(2)),
+	}
+	for i := range ordered {
+		for j := range ordered {
+			got := Compare(ordered[i], ordered[j])
+			want := 0
+			if i < j {
+				want = -1
+			} else if i > j {
+				want = 1
+			}
+			if got != want && !(got == 0 && want == 0) {
+				if sign(got) != want {
+					t.Errorf("Compare(%v, %v) = %d, want sign %d", ordered[i], ordered[j], got, want)
+				}
+			}
+		}
+	}
+}
+
+func sign(x int) int {
+	switch {
+	case x < 0:
+		return -1
+	case x > 0:
+		return 1
+	}
+	return 0
+}
+
+func TestCompareNumericMixed(t *testing.T) {
+	if Compare(Int(2), Float(2.0)) != 0 {
+		t.Error("Int(2) != Float(2.0)")
+	}
+	if Compare(Int(2), Float(2.5)) != -1 {
+		t.Error("Int(2) should be < Float(2.5)")
+	}
+	if Compare(Float(3.5), Int(3)) != 1 {
+		t.Error("Float(3.5) should be > Int(3)")
+	}
+}
+
+// randValue generates a random value of bounded depth for property tests.
+// Integers are bounded to ±2^53 — the exact range of the numeric key
+// encoding (see AppendKey).
+func randValue(r *rand.Rand, depth int) Value {
+	k := r.Intn(8)
+	if depth <= 0 && k == 7 {
+		k = r.Intn(7)
+	}
+	switch k {
+	case 0:
+		return Null
+	case 1:
+		return Int(r.Int63n(1<<53) - 1<<52)
+	case 2:
+		return Float(math.Trunc(r.NormFloat64()*1e6) / 8)
+	case 3:
+		return Bool(r.Intn(2) == 0)
+	case 4:
+		buf := make([]byte, r.Intn(12))
+		for i := range buf {
+			buf[i] = byte(r.Intn(256))
+		}
+		return String(string(buf))
+	case 5:
+		buf := make([]byte, r.Intn(12))
+		r.Read(buf)
+		return Bytes(buf)
+	case 6:
+		return Ref(MakeOID(ClassID(r.Intn(1000)+1), uint64(r.Intn(1<<20))))
+	default:
+		n := r.Intn(4)
+		members := make([]Value, n)
+		for i := range members {
+			members[i] = randValue(r, depth-1)
+		}
+		return Set(members...)
+	}
+}
+
+func TestCompareIsTotalOrder(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	vals := make([]Value, 60)
+	for i := range vals {
+		vals[i] = randValue(r, 2)
+	}
+	// Antisymmetry and reflexivity.
+	for _, a := range vals {
+		if Compare(a, a) != 0 {
+			t.Fatalf("Compare(%v, %v) != 0", a, a)
+		}
+		for _, b := range vals {
+			if sign(Compare(a, b)) != -sign(Compare(b, a)) {
+				t.Fatalf("antisymmetry violated for %v, %v", a, b)
+			}
+		}
+	}
+	// Transitivity (spot check over triples).
+	for i := 0; i < 2000; i++ {
+		a, b, c := vals[r.Intn(len(vals))], vals[r.Intn(len(vals))], vals[r.Intn(len(vals))]
+		if Compare(a, b) <= 0 && Compare(b, c) <= 0 && Compare(a, c) > 0 {
+			t.Fatalf("transitivity violated: %v <= %v <= %v but a > c", a, b, c)
+		}
+	}
+}
+
+func TestValueStringRendering(t *testing.T) {
+	cases := map[string]Value{
+		"null":     Null,
+		"42":       Int(42),
+		"true":     Bool(true),
+		`"x"`:      String("x"),
+		"@2:3":     Ref(MakeOID(2, 3)),
+		"{1, 2}":   Set(Int(2), Int(1)),
+		"bytes[3]": Bytes([]byte{1, 2, 3}),
+	}
+	for want, v := range cases {
+		if got := v.String(); got != want {
+			t.Errorf("String() = %q, want %q", got, want)
+		}
+	}
+}
+
+func TestKindString(t *testing.T) {
+	names := map[Kind]string{
+		KindNull: "null", KindInt: "integer", KindFloat: "float",
+		KindBool: "boolean", KindString: "string", KindBytes: "bytes",
+		KindRef: "reference", KindSet: "set",
+	}
+	for k, want := range names {
+		if k.String() != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, k.String(), want)
+		}
+	}
+}
+
+func TestEqualProperty(t *testing.T) {
+	f := func(a, b int64) bool {
+		return Equal(Int(a), Int(b)) == (a == b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,469 @@
+package query
+
+import (
+	"fmt"
+	"sort"
+
+	"oodb/internal/core"
+	"oodb/internal/model"
+)
+
+// Row is one result object with its projected values.
+type Row struct {
+	OID    model.OID
+	Object *model.Object
+	Values []model.Value // aligned with Result.Cols
+}
+
+// Result is a completed query.
+type Result struct {
+	Cols []string
+	Rows []Row
+}
+
+// Run parses, plans and executes src inside tx.
+func (e *Engine) Run(tx *core.Tx, src string) (*Result, error) {
+	q, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	plan, err := e.PlanQuery(q)
+	if err != nil {
+		return nil, err
+	}
+	return e.Execute(tx, plan)
+}
+
+// Explain parses and plans src, returning the plan description.
+func (e *Engine) Explain(src string) (string, error) {
+	q, err := Parse(src)
+	if err != nil {
+		return "", err
+	}
+	plan, err := e.PlanQuery(q)
+	if err != nil {
+		return "", err
+	}
+	return plan.String(), nil
+}
+
+// Execute runs a compiled plan inside tx. The scope classes are locked
+// shared for the duration of the transaction (strict 2PL).
+func (e *Engine) Execute(tx *core.Tx, p *Plan) (*Result, error) {
+	if err := tx.LockClassScan(p.Scope); err != nil {
+		return nil, err
+	}
+	scopeSet := make(map[model.ClassID]bool, len(p.Scope))
+	for _, c := range p.Scope {
+		scopeSet[c] = true
+	}
+
+	var rows []Row
+	consider := func(obj *model.Object) (bool, error) {
+		if p.Query.Where != nil {
+			ok, err := e.evalBool(p.Query.Where, obj)
+			if err != nil {
+				return true, err
+			}
+			if !ok {
+				return true, nil
+			}
+		}
+		rows = append(rows, Row{OID: obj.OID, Object: obj})
+		// Early exit only when no ordering (ordering needs all matches).
+		if p.Query.OrderBy == nil && p.Query.Limit > 0 && len(rows) >= p.Query.Limit {
+			return false, nil
+		}
+		return true, nil
+	}
+
+	switch p.kind {
+	case accessScan:
+		for _, class := range p.Scope {
+			stop := false
+			var ierr error
+			err := tx.Scan(class, func(obj *model.Object) bool {
+				cont, err := consider(obj)
+				if err != nil {
+					ierr = err
+					return false
+				}
+				if !cont {
+					stop = true
+					return false
+				}
+				return true
+			})
+			if err != nil {
+				return nil, err
+			}
+			if ierr != nil {
+				return nil, ierr
+			}
+			if stop {
+				break
+			}
+		}
+	default:
+		var oids []model.OID
+		for _, idx := range p.indexes {
+			if !p.probe.IsNull() {
+				oids = append(oids, idx.Lookup(p.probe, scopeSet)...)
+			} else {
+				oids = append(oids, idx.Range(p.lo, p.hi, p.hiInc, scopeSet)...)
+			}
+		}
+		seen := make(map[model.OID]bool, len(oids))
+		for _, oid := range oids {
+			if seen[oid] {
+				continue
+			}
+			seen[oid] = true
+			obj, err := e.db.FetchObject(oid)
+			if err != nil {
+				continue // unindexed race or dangling entry: skip
+			}
+			cont, err := consider(obj)
+			if err != nil {
+				return nil, err
+			}
+			if !cont {
+				break
+			}
+		}
+	}
+
+	// ORDER BY.
+	if p.Query.OrderBy != nil {
+		keys := make([]model.Value, len(rows))
+		for i := range rows {
+			v, err := e.evalPath(rows[i].Object, p.Query.OrderBy.Steps)
+			if err != nil {
+				return nil, err
+			}
+			keys[i] = v
+		}
+		// Sort rows and keys together through an index permutation.
+		idxs := make([]int, len(rows))
+		for i := range idxs {
+			idxs[i] = i
+		}
+		sort.SliceStable(idxs, func(a, b int) bool {
+			c := model.Compare(keys[idxs[a]], keys[idxs[b]])
+			if p.Query.Desc {
+				return c > 0
+			}
+			return c < 0
+		})
+		sorted := make([]Row, len(rows))
+		for i, j := range idxs {
+			sorted[i] = rows[j]
+		}
+		rows = sorted
+	}
+	if p.Query.Limit > 0 && len(rows) > p.Query.Limit {
+		rows = rows[:p.Query.Limit]
+	}
+
+	// Aggregates collapse the result to a single row.
+	if len(p.Query.Aggregates) > 0 {
+		return e.aggregate(p, rows)
+	}
+
+	// Projection.
+	res := &Result{}
+	if len(p.Query.Select) == 0 {
+		res.Cols = []string{"oid"}
+		for i := range rows {
+			rows[i].Values = []model.Value{model.Ref(rows[i].OID)}
+		}
+	} else {
+		for _, path := range p.Query.Select {
+			res.Cols = append(res.Cols, path.String())
+		}
+		for i := range rows {
+			vals := make([]model.Value, len(p.Query.Select))
+			for j, path := range p.Query.Select {
+				v, err := e.evalPath(rows[i].Object, path.Steps)
+				if err != nil {
+					return nil, err
+				}
+				vals[j] = v
+			}
+			rows[i].Values = vals
+		}
+	}
+	res.Rows = rows
+	return res, nil
+}
+
+// aggregate computes the aggregate select list over the matched rows.
+// COUNT(*) counts rows; per-path aggregates skip nulls; set values
+// contribute each member. SUM and AVG require numeric inputs.
+func (e *Engine) aggregate(p *Plan, rows []Row) (*Result, error) {
+	res := &Result{}
+	vals := make([]model.Value, len(p.Query.Aggregates))
+	for i, agg := range p.Query.Aggregates {
+		res.Cols = append(res.Cols, agg.String())
+		if agg.Path == nil { // COUNT(*)
+			vals[i] = model.Int(int64(len(rows)))
+			continue
+		}
+		var count int64
+		var sum float64
+		var allInt = true
+		var best model.Value
+		for _, row := range rows {
+			v, err := e.evalPath(row.Object, agg.Path.Steps)
+			if err != nil {
+				return nil, err
+			}
+			members := []model.Value{v}
+			if set, ok := v.AsSet(); ok {
+				members = set
+			}
+			for _, m := range members {
+				if m.IsNull() {
+					continue
+				}
+				count++
+				switch agg.Func {
+				case AggSum, AggAvg:
+					f, ok := m.AsFloat()
+					if !ok {
+						return nil, fmt.Errorf("query: %s over non-numeric value %s", agg.Func, m)
+					}
+					if m.Kind() != model.KindInt {
+						allInt = false
+					}
+					sum += f
+				case AggMin:
+					if best.IsNull() || model.Compare(m, best) < 0 {
+						best = m
+					}
+				case AggMax:
+					if best.IsNull() || model.Compare(m, best) > 0 {
+						best = m
+					}
+				}
+			}
+		}
+		switch agg.Func {
+		case AggCount:
+			vals[i] = model.Int(count)
+		case AggSum:
+			if allInt {
+				vals[i] = model.Int(int64(sum))
+			} else {
+				vals[i] = model.Float(sum)
+			}
+		case AggAvg:
+			if count == 0 {
+				vals[i] = model.Null
+			} else {
+				vals[i] = model.Float(sum / float64(count))
+			}
+		case AggMin, AggMax:
+			vals[i] = best
+		}
+	}
+	res.Rows = []Row{{Values: vals}}
+	return res, nil
+}
+
+// evalBool evaluates a predicate against one candidate object.
+func (e *Engine) evalBool(ex Expr, obj *model.Object) (bool, error) {
+	switch n := ex.(type) {
+	case *Binary:
+		switch n.Op {
+		case OpAnd:
+			l, err := e.evalBool(n.L, obj)
+			if err != nil || !l {
+				return false, err
+			}
+			return e.evalBool(n.R, obj)
+		case OpOr:
+			l, err := e.evalBool(n.L, obj)
+			if err != nil || l {
+				return l, err
+			}
+			return e.evalBool(n.R, obj)
+		case OpIn:
+			lv, err := e.evalValue(n.L, obj)
+			if err != nil {
+				return false, err
+			}
+			list, ok := n.R.(*List)
+			if !ok {
+				return false, fmt.Errorf("query: IN requires a literal list")
+			}
+			for _, item := range list.Items {
+				if existsEqual(lv, item) {
+					return true, nil
+				}
+			}
+			return false, nil
+		case OpContains:
+			lv, err := e.evalValue(n.L, obj)
+			if err != nil {
+				return false, err
+			}
+			rv, err := e.evalValue(n.R, obj)
+			if err != nil {
+				return false, err
+			}
+			return lv.Contains(rv), nil
+		default:
+			lv, err := e.evalValue(n.L, obj)
+			if err != nil {
+				return false, err
+			}
+			rv, err := e.evalValue(n.R, obj)
+			if err != nil {
+				return false, err
+			}
+			return compareOp(n.Op, lv, rv), nil
+		}
+	case *Not:
+		v, err := e.evalBool(n.E, obj)
+		return !v, err
+	case *PathExpr:
+		v, err := e.evalValue(n, obj)
+		if err != nil {
+			return false, err
+		}
+		b, _ := v.AsBool()
+		return b, nil
+	case *Lit:
+		b, _ := n.V.AsBool()
+		return b, nil
+	default:
+		return false, fmt.Errorf("query: cannot evaluate %T as boolean", ex)
+	}
+}
+
+// compareOp applies a comparison with SQL-style null semantics: ordering
+// comparisons with null are false; equality treats null = null as true
+// (needed for `path = null` existence tests). Multi-valued operands
+// (set-valued attributes, paths through set-valued references) compare
+// existentially.
+func compareOp(op BinOp, l, r model.Value) bool {
+	if lm, ok := l.AsSet(); ok && r.Kind() != model.KindSet {
+		for _, m := range lm {
+			if compareOp(op, m, r) {
+				return true
+			}
+		}
+		return false
+	}
+	switch op {
+	case OpEq:
+		return model.Compare(l, r) == 0
+	case OpNe:
+		return model.Compare(l, r) != 0
+	}
+	if l.IsNull() || r.IsNull() {
+		return false
+	}
+	c := model.Compare(l, r)
+	switch op {
+	case OpLt:
+		return c < 0
+	case OpLe:
+		return c <= 0
+	case OpGt:
+		return c > 0
+	case OpGe:
+		return c >= 0
+	default:
+		return false
+	}
+}
+
+// existsEqual is existential equality for IN.
+func existsEqual(l, r model.Value) bool { return compareOp(OpEq, l, r) }
+
+// evalValue evaluates an operand expression to a value.
+func (e *Engine) evalValue(ex Expr, obj *model.Object) (model.Value, error) {
+	switch n := ex.(type) {
+	case *Lit:
+		return n.V, nil
+	case *PathExpr:
+		return e.evalPath(obj, n.Path.Steps)
+	default:
+		return model.Null, fmt.Errorf("query: cannot evaluate %T as value", ex)
+	}
+}
+
+// evalPath walks a path from obj: each step reads an attribute (stored
+// value or class default) or invokes a method as a derived attribute.
+// Interior references are dereferenced; set-valued steps fan out and the
+// result is the set of terminal values (existential comparison semantics).
+// A null or dangling step yields null.
+func (e *Engine) evalPath(obj *model.Object, steps []string) (model.Value, error) {
+	cur := []*model.Object{obj}
+	for i, step := range steps {
+		last := i == len(steps)-1
+		var vals []model.Value
+		for _, o := range cur {
+			v, err := e.stepValue(o, step)
+			if err != nil {
+				return model.Null, err
+			}
+			if v.IsNull() {
+				continue
+			}
+			if members, ok := v.AsSet(); ok {
+				vals = append(vals, members...)
+			} else {
+				vals = append(vals, v)
+			}
+		}
+		if last {
+			switch len(vals) {
+			case 0:
+				return model.Null, nil
+			case 1:
+				return vals[0], nil
+			default:
+				return model.Set(vals...), nil
+			}
+		}
+		// Interior: dereference references.
+		next := cur[:0:0]
+		for _, v := range vals {
+			oid, ok := v.AsRef()
+			if !ok {
+				continue // non-reference interior value dead-ends
+			}
+			o, err := e.db.FetchObject(oid)
+			if err != nil {
+				continue // dangling reference dead-ends
+			}
+			next = append(next, o)
+		}
+		cur = next
+		if len(cur) == 0 {
+			return model.Null, nil
+		}
+	}
+	return model.Null, nil
+}
+
+// stepValue resolves one path step on one object: attribute first, then
+// method (late-bound, no arguments).
+func (e *Engine) stepValue(o *model.Object, step string) (model.Value, error) {
+	if a, err := e.db.Catalog.ResolveAttr(o.Class(), step); err == nil {
+		if v, ok := o.Attrs[a.ID]; ok {
+			return v, nil
+		}
+		return a.Default, nil
+	}
+	if m, err := e.db.Catalog.ResolveMethod(o.Class(), step); err == nil {
+		if m.Impl == nil {
+			return model.Null, fmt.Errorf("query: method %q has no registered implementation", step)
+		}
+		return m.Impl(e.db, o, nil)
+	}
+	return model.Null, fmt.Errorf("query: %s has no attribute or method %q", e.className(o.Class()), step)
+}

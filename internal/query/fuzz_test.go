@@ -1,0 +1,61 @@
+package query
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// TestParserNeverPanics throws random token soup at the parser: every
+// input must either parse or return an error — never panic, never hang.
+func TestParserNeverPanics(t *testing.T) {
+	vocab := []string{
+		"SELECT", "FROM", "WHERE", "ONLY", "AND", "OR", "NOT", "IN",
+		"CONTAINS", "ORDER", "BY", "ASC", "DESC", "LIMIT", "COUNT", "SUM",
+		"AVG", "MIN", "MAX", "*", "(", ")", ",", ".", "=", "!=", "<", "<=",
+		">", ">=", "<>", "Vehicle", "weight", "manufacturer", "location",
+		"42", "3.14", "-7", "'Detroit'", `"x"`, "true", "false", "null",
+		"''", "'unterminated", "\x00", "日本語", "_id",
+	}
+	r := rand.New(rand.NewSource(17))
+	for i := 0; i < 5000; i++ {
+		n := r.Intn(15)
+		parts := make([]string, n)
+		for j := range parts {
+			parts[j] = vocab[r.Intn(len(vocab))]
+		}
+		src := strings.Join(parts, " ")
+		func() {
+			defer func() {
+				if p := recover(); p != nil {
+					t.Fatalf("panic on %q: %v", src, p)
+				}
+			}()
+			q, err := Parse(src)
+			if err == nil && q != nil {
+				// Canonical form must itself re-parse.
+				if _, err2 := Parse(q.String()); err2 != nil {
+					t.Fatalf("canonical form of %q unparseable: %q: %v", src, q.String(), err2)
+				}
+			}
+		}()
+	}
+}
+
+// TestLexerNeverPanics covers raw byte soup (invalid UTF-8 included).
+func TestLexerNeverPanics(t *testing.T) {
+	r := rand.New(rand.NewSource(23))
+	for i := 0; i < 5000; i++ {
+		buf := make([]byte, r.Intn(40))
+		r.Read(buf)
+		src := string(buf)
+		func() {
+			defer func() {
+				if p := recover(); p != nil {
+					t.Fatalf("panic on %x: %v", buf, p)
+				}
+			}()
+			Parse(src)
+		}()
+	}
+}

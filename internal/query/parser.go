@@ -1,0 +1,397 @@
+package query
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"oodb/internal/model"
+)
+
+// Parse parses a SELECT statement.
+func Parse(src string) (*Query, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	q, err := p.parseQuery()
+	if err != nil {
+		return nil, err
+	}
+	if !p.atEOF() {
+		return nil, fmt.Errorf("query: trailing input at %q", p.peek().text)
+	}
+	return q, nil
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+func (p *parser) atEOF() bool { return p.peek().kind == tokEOF }
+
+// keyword consumes an identifier equal (case-insensitively) to kw.
+func (p *parser) keyword(kw string) bool {
+	t := p.peek()
+	if t.kind == tokIdent && strings.EqualFold(t.text, kw) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if !p.keyword(kw) {
+		return fmt.Errorf("query: expected %s near %q", kw, p.peek().text)
+	}
+	return nil
+}
+
+func (p *parser) symbol(sym string) bool {
+	t := p.peek()
+	if t.kind == tokSymbol && t.text == sym {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+var reserved = map[string]bool{
+	"select": true, "from": true, "where": true, "only": true,
+	"and": true, "or": true, "not": true, "contains": true, "in": true,
+	"order": true, "by": true, "asc": true, "desc": true, "limit": true,
+	"true": true, "false": true, "null": true,
+}
+
+func (p *parser) ident() (string, error) {
+	t := p.peek()
+	if t.kind != tokIdent || reserved[strings.ToLower(t.text)] {
+		return "", fmt.Errorf("query: expected identifier near %q", t.text)
+	}
+	p.pos++
+	return t.text, nil
+}
+
+func (p *parser) parseQuery() (*Query, error) {
+	if err := p.expectKeyword("select"); err != nil {
+		return nil, err
+	}
+	q := &Query{}
+	if p.symbol("*") {
+		// SELECT *
+	} else if agg, ok := p.peekAggFunc(); ok {
+		_ = agg
+		for {
+			item, err := p.parseAggregate()
+			if err != nil {
+				return nil, err
+			}
+			q.Aggregates = append(q.Aggregates, item)
+			if !p.symbol(",") {
+				break
+			}
+		}
+	} else {
+		for {
+			path, err := p.parsePath()
+			if err != nil {
+				return nil, err
+			}
+			q.Select = append(q.Select, path)
+			if !p.symbol(",") {
+				break
+			}
+		}
+	}
+	if err := p.expectKeyword("from"); err != nil {
+		return nil, err
+	}
+	if p.keyword("only") {
+		q.Only = true
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, fmt.Errorf("query: expected class name: %w", err)
+	}
+	q.From = name
+	if p.keyword("where") {
+		expr, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		q.Where = expr
+	}
+	if p.keyword("order") {
+		if err := p.expectKeyword("by"); err != nil {
+			return nil, err
+		}
+		path, err := p.parsePath()
+		if err != nil {
+			return nil, err
+		}
+		q.OrderBy = &path
+		if p.keyword("desc") {
+			q.Desc = true
+		} else {
+			p.keyword("asc")
+		}
+	}
+	if p.keyword("limit") {
+		t := p.peek()
+		if t.kind != tokInt {
+			return nil, fmt.Errorf("query: LIMIT expects an integer, got %q", t.text)
+		}
+		p.pos++
+		n, err := strconv.Atoi(t.text)
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("query: bad LIMIT %q", t.text)
+		}
+		q.Limit = n
+	}
+	return q, nil
+}
+
+// aggFuncs maps (lower-cased) aggregate function names.
+var aggFuncs = map[string]AggFunc{
+	"count": AggCount, "sum": AggSum, "avg": AggAvg, "min": AggMin, "max": AggMax,
+}
+
+// peekAggFunc reports whether the cursor sits on an aggregate call:
+// an aggregate name immediately followed by '('. A bare identifier that
+// happens to be named "count" stays an ordinary path.
+func (p *parser) peekAggFunc() (AggFunc, bool) {
+	t := p.peek()
+	if t.kind != tokIdent {
+		return 0, false
+	}
+	f, ok := aggFuncs[strings.ToLower(t.text)]
+	if !ok {
+		return 0, false
+	}
+	nxt := p.toks[p.pos+1]
+	if nxt.kind != tokSymbol || nxt.text != "(" {
+		return 0, false
+	}
+	return f, true
+}
+
+// parseAggregate parses FUNC(* | path).
+func (p *parser) parseAggregate() (AggItem, error) {
+	f, ok := p.peekAggFunc()
+	if !ok {
+		return AggItem{}, fmt.Errorf("query: expected aggregate near %q", p.peek().text)
+	}
+	p.pos++ // function name
+	p.pos++ // '('
+	var item = AggItem{Func: f}
+	if p.symbol("*") {
+		if f != AggCount {
+			return AggItem{}, fmt.Errorf("query: %s(*) is not valid; only COUNT(*)", f)
+		}
+	} else {
+		path, err := p.parsePath()
+		if err != nil {
+			return AggItem{}, err
+		}
+		item.Path = &path
+	}
+	if !p.symbol(")") {
+		return AggItem{}, fmt.Errorf("query: aggregate missing ) near %q", p.peek().text)
+	}
+	return item, nil
+}
+
+func (p *parser) parsePath() (Path, error) {
+	first, err := p.ident()
+	if err != nil {
+		return Path{}, err
+	}
+	path := Path{Steps: []string{first}}
+	for p.symbol(".") {
+		step, err := p.ident()
+		if err != nil {
+			return Path{}, err
+		}
+		path.Steps = append(path.Steps, step)
+	}
+	return path, nil
+}
+
+func (p *parser) parseOr() (Expr, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.keyword("or") {
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		left = &Binary{Op: OpOr, L: left, R: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	left, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.keyword("and") {
+		right, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		left = &Binary{Op: OpAnd, L: left, R: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseNot() (Expr, error) {
+	if p.keyword("not") {
+		e, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return &Not{E: e}, nil
+	}
+	return p.parseComparison()
+}
+
+func (p *parser) parseComparison() (Expr, error) {
+	if p.symbol("(") {
+		e, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		if !p.symbol(")") {
+			return nil, fmt.Errorf("query: missing ) near %q", p.peek().text)
+		}
+		return e, nil
+	}
+	left, err := p.parseOperand()
+	if err != nil {
+		return nil, err
+	}
+	t := p.peek()
+	var op BinOp
+	switch {
+	case t.kind == tokSymbol && t.text == "=":
+		op = OpEq
+	case t.kind == tokSymbol && (t.text == "!=" || t.text == "<>"):
+		op = OpNe
+	case t.kind == tokSymbol && t.text == "<":
+		op = OpLt
+	case t.kind == tokSymbol && t.text == "<=":
+		op = OpLe
+	case t.kind == tokSymbol && t.text == ">":
+		op = OpGt
+	case t.kind == tokSymbol && t.text == ">=":
+		op = OpGe
+	case t.kind == tokIdent && strings.EqualFold(t.text, "contains"):
+		op = OpContains
+	case t.kind == tokIdent && strings.EqualFold(t.text, "in"):
+		op = OpIn
+	default:
+		// Bare path: truthy boolean attribute.
+		return left, nil
+	}
+	p.pos++
+	if op == OpIn {
+		list, err := p.parseList()
+		if err != nil {
+			return nil, err
+		}
+		return &Binary{Op: OpIn, L: left, R: list}, nil
+	}
+	right, err := p.parseOperand()
+	if err != nil {
+		return nil, err
+	}
+	return &Binary{Op: op, L: left, R: right}, nil
+}
+
+func (p *parser) parseList() (Expr, error) {
+	if !p.symbol("(") {
+		return nil, fmt.Errorf("query: IN expects ( near %q", p.peek().text)
+	}
+	var items []model.Value
+	for {
+		lit, err := p.parseLiteral()
+		if err != nil {
+			return nil, err
+		}
+		items = append(items, lit)
+		if p.symbol(",") {
+			continue
+		}
+		break
+	}
+	if !p.symbol(")") {
+		return nil, fmt.Errorf("query: IN list missing ) near %q", p.peek().text)
+	}
+	return &List{Items: items}, nil
+}
+
+func (p *parser) parseOperand() (Expr, error) {
+	t := p.peek()
+	switch {
+	case t.kind == tokInt, t.kind == tokFloat, t.kind == tokString:
+		v, err := p.parseLiteral()
+		if err != nil {
+			return nil, err
+		}
+		return &Lit{V: v}, nil
+	case t.kind == tokIdent && strings.EqualFold(t.text, "true"):
+		p.pos++
+		return &Lit{V: model.Bool(true)}, nil
+	case t.kind == tokIdent && strings.EqualFold(t.text, "false"):
+		p.pos++
+		return &Lit{V: model.Bool(false)}, nil
+	case t.kind == tokIdent && strings.EqualFold(t.text, "null"):
+		p.pos++
+		return &Lit{V: model.Null}, nil
+	case t.kind == tokIdent:
+		path, err := p.parsePath()
+		if err != nil {
+			return nil, err
+		}
+		return &PathExpr{Path: path}, nil
+	default:
+		return nil, fmt.Errorf("query: expected operand near %q", t.text)
+	}
+}
+
+func (p *parser) parseLiteral() (model.Value, error) {
+	t := p.next()
+	switch t.kind {
+	case tokInt:
+		n, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return model.Null, fmt.Errorf("query: bad integer %q", t.text)
+		}
+		return model.Int(n), nil
+	case tokFloat:
+		f, err := strconv.ParseFloat(t.text, 64)
+		if err != nil {
+			return model.Null, fmt.Errorf("query: bad float %q", t.text)
+		}
+		return model.Float(f), nil
+	case tokString:
+		return model.String(t.text), nil
+	case tokIdent:
+		switch strings.ToLower(t.text) {
+		case "true":
+			return model.Bool(true), nil
+		case "false":
+			return model.Bool(false), nil
+		case "null":
+			return model.Null, nil
+		}
+	}
+	return model.Null, fmt.Errorf("query: expected literal near %q", t.text)
+}

@@ -1,0 +1,429 @@
+package query
+
+import (
+	"fmt"
+	"strings"
+
+	"oodb/internal/core"
+	"oodb/internal/index"
+	"oodb/internal/model"
+	"oodb/internal/schema"
+)
+
+// Engine plans and executes queries against a database.
+type Engine struct {
+	db *core.DB
+	// ForceScan disables index selection (the optimizer-ablation switch of
+	// experiment E8).
+	ForceScan bool
+	// Views resolves a FROM name that is not a class to a view's query
+	// source ("a query may be issued against views just as though they
+	// were relations", Kim §5.4). Wired by the view manager.
+	Views func(name string) (src string, ok bool)
+}
+
+// NewEngine returns a query engine over db.
+func NewEngine(db *core.DB) *Engine { return &Engine{db: db} }
+
+// accessKind enumerates the planner's access paths.
+type accessKind int
+
+const (
+	accessScan     accessKind = iota // heap-scan every class in scope
+	accessIndexEq                    // single index, equality probe
+	accessIndexRng                   // single index, range scan
+	accessUnionEq                    // one SC index per scope class, equality
+	accessUnionRng                   // one SC index per scope class, range
+)
+
+// Plan is a compiled query: scope, access path and residual predicate.
+type Plan struct {
+	Query   *Query
+	Target  *schema.Class
+	Scope   []model.ClassID // classes whose instances the query ranges over
+	kind    accessKind
+	indexes []*index.Index // 1 for single-index plans, per-class for unions
+	probe   model.Value    // equality key
+	lo, hi  model.Value    // range bounds (inclusive lo, hi per hiInc)
+	hiInc   bool
+}
+
+// String renders the plan for EXPLAIN output and the ablation tests.
+func (p *Plan) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "scope=%s(%d classes) ", p.Target.Name, len(p.Scope))
+	switch p.kind {
+	case accessScan:
+		sb.WriteString("access=heap-scan")
+	case accessIndexEq:
+		fmt.Fprintf(&sb, "access=index-eq(%s)", p.indexes[0].Name)
+	case accessIndexRng:
+		fmt.Fprintf(&sb, "access=index-range(%s)", p.indexes[0].Name)
+	case accessUnionEq:
+		fmt.Fprintf(&sb, "access=index-union-eq(%d indexes)", len(p.indexes))
+	case accessUnionRng:
+		fmt.Fprintf(&sb, "access=index-union-range(%d indexes)", len(p.indexes))
+	}
+	if p.Query.Where != nil {
+		fmt.Fprintf(&sb, " residual=%s", p.Query.Where.exprString())
+	}
+	return sb.String()
+}
+
+// IndexUsed reports whether the plan uses any index (tests).
+func (p *Plan) IndexUsed() bool { return p.kind != accessScan }
+
+// PlanQuery resolves names and picks an access path. A FROM name that is
+// not a class resolves through the view resolver: the view's query is
+// merged with the outer query (predicates conjoined, outer projection
+// winning) and planned against the view's target class.
+func (e *Engine) PlanQuery(q *Query) (*Plan, error) {
+	return e.planQuery(q, 0)
+}
+
+func (e *Engine) planQuery(q *Query, viewDepth int) (*Plan, error) {
+	cl, err := e.db.Catalog.ClassByName(q.From)
+	if err != nil {
+		if e.Views != nil {
+			if src, ok := e.Views(q.From); ok {
+				if viewDepth >= 8 {
+					return nil, fmt.Errorf("query: view expansion too deep at %q (cyclic view definition?)", q.From)
+				}
+				merged, verr := e.mergeView(q, src)
+				if verr != nil {
+					return nil, verr
+				}
+				return e.planQuery(merged, viewDepth+1)
+			}
+		}
+		return nil, err
+	}
+	p := &Plan{Query: q, Target: cl}
+	if q.Only {
+		p.Scope = []model.ClassID{cl.ID}
+	} else {
+		p.Scope, err = e.db.Catalog.Descendants(cl.ID)
+		if err != nil {
+			return nil, err
+		}
+	}
+	// Validate projection and ORDER BY paths eagerly (first step must
+	// resolve on the target class as attribute or method).
+	for _, path := range q.Select {
+		if err := e.checkPathHead(cl.ID, path); err != nil {
+			return nil, err
+		}
+	}
+	for _, agg := range q.Aggregates {
+		if agg.Path != nil {
+			if err := e.checkPathHead(cl.ID, *agg.Path); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if q.OrderBy != nil {
+		if err := e.checkPathHead(cl.ID, *q.OrderBy); err != nil {
+			return nil, err
+		}
+	}
+	p.kind = accessScan
+	if q.Where == nil || e.ForceScan {
+		return p, nil
+	}
+	e.chooseIndex(p)
+	return p, nil
+}
+
+// mergeView composes an outer query over a view definition. The outer
+// WHERE conjoins with the view's; the outer projection, ordering, limit
+// and aggregates override the view's when present. Restrictions keep the
+// semantics honest: a view with ORDER BY or LIMIT only admits a bare
+// SELECT * over it, and a view cannot itself be an aggregate.
+func (e *Engine) mergeView(outer *Query, src string) (*Query, error) {
+	inner, err := Parse(src)
+	if err != nil {
+		return nil, fmt.Errorf("query: view %q: %w", outer.From, err)
+	}
+	if len(inner.Aggregates) > 0 {
+		return nil, fmt.Errorf("query: view %q is an aggregate; it cannot be queried FROM", outer.From)
+	}
+	if outer.Only {
+		return nil, fmt.Errorf("query: ONLY cannot apply to view %q", outer.From)
+	}
+	if (inner.Limit > 0 || inner.OrderBy != nil) &&
+		(outer.Where != nil || outer.Limit > 0 || outer.OrderBy != nil || len(outer.Select) > 0 || len(outer.Aggregates) > 0) {
+		return nil, fmt.Errorf("query: view %q has ORDER BY/LIMIT; only SELECT * over it is supported", outer.From)
+	}
+	merged := &Query{
+		From:       inner.From,
+		Only:       inner.Only,
+		Where:      inner.Where,
+		Select:     inner.Select,
+		OrderBy:    inner.OrderBy,
+		Desc:       inner.Desc,
+		Limit:      inner.Limit,
+		Aggregates: outer.Aggregates,
+	}
+	if outer.Where != nil {
+		if merged.Where != nil {
+			merged.Where = &Binary{Op: OpAnd, L: merged.Where, R: outer.Where}
+		} else {
+			merged.Where = outer.Where
+		}
+	}
+	if len(outer.Select) > 0 {
+		merged.Select = outer.Select
+	}
+	if len(outer.Aggregates) > 0 {
+		merged.Select = nil
+	}
+	if outer.OrderBy != nil {
+		merged.OrderBy, merged.Desc = outer.OrderBy, outer.Desc
+	}
+	if outer.Limit > 0 {
+		merged.Limit = outer.Limit
+	}
+	return merged, nil
+}
+
+func (e *Engine) checkPathHead(class model.ClassID, path Path) error {
+	if len(path.Steps) == 0 {
+		return fmt.Errorf("query: empty path")
+	}
+	if _, err := e.db.Catalog.ResolveAttr(class, path.Steps[0]); err == nil {
+		return nil
+	}
+	if _, err := e.db.Catalog.ResolveMethod(class, path.Steps[0]); err == nil {
+		return nil
+	}
+	return fmt.Errorf("query: %s has no attribute or method %q", e.className(class), path.Steps[0])
+}
+
+func (e *Engine) className(id model.ClassID) string {
+	cl, err := e.db.Catalog.Class(id)
+	if err != nil {
+		return fmt.Sprintf("class(%d)", id)
+	}
+	return cl.Name
+}
+
+// sarg is an index-usable conjunct: path op literal.
+type sarg struct {
+	path Path
+	op   BinOp
+	lit  model.Value
+}
+
+// conjuncts flattens the top-level AND tree of the predicate.
+func conjuncts(ex Expr, out []Expr) []Expr {
+	if b, ok := ex.(*Binary); ok && b.Op == OpAnd {
+		out = conjuncts(b.L, out)
+		return conjuncts(b.R, out)
+	}
+	return append(out, ex)
+}
+
+// extractSargs pulls index-usable comparisons out of the predicate.
+func extractSargs(ex Expr) []sarg {
+	var out []sarg
+	for _, c := range conjuncts(ex, nil) {
+		b, ok := c.(*Binary)
+		if !ok {
+			continue
+		}
+		switch b.Op {
+		case OpEq, OpLt, OpLe, OpGt, OpGe, OpContains:
+		default:
+			continue
+		}
+		pe, pok := b.L.(*PathExpr)
+		lit, lok := b.R.(*Lit)
+		op := b.Op
+		if !pok || !lok {
+			// literal op path: flip.
+			if pe2, ok2 := b.R.(*PathExpr); ok2 {
+				if lit2, ok3 := b.L.(*Lit); ok3 {
+					pe, lit, pok, lok = pe2, lit2, true, true
+					op = flip(op)
+				}
+			}
+		}
+		if !pok || !lok || lit.V.IsNull() {
+			continue
+		}
+		// CONTAINS probes the same key space as equality (set members are
+		// indexed individually).
+		if op == OpContains {
+			op = OpEq
+		}
+		out = append(out, sarg{path: pe.Path, op: op, lit: lit.V})
+	}
+	return out
+}
+
+func flip(op BinOp) BinOp {
+	switch op {
+	case OpLt:
+		return OpGt
+	case OpLe:
+		return OpGe
+	case OpGt:
+		return OpLt
+	case OpGe:
+		return OpLe
+	default:
+		return op
+	}
+}
+
+// resolveAttrPath maps a name path to AttrIDs starting at class, following
+// reference domains; it fails if any step is a method or unknown.
+func (e *Engine) resolveAttrPath(class model.ClassID, path Path) ([]model.AttrID, bool) {
+	cur := class
+	out := make([]model.AttrID, 0, len(path.Steps))
+	for i, step := range path.Steps {
+		a, err := e.db.Catalog.ResolveAttr(cur, step)
+		if err != nil {
+			return nil, false
+		}
+		out = append(out, a.ID)
+		if i < len(path.Steps)-1 {
+			if schema.IsPrimitive(a.Domain) {
+				return nil, false
+			}
+			cur = a.Domain
+		}
+	}
+	return out, true
+}
+
+// chooseIndex picks the cheapest usable access path:
+// equality beats range, one index beats a per-class union, and any index
+// beats a heap scan. This is the paper's requirement that the system — not
+// the application — chooses among access methods (§2.2).
+func (e *Engine) chooseIndex(p *Plan) {
+	type candidate struct {
+		kind    accessKind
+		indexes []*index.Index
+		s       sarg
+	}
+	var best *candidate
+	better := func(a, b *candidate) bool {
+		if b == nil {
+			return true
+		}
+		return a.kind < b.kind // accessIndexEq < accessIndexRng < unions ordering below
+	}
+	rank := func(k accessKind) int {
+		switch k {
+		case accessIndexEq:
+			return 0
+		case accessUnionEq:
+			return 1
+		case accessIndexRng:
+			return 2
+		case accessUnionRng:
+			return 3
+		default:
+			return 4
+		}
+	}
+	_ = better
+	for _, s := range extractSargs(p.Query.Where) {
+		attrPath, ok := e.resolveAttrPath(p.Target.ID, s.path)
+		if !ok {
+			continue
+		}
+		// Single index covering the whole scope.
+		if idx := e.findCoveringIndex(p, attrPath); idx != nil {
+			kind := accessIndexEq
+			if s.op != OpEq {
+				kind = accessIndexRng
+			}
+			c := &candidate{kind: kind, indexes: []*index.Index{idx}, s: s}
+			if best == nil || rank(c.kind) < rank(best.kind) {
+				best = c
+			}
+			continue
+		}
+		// Union of single-class indexes, one per scope class.
+		if union := e.findUnionIndexes(p, attrPath); union != nil {
+			kind := accessUnionEq
+			if s.op != OpEq {
+				kind = accessUnionRng
+			}
+			c := &candidate{kind: kind, indexes: union, s: s}
+			if best == nil || rank(c.kind) < rank(best.kind) {
+				best = c
+			}
+		}
+	}
+	if best == nil {
+		return
+	}
+	p.kind = best.kind
+	p.indexes = best.indexes
+	switch best.s.op {
+	case OpEq:
+		p.probe = best.s.lit
+	case OpGt, OpGe:
+		p.lo, p.hi, p.hiInc = best.s.lit, model.Null, false
+	case OpLt, OpLe:
+		p.lo, p.hi, p.hiInc = model.Null, best.s.lit, true
+	}
+}
+
+// findCoveringIndex returns one index on attrPath covering every class in
+// the plan scope, or nil.
+func (e *Engine) findCoveringIndex(p *Plan, attrPath []model.AttrID) *index.Index {
+	for _, idx := range e.db.Indexes.All() {
+		if !pathEqual(idx.Path, attrPath) {
+			continue
+		}
+		if idx.Hierarchy {
+			if e.db.Catalog.IsSubclassOf(p.Target.ID, idx.Class) {
+				return idx
+			}
+			continue
+		}
+		// SC index covers the scope only when the scope is exactly its
+		// class.
+		if len(p.Scope) == 1 && p.Scope[0] == idx.Class {
+			return idx
+		}
+	}
+	return nil
+}
+
+// findUnionIndexes returns one single-class index per scope class on
+// attrPath, or nil if any class is uncovered. This is the
+// one-index-per-class organization the CH-index is measured against (E1).
+func (e *Engine) findUnionIndexes(p *Plan, attrPath []model.AttrID) []*index.Index {
+	out := make([]*index.Index, 0, len(p.Scope))
+	for _, c := range p.Scope {
+		var found *index.Index
+		for _, idx := range e.db.Indexes.All() {
+			if !idx.Hierarchy && idx.Class == c && pathEqual(idx.Path, attrPath) {
+				found = idx
+				break
+			}
+		}
+		if found == nil {
+			return nil
+		}
+		out = append(out, found)
+	}
+	return out
+}
+
+func pathEqual(a, b []model.AttrID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,141 @@
+// Package query implements kimdb's declarative query facility: an
+// OQL-flavored language over the object-oriented schema, a planner that
+// selects among class-hierarchy indexes, nested-attribute indexes and heap
+// scans, and an executor that evaluates predicates against the nested
+// definition of the target class (Kim §3.2 Query Model).
+//
+// The language:
+//
+//	SELECT <* | path[, path...] | AGG(path|*)[, AGG(...)...]> FROM [ONLY] Class
+//	[WHERE <boolean expression over paths, literals, methods>]
+//	[ORDER BY path [ASC|DESC]] [LIMIT n]
+//
+// Aggregates are COUNT, SUM, AVG, MIN, MAX; COUNT(*) counts matching
+// objects, per-path aggregates skip nulls and expand set values.
+//
+// A query against class C ranges over C and the class hierarchy rooted at
+// C; ONLY restricts it to C's own instances. A path a.b.c dereferences
+// object references attribute by attribute; a step that names a method
+// invokes it (methods as derived attributes).
+package query
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokInt
+	tokFloat
+	tokString
+	tokSymbol // punctuation and operators
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+// lexer produces tokens from query source.
+type lexer struct {
+	src  string
+	pos  int
+	toks []token
+}
+
+// lex tokenizes the whole input up front (queries are short).
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	for {
+		l.skipSpace()
+		if l.pos >= len(l.src) {
+			l.toks = append(l.toks, token{kind: tokEOF, pos: l.pos})
+			return l.toks, nil
+		}
+		start := l.pos
+		c := l.src[l.pos]
+		switch {
+		case isIdentStart(rune(c)):
+			for l.pos < len(l.src) && isIdentPart(rune(l.src[l.pos])) {
+				l.pos++
+			}
+			l.toks = append(l.toks, token{kind: tokIdent, text: l.src[start:l.pos], pos: start})
+		case c >= '0' && c <= '9' || (c == '-' && l.pos+1 < len(l.src) && l.src[l.pos+1] >= '0' && l.src[l.pos+1] <= '9'):
+			kind := tokInt
+			l.pos++
+			for l.pos < len(l.src) && (l.src[l.pos] >= '0' && l.src[l.pos] <= '9') {
+				l.pos++
+			}
+			if l.pos < len(l.src) && l.src[l.pos] == '.' && l.pos+1 < len(l.src) && l.src[l.pos+1] >= '0' && l.src[l.pos+1] <= '9' {
+				kind = tokFloat
+				l.pos++
+				for l.pos < len(l.src) && (l.src[l.pos] >= '0' && l.src[l.pos] <= '9') {
+					l.pos++
+				}
+			}
+			l.toks = append(l.toks, token{kind: kind, text: l.src[start:l.pos], pos: start})
+		case c == '\'' || c == '"':
+			quote := c
+			l.pos++
+			var sb strings.Builder
+			closed := false
+			for l.pos < len(l.src) {
+				ch := l.src[l.pos]
+				if ch == quote {
+					// Doubled quote escapes itself.
+					if l.pos+1 < len(l.src) && l.src[l.pos+1] == quote {
+						sb.WriteByte(quote)
+						l.pos += 2
+						continue
+					}
+					l.pos++
+					closed = true
+					break
+				}
+				sb.WriteByte(ch)
+				l.pos++
+			}
+			if !closed {
+				return nil, fmt.Errorf("query: unterminated string at offset %d", start)
+			}
+			l.toks = append(l.toks, token{kind: tokString, text: sb.String(), pos: start})
+		default:
+			// Multi-char operators first.
+			for _, op := range []string{"<=", ">=", "!=", "<>"} {
+				if strings.HasPrefix(l.src[l.pos:], op) {
+					l.toks = append(l.toks, token{kind: tokSymbol, text: op, pos: start})
+					l.pos += 2
+					goto next
+				}
+			}
+			switch c {
+			case '=', '<', '>', '(', ')', ',', '.', '*':
+				l.toks = append(l.toks, token{kind: tokSymbol, text: string(c), pos: start})
+				l.pos++
+			default:
+				return nil, fmt.Errorf("query: unexpected character %q at offset %d", c, l.pos)
+			}
+		next:
+		}
+	}
+}
+
+func (l *lexer) skipSpace() {
+	for l.pos < len(l.src) && unicode.IsSpace(rune(l.src[l.pos])) {
+		l.pos++
+	}
+}
+
+func isIdentStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isIdentPart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}

@@ -1,0 +1,235 @@
+package relational
+
+import (
+	"testing"
+
+	"oodb/internal/model"
+)
+
+func makeVehicles(t *testing.T) (*DB, *Relation, *Relation) {
+	t.Helper()
+	db := NewDB()
+	company, err := db.Create("company", "id", "name", "location")
+	if err != nil {
+		t.Fatal(err)
+	}
+	vehicle, err := db.Create("vehicle", "id", "weight", "maker")
+	if err != nil {
+		t.Fatal(err)
+	}
+	companies := []struct {
+		id, name, loc string
+	}{
+		{"c1", "GM", "Detroit"},
+		{"c2", "Toyota", "Toyota City"},
+		{"c3", "Freightliner", "Detroit"},
+	}
+	for _, c := range companies {
+		company.Insert(model.String(c.id), model.String(c.name), model.String(c.loc))
+	}
+	vehicles := []struct {
+		id    string
+		w     int64
+		maker string
+	}{
+		{"v1", 5000, "c1"}, {"v2", 8000, "c2"}, {"v3", 7600, "c1"},
+		{"v4", 9000, "c3"}, {"v5", 7000, "c3"},
+	}
+	for _, v := range vehicles {
+		vehicle.Insert(model.String(v.id), model.Int(v.w), model.String(v.maker))
+	}
+	return db, company, vehicle
+}
+
+func TestInsertScanLen(t *testing.T) {
+	_, company, vehicle := makeVehicles(t)
+	if company.Len() != 3 || vehicle.Len() != 5 {
+		t.Fatalf("Len = %d, %d", company.Len(), vehicle.Len())
+	}
+	n := 0
+	vehicle.Scan(func(int, []model.Value) bool { n++; return true })
+	if n != 5 {
+		t.Fatalf("scan saw %d", n)
+	}
+}
+
+func TestArityChecked(t *testing.T) {
+	db := NewDB()
+	r, _ := db.Create("r", "a", "b")
+	if _, err := r.Insert(model.Int(1)); err == nil {
+		t.Fatal("short tuple accepted")
+	}
+}
+
+func TestSelectEqScanAndIndex(t *testing.T) {
+	_, _, vehicle := makeVehicles(t)
+	rows, err := vehicle.SelectEq("weight", model.Int(7600))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("scan select = %v", rows)
+	}
+	if err := vehicle.CreateIndex("weight"); err != nil {
+		t.Fatal(err)
+	}
+	rows2, _ := vehicle.SelectEq("weight", model.Int(7600))
+	if len(rows2) != 1 || rows2[0] != rows[0] {
+		t.Fatalf("index select = %v, want %v", rows2, rows)
+	}
+}
+
+func TestSelectRange(t *testing.T) {
+	_, _, vehicle := makeVehicles(t)
+	check := func() {
+		t.Helper()
+		rows, err := vehicle.SelectRange("weight", model.Int(7500), model.Null, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rows) != 3 { // 8000, 7600, 9000
+			t.Fatalf("range = %v", rows)
+		}
+		rows, _ = vehicle.SelectRange("weight", model.Int(7000), model.Int(8000), true)
+		if len(rows) != 3 { // 7000, 7600, 8000
+			t.Fatalf("bounded range = %v", rows)
+		}
+		rows, _ = vehicle.SelectRange("weight", model.Int(7000), model.Int(8000), false)
+		if len(rows) != 2 {
+			t.Fatalf("exclusive range = %v", rows)
+		}
+	}
+	check() // scan path
+	vehicle.CreateIndex("weight")
+	check() // index path
+}
+
+func TestUpdateDeleteMaintainIndexes(t *testing.T) {
+	_, _, vehicle := makeVehicles(t)
+	vehicle.CreateIndex("weight")
+	rows, _ := vehicle.SelectEq("weight", model.Int(5000))
+	if len(rows) != 1 {
+		t.Fatal("setup")
+	}
+	if err := vehicle.Update(rows[0], "weight", model.Int(5500)); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := vehicle.SelectEq("weight", model.Int(5000)); len(got) != 0 {
+		t.Fatal("stale index entry after update")
+	}
+	if got, _ := vehicle.SelectEq("weight", model.Int(5500)); len(got) != 1 {
+		t.Fatal("missing index entry after update")
+	}
+	if err := vehicle.Delete(rows[0]); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := vehicle.SelectEq("weight", model.Int(5500)); len(got) != 0 {
+		t.Fatal("stale index entry after delete")
+	}
+	if vehicle.Len() != 4 {
+		t.Fatalf("Len = %d", vehicle.Len())
+	}
+	if _, err := vehicle.Get(rows[0]); err == nil {
+		t.Fatal("deleted row readable")
+	}
+}
+
+// paperQuery runs the paper's example query relationally: vehicles over
+// 7500 lbs made by a Detroit company = select + join.
+func paperQuery(t *testing.T, company, vehicle *Relation, join func(l, r *Relation, lc, rc string) ([]JoinRow, error)) []string {
+	t.Helper()
+	heavy, err := vehicle.SelectRange("weight", model.Int(7501), model.Null, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	heavySet := map[int]bool{}
+	for _, row := range heavy {
+		heavySet[row] = true
+	}
+	joined, err := join(vehicle, company, "maker", "id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []string
+	for _, j := range joined {
+		if !heavySet[j.Left] {
+			continue
+		}
+		ct, _ := company.Get(j.Right)
+		loc, _ := company.Col(ct, "location")
+		if s, _ := loc.AsString(); s != "Detroit" {
+			continue
+		}
+		vt, _ := vehicle.Get(j.Left)
+		id, _ := vehicle.Col(vt, "id")
+		s, _ := id.AsString()
+		out = append(out, s)
+	}
+	return out
+}
+
+func TestHashJoinPaperQuery(t *testing.T) {
+	_, company, vehicle := makeVehicles(t)
+	got := paperQuery(t, company, vehicle, HashJoin)
+	if len(got) != 2 {
+		t.Fatalf("got %v, want v3 and v4", got)
+	}
+}
+
+func TestNestedLoopJoinMatchesHashJoin(t *testing.T) {
+	_, company, vehicle := makeVehicles(t)
+	a := paperQuery(t, company, vehicle, HashJoin)
+	b := paperQuery(t, company, vehicle, NestedLoopJoin)
+	if len(a) != len(b) {
+		t.Fatalf("hash %v != nested-loop %v", a, b)
+	}
+	// Index nested-loop path too.
+	company.CreateIndex("id")
+	c := paperQuery(t, company, vehicle, NestedLoopJoin)
+	if len(c) != len(a) {
+		t.Fatalf("index nested-loop %v != %v", c, a)
+	}
+}
+
+func TestProject(t *testing.T) {
+	_, _, vehicle := makeVehicles(t)
+	rows, _ := vehicle.SelectRange("weight", model.Int(8000), model.Null, false)
+	vals, err := vehicle.Project(rows, "id", "weight")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vals) != 2 || len(vals[0]) != 2 {
+		t.Fatalf("project = %v", vals)
+	}
+	if _, err := vehicle.Project(rows, "nope"); err == nil {
+		t.Fatal("bad column accepted")
+	}
+}
+
+func TestJoinSkipsNulls(t *testing.T) {
+	db := NewDB()
+	l, _ := db.Create("l", "k")
+	r, _ := db.Create("r", "k")
+	l.Insert(model.Null)
+	l.Insert(model.Int(1))
+	r.Insert(model.Int(1))
+	r.Insert(model.Null)
+	joined, _ := HashJoin(l, r, "k", "k")
+	if len(joined) != 1 {
+		t.Fatalf("null keys joined: %v", joined)
+	}
+}
+
+func TestDuplicateRelationAndColumn(t *testing.T) {
+	db := NewDB()
+	if _, err := db.Create("r", "a", "a"); err == nil {
+		t.Fatal("duplicate column accepted")
+	}
+	db.Create("r", "a")
+	if _, err := db.Create("r", "b"); err == nil {
+		t.Fatal("duplicate relation accepted")
+	}
+	if _, err := db.Relation("missing"); err == nil {
+		t.Fatal("missing relation returned")
+	}
+}

@@ -1,0 +1,65 @@
+package schema
+
+import (
+	"errors"
+	"fmt"
+
+	"oodb/internal/model"
+)
+
+// ErrDomain reports a value that does not conform to an attribute's domain.
+var ErrDomain = errors.New("schema: value violates attribute domain")
+
+// CheckValue verifies that v is a legal value for attribute a under the
+// catalog's current hierarchy:
+//
+//   - null is legal for any attribute;
+//   - a primitive domain requires the matching primitive kind (integers
+//     widen to a Float domain, mirroring Compare's numeric class);
+//   - a general (user-class) domain requires a reference whose target class
+//     is the domain class or any of its subclasses — the paper's
+//     generalization interpretation of attribute domains (§3.2: a
+//     Manufacturer declared Company "may take on as its values objects from
+//     the class Company and any direct or indirect subclass");
+//   - a set-valued attribute requires a set whose every member satisfies
+//     the element rule above.
+func (c *Catalog) CheckValue(a *Attribute, v model.Value) error {
+	if v.IsNull() {
+		return nil
+	}
+	if a.SetValued {
+		members, ok := v.AsSet()
+		if !ok {
+			return fmt.Errorf("%w: attribute %q requires a set, got %s", ErrDomain, a.Name, v.Kind())
+		}
+		for _, m := range members {
+			if err := c.checkElement(a, m); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return c.checkElement(a, v)
+}
+
+func (c *Catalog) checkElement(a *Attribute, v model.Value) error {
+	want := DomainKind(a.Domain)
+	if want != model.KindRef {
+		if v.Kind() == want {
+			return nil
+		}
+		if want == model.KindFloat && v.Kind() == model.KindInt {
+			return nil // integers widen into a Float domain
+		}
+		return fmt.Errorf("%w: attribute %q wants %s, got %s", ErrDomain, a.Name, want, v.Kind())
+	}
+	oid, ok := v.AsRef()
+	if !ok {
+		return fmt.Errorf("%w: attribute %q wants a reference, got %s", ErrDomain, a.Name, v.Kind())
+	}
+	if !c.IsSubclassOf(oid.Class(), a.Domain) {
+		return fmt.Errorf("%w: attribute %q wants class %d or a subclass, got class %d",
+			ErrDomain, a.Name, a.Domain, oid.Class())
+	}
+	return nil
+}

@@ -1,0 +1,113 @@
+package storage
+
+import "fmt"
+
+// System blobs. The catalog image, the segment table and the index table
+// are variable-length byte strings stored in chains of blob pages whose
+// heads live in the metadata page. Blobs are rewritten whole — they change
+// only at DDL and checkpoint time.
+
+// WriteBlob stores data in a fresh page chain and returns the head.
+func (bp *BufferPool) WriteBlob(data []byte) (PageID, error) {
+	if len(data) == 0 {
+		// An empty blob still needs a page so the root distinguishes
+		// "empty" from "absent".
+		id, p, err := bp.FetchNew(pageTypeBlob)
+		if err != nil {
+			return InvalidPage, err
+		}
+		_, err = p.Insert(nil)
+		bp.Unpin(id, true)
+		return id, err
+	}
+	var head, prev PageID
+	for off := 0; off < len(data); {
+		chunk := len(data) - off
+		if chunk > maxInline {
+			chunk = maxInline
+		}
+		id, p, err := bp.FetchNew(pageTypeBlob)
+		if err != nil {
+			return InvalidPage, err
+		}
+		if _, err := p.Insert(data[off : off+chunk]); err != nil {
+			bp.Unpin(id, false)
+			return InvalidPage, err
+		}
+		bp.Unpin(id, true)
+		if head == InvalidPage {
+			head = id
+		} else {
+			pp, err := bp.Fetch(prev)
+			if err != nil {
+				return InvalidPage, err
+			}
+			pp.SetNext(id)
+			bp.Unpin(prev, true)
+		}
+		prev = id
+		off += chunk
+	}
+	return head, nil
+}
+
+// ReadBlob reassembles a blob from its chain head.
+func (bp *BufferPool) ReadBlob(head PageID) ([]byte, error) {
+	var out []byte
+	for id := head; id != InvalidPage; {
+		p, err := bp.Fetch(id)
+		if err != nil {
+			return nil, err
+		}
+		if p.Type() != pageTypeBlob {
+			bp.Unpin(id, false)
+			return nil, fmt.Errorf("storage: page %d is not a blob page", id)
+		}
+		chunk, err := p.Read(0)
+		if err != nil {
+			bp.Unpin(id, false)
+			return nil, fmt.Errorf("storage: corrupt blob page %d: %w", id, err)
+		}
+		out = append(out, chunk...)
+		next := p.Next()
+		bp.Unpin(id, false)
+		id = next
+	}
+	return out, nil
+}
+
+// FreeBlob returns a blob chain's pages to the free list.
+func (bp *BufferPool) FreeBlob(head PageID) error {
+	for id := head; id != InvalidPage; {
+		p, err := bp.Fetch(id)
+		if err != nil {
+			return err
+		}
+		next := p.Next()
+		bp.Unpin(id, false)
+		bp.Drop(id)
+		if err := bp.disk.FreePage(id); err != nil {
+			return err
+		}
+		id = next
+	}
+	return nil
+}
+
+// ReplaceBlob atomically (with respect to the metadata root) swaps the blob
+// stored under root for data: the new chain is written first, the root is
+// flipped, then the old chain is freed.
+func (bp *BufferPool) ReplaceBlob(root MetaRoot, data []byte) error {
+	old := bp.disk.GetRoot(root)
+	head, err := bp.WriteBlob(data)
+	if err != nil {
+		return err
+	}
+	if err := bp.disk.SetRoot(root, head); err != nil {
+		return err
+	}
+	if old != InvalidPage {
+		return bp.FreeBlob(old)
+	}
+	return nil
+}

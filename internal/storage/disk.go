@@ -1,0 +1,246 @@
+package storage
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+)
+
+// DiskManager reads and writes fixed-size pages in a single database file
+// and manages page allocation through a free list threaded through freed
+// pages' Next links. Page 0 is the metadata page and is never handed out.
+//
+// Metadata page payload (after the standard header):
+//
+//	offset  field
+//	32      magic (4 bytes)
+//	36      format version (4 bytes)
+//	40      free list head (8 bytes)
+//	48      catalog blob chain head (8 bytes)
+//	56      segment table blob chain head (8 bytes)
+//	64      index table blob chain head (8 bytes)
+type DiskManager struct {
+	mu       sync.Mutex
+	file     *os.File
+	numPages PageID // count of pages in the file, including page 0
+	meta     Page
+}
+
+const (
+	diskMagic      = 0x4B44_4201 // "KDB" + format 1
+	metaOffMagic   = 32
+	metaOffVersion = 36
+	metaOffFree    = 40
+	metaOffCatalog = 48
+	metaOffSegTab  = 56
+	metaOffIdxTab  = 64
+)
+
+// ErrNotADatabase reports a file that does not carry the kimdb magic.
+var ErrNotADatabase = errors.New("storage: not a kimdb database file")
+
+// OpenDisk opens (or creates) a database file.
+func OpenDisk(path string) (*DiskManager, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("storage: open %s: %w", path, err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	d := &DiskManager{file: f}
+	if st.Size() == 0 {
+		// Fresh database: format the metadata page.
+		d.meta.Init(pageTypeMeta)
+		binary.BigEndian.PutUint32(d.meta.buf[metaOffMagic:], diskMagic)
+		binary.BigEndian.PutUint32(d.meta.buf[metaOffVersion:], 1)
+		d.numPages = 1
+		if err := d.writeMetaLocked(); err != nil {
+			f.Close()
+			return nil, err
+		}
+		return d, nil
+	}
+	if st.Size()%PageSize != 0 {
+		f.Close()
+		return nil, fmt.Errorf("storage: %s: size %d not page-aligned", path, st.Size())
+	}
+	d.numPages = PageID(st.Size() / PageSize)
+	if _, err := f.ReadAt(d.meta.buf[:], 0); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := d.meta.Verify(); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("storage: metadata page: %w", err)
+	}
+	if binary.BigEndian.Uint32(d.meta.buf[metaOffMagic:]) != diskMagic {
+		f.Close()
+		return nil, ErrNotADatabase
+	}
+	return d, nil
+}
+
+// Close syncs and closes the file.
+func (d *DiskManager) Close() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if err := d.file.Sync(); err != nil {
+		d.file.Close()
+		return err
+	}
+	return d.file.Close()
+}
+
+// NumPages returns the current file size in pages.
+func (d *DiskManager) NumPages() PageID {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.numPages
+}
+
+// ReadPage reads the page into p, verifying its checksum.
+func (d *DiskManager) ReadPage(id PageID, p *Page) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.readPageLocked(id, p)
+}
+
+func (d *DiskManager) readPageLocked(id PageID, p *Page) error {
+	if id >= d.numPages {
+		return fmt.Errorf("storage: read of page %d beyond end (%d pages)", id, d.numPages)
+	}
+	if _, err := d.file.ReadAt(p.buf[:], int64(id)*PageSize); err != nil && err != io.EOF {
+		return fmt.Errorf("storage: read page %d: %w", id, err)
+	}
+	if err := p.Verify(); err != nil {
+		return fmt.Errorf("page %d: %w", id, err)
+	}
+	return nil
+}
+
+// WritePage seals (checksums) and writes the page.
+func (d *DiskManager) WritePage(id PageID, p *Page) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.writePageLocked(id, p)
+}
+
+func (d *DiskManager) writePageLocked(id PageID, p *Page) error {
+	if id >= d.numPages {
+		return fmt.Errorf("storage: write of page %d beyond end (%d pages)", id, d.numPages)
+	}
+	p.Seal()
+	if _, err := d.file.WriteAt(p.buf[:], int64(id)*PageSize); err != nil {
+		return fmt.Errorf("storage: write page %d: %w", id, err)
+	}
+	return nil
+}
+
+// AllocPage returns a fresh page id, reusing the free list before extending
+// the file. The returned page's on-disk content is undefined; callers must
+// Init and write it.
+func (d *DiskManager) AllocPage() (PageID, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	head := PageID(binary.BigEndian.Uint64(d.meta.buf[metaOffFree:]))
+	if head != InvalidPage {
+		var p Page
+		if err := d.readPageLocked(head, &p); err != nil {
+			return InvalidPage, err
+		}
+		binary.BigEndian.PutUint64(d.meta.buf[metaOffFree:], uint64(p.Next()))
+		if err := d.writeMetaLocked(); err != nil {
+			return InvalidPage, err
+		}
+		return head, nil
+	}
+	id := d.numPages
+	d.numPages++
+	// Extend the file with a zero page so subsequent reads are in-bounds.
+	var zero Page
+	zero.Init(pageTypeFree)
+	zero.Seal()
+	if _, err := d.file.WriteAt(zero.buf[:], int64(id)*PageSize); err != nil {
+		d.numPages--
+		return InvalidPage, fmt.Errorf("storage: extend to page %d: %w", id, err)
+	}
+	return id, nil
+}
+
+// FreePage returns a page to the free list.
+func (d *DiskManager) FreePage(id PageID) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if id == InvalidPage || id >= d.numPages {
+		return fmt.Errorf("storage: free of invalid page %d", id)
+	}
+	var p Page
+	p.Init(pageTypeFree)
+	p.SetNext(PageID(binary.BigEndian.Uint64(d.meta.buf[metaOffFree:])))
+	if err := d.writePageLocked(id, &p); err != nil {
+		return err
+	}
+	binary.BigEndian.PutUint64(d.meta.buf[metaOffFree:], uint64(id))
+	return d.writeMetaLocked()
+}
+
+// Sync forces all written pages to stable storage.
+func (d *DiskManager) Sync() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.file.Sync()
+}
+
+// Meta roots. The engine stores the heads of its system blob chains
+// (catalog image, segment table, index table) in the metadata page.
+
+// MetaRoot identifies one of the blob-chain roots in the metadata page.
+type MetaRoot int
+
+// The metadata roots.
+const (
+	RootCatalog MetaRoot = iota
+	RootSegTable
+	RootIndexTable
+)
+
+func (r MetaRoot) offset() int {
+	switch r {
+	case RootCatalog:
+		return metaOffCatalog
+	case RootSegTable:
+		return metaOffSegTab
+	default:
+		return metaOffIdxTab
+	}
+}
+
+// GetRoot returns the page chain head stored under the root.
+func (d *DiskManager) GetRoot(r MetaRoot) PageID {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return PageID(binary.BigEndian.Uint64(d.meta.buf[r.offset():]))
+}
+
+// SetRoot stores a page chain head under the root and persists the
+// metadata page.
+func (d *DiskManager) SetRoot(r MetaRoot, id PageID) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	binary.BigEndian.PutUint64(d.meta.buf[r.offset():], uint64(id))
+	return d.writeMetaLocked()
+}
+
+func (d *DiskManager) writeMetaLocked() error {
+	d.meta.Seal()
+	if _, err := d.file.WriteAt(d.meta.buf[:], 0); err != nil {
+		return fmt.Errorf("storage: write metadata page: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,405 @@
+package storage
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// RID is a record identifier: the physical address of a stored record.
+type RID struct {
+	Page PageID
+	Slot uint16
+}
+
+// IsZero reports whether the RID is unset.
+func (r RID) IsZero() bool { return r.Page == InvalidPage && r.Slot == 0 }
+
+func (r RID) String() string { return fmt.Sprintf("%d.%d", r.Page, r.Slot) }
+
+// Record tags. Every heap record starts with a tag byte: inline records
+// carry the payload directly; overflow stubs point at a chain of overflow
+// pages holding the payload (long unstructured data — images, documents —
+// per Kim §2.2).
+const (
+	recInline   = 0x00
+	recOverflow = 0x01
+)
+
+// ErrNoRecord reports a read of a missing record.
+var ErrNoRecord = errors.New("storage: no such record")
+
+// Heap is one class's segment: a chain of heap pages. New records go to the
+// tail page (with in-page compaction reusing freed space); records that
+// outgrow their page are relocated transparently, with the new RID returned
+// to the caller for directory maintenance.
+//
+// The heap latch (mu) serializes page mutation within the segment: the
+// lock manager isolates logical conflicts (two writers never touch the
+// same object), but two transactions writing *different* objects of the
+// same class legitimately run concurrently and would otherwise race on a
+// shared page.
+type Heap struct {
+	mu    sync.Mutex
+	pool  *BufferPool
+	First PageID
+	Last  PageID
+}
+
+// NewHeap creates an empty heap with one allocated page.
+func NewHeap(pool *BufferPool) (*Heap, error) {
+	id, _, err := pool.FetchNew(pageTypeHeap)
+	if err != nil {
+		return nil, err
+	}
+	pool.Unpin(id, true)
+	return &Heap{pool: pool, First: id, Last: id}, nil
+}
+
+// OpenHeap re-attaches to an existing heap chain.
+func OpenHeap(pool *BufferPool, first, last PageID) *Heap {
+	return &Heap{pool: pool, First: first, Last: last}
+}
+
+// maxInline is the largest payload stored inline (tag byte included in the
+// page record).
+const maxInline = MaxRecord - 1
+
+// Insert stores the payload and returns its RID.
+func (h *Heap) Insert(data []byte) (RID, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.insert(data)
+}
+
+func (h *Heap) insert(data []byte) (RID, error) {
+	if len(data) <= maxInline {
+		rec := make([]byte, 0, len(data)+1)
+		rec = append(rec, recInline)
+		rec = append(rec, data...)
+		return h.insertRec(rec)
+	}
+	head, err := h.writeOverflow(data)
+	if err != nil {
+		return RID{}, err
+	}
+	stub := make([]byte, 0, 16)
+	stub = append(stub, recOverflow)
+	stub = binary.AppendUvarint(stub, uint64(len(data)))
+	stub = binary.AppendUvarint(stub, uint64(head))
+	return h.insertRec(stub)
+}
+
+// insertRec places an already-tagged record on the tail page, growing the
+// chain when the tail is full.
+func (h *Heap) insertRec(rec []byte) (RID, error) {
+	p, err := h.pool.Fetch(h.Last)
+	if err != nil {
+		return RID{}, err
+	}
+	slot, err := p.Insert(rec)
+	if err == nil {
+		h.pool.Unpin(h.Last, true)
+		return RID{Page: h.Last, Slot: uint16(slot)}, nil
+	}
+	if !errors.Is(err, ErrPageFull) {
+		h.pool.Unpin(h.Last, false)
+		return RID{}, err
+	}
+	// Grow the chain.
+	newID, np, nerr := h.pool.FetchNew(pageTypeHeap)
+	if nerr != nil {
+		h.pool.Unpin(h.Last, false)
+		return RID{}, nerr
+	}
+	p.SetNext(newID)
+	h.pool.Unpin(h.Last, true)
+	prev := h.Last
+	h.Last = newID
+	slot, err = np.Insert(rec)
+	h.pool.Unpin(newID, true)
+	if err != nil {
+		h.Last = prev
+		return RID{}, err
+	}
+	return RID{Page: newID, Slot: uint16(slot)}, nil
+}
+
+// Read returns a copy of the payload stored at rid.
+func (h *Heap) Read(rid RID) ([]byte, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.read(rid)
+}
+
+func (h *Heap) read(rid RID) ([]byte, error) {
+	p, err := h.pool.Fetch(rid.Page)
+	if err != nil {
+		return nil, err
+	}
+	rec, err := p.Read(int(rid.Slot))
+	if err != nil {
+		h.pool.Unpin(rid.Page, false)
+		return nil, fmt.Errorf("%w: %s (%v)", ErrNoRecord, rid, err)
+	}
+	if len(rec) == 0 {
+		h.pool.Unpin(rid.Page, false)
+		return nil, fmt.Errorf("%w: %s (empty record)", ErrNoRecord, rid)
+	}
+	switch rec[0] {
+	case recInline:
+		out := make([]byte, len(rec)-1)
+		copy(out, rec[1:])
+		h.pool.Unpin(rid.Page, false)
+		return out, nil
+	case recOverflow:
+		total, n := binary.Uvarint(rec[1:])
+		head, m := binary.Uvarint(rec[1+n:])
+		h.pool.Unpin(rid.Page, false)
+		if n <= 0 || m <= 0 {
+			return nil, fmt.Errorf("storage: corrupt overflow stub at %s", rid)
+		}
+		return h.readOverflow(PageID(head), int(total))
+	default:
+		h.pool.Unpin(rid.Page, false)
+		return nil, fmt.Errorf("storage: unknown record tag %d at %s", rec[0], rid)
+	}
+}
+
+// Update replaces the payload at rid, returning the (possibly new) RID.
+func (h *Heap) Update(rid RID, data []byte) (RID, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.update(rid, data)
+}
+
+func (h *Heap) update(rid RID, data []byte) (RID, error) {
+	// Free any existing overflow chain first; the new image replaces it.
+	if err := h.freeIfOverflow(rid); err != nil {
+		return RID{}, err
+	}
+	if len(data) <= maxInline {
+		rec := make([]byte, 0, len(data)+1)
+		rec = append(rec, recInline)
+		rec = append(rec, data...)
+		p, err := h.pool.Fetch(rid.Page)
+		if err != nil {
+			return RID{}, err
+		}
+		err = p.Update(int(rid.Slot), rec)
+		h.pool.Unpin(rid.Page, true)
+		if err == nil {
+			return rid, nil
+		}
+		if !errors.Is(err, ErrPageFull) {
+			return RID{}, err
+		}
+		// Page.Update already removed the old record; relocate.
+		return h.insertRec(rec)
+	}
+	// New image needs overflow: write chain, swap the stub in.
+	head, err := h.writeOverflow(data)
+	if err != nil {
+		return RID{}, err
+	}
+	stub := make([]byte, 0, 16)
+	stub = append(stub, recOverflow)
+	stub = binary.AppendUvarint(stub, uint64(len(data)))
+	stub = binary.AppendUvarint(stub, uint64(head))
+	p, err := h.pool.Fetch(rid.Page)
+	if err != nil {
+		return RID{}, err
+	}
+	err = p.Update(int(rid.Slot), stub)
+	h.pool.Unpin(rid.Page, true)
+	if err == nil {
+		return rid, nil
+	}
+	if !errors.Is(err, ErrPageFull) {
+		return RID{}, err
+	}
+	return h.insertRec(stub)
+}
+
+// Delete removes the record at rid, freeing any overflow chain.
+func (h *Heap) Delete(rid RID) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.delete(rid)
+}
+
+func (h *Heap) delete(rid RID) error {
+	if err := h.freeIfOverflow(rid); err != nil {
+		return err
+	}
+	p, err := h.pool.Fetch(rid.Page)
+	if err != nil {
+		return err
+	}
+	err = p.Delete(int(rid.Slot))
+	h.pool.Unpin(rid.Page, err == nil)
+	if err != nil {
+		return fmt.Errorf("%w: %s (%v)", ErrNoRecord, rid, err)
+	}
+	return nil
+}
+
+// freeIfOverflow releases the overflow chain referenced by the record at
+// rid, if any.
+func (h *Heap) freeIfOverflow(rid RID) error {
+	p, err := h.pool.Fetch(rid.Page)
+	if err != nil {
+		return err
+	}
+	rec, err := p.Read(int(rid.Slot))
+	if err != nil {
+		h.pool.Unpin(rid.Page, false)
+		return fmt.Errorf("%w: %s (%v)", ErrNoRecord, rid, err)
+	}
+	var head PageID
+	if rec[0] == recOverflow {
+		_, n := binary.Uvarint(rec[1:])
+		hd, m := binary.Uvarint(rec[1+n:])
+		if n <= 0 || m <= 0 {
+			h.pool.Unpin(rid.Page, false)
+			return fmt.Errorf("storage: corrupt overflow stub at %s", rid)
+		}
+		head = PageID(hd)
+	}
+	h.pool.Unpin(rid.Page, false)
+	for head != InvalidPage {
+		op, err := h.pool.Fetch(head)
+		if err != nil {
+			return err
+		}
+		next := op.Next()
+		h.pool.Unpin(head, false)
+		h.pool.Drop(head)
+		if err := h.pool.disk.FreePage(head); err != nil {
+			return err
+		}
+		head = next
+	}
+	return nil
+}
+
+// writeOverflow spills the payload across a fresh chain of overflow pages
+// and returns the chain head.
+func (h *Heap) writeOverflow(data []byte) (PageID, error) {
+	var head, prev PageID
+	for off := 0; off < len(data); {
+		chunk := len(data) - off
+		if chunk > maxInline {
+			chunk = maxInline
+		}
+		id, p, err := h.pool.FetchNew(pageTypeOverflow)
+		if err != nil {
+			return InvalidPage, err
+		}
+		if _, err := p.Insert(data[off : off+chunk]); err != nil {
+			h.pool.Unpin(id, false)
+			return InvalidPage, err
+		}
+		h.pool.Unpin(id, true)
+		if head == InvalidPage {
+			head = id
+		} else {
+			pp, err := h.pool.Fetch(prev)
+			if err != nil {
+				return InvalidPage, err
+			}
+			pp.SetNext(id)
+			h.pool.Unpin(prev, true)
+		}
+		prev = id
+		off += chunk
+	}
+	return head, nil
+}
+
+// readOverflow reassembles a payload from an overflow chain.
+func (h *Heap) readOverflow(head PageID, total int) ([]byte, error) {
+	out := make([]byte, 0, total)
+	for id := head; id != InvalidPage; {
+		p, err := h.pool.Fetch(id)
+		if err != nil {
+			return nil, err
+		}
+		chunk, err := p.Read(0)
+		if err != nil {
+			h.pool.Unpin(id, false)
+			return nil, fmt.Errorf("storage: corrupt overflow page %d: %w", id, err)
+		}
+		out = append(out, chunk...)
+		next := p.Next()
+		h.pool.Unpin(id, false)
+		id = next
+	}
+	if len(out) != total {
+		return nil, fmt.Errorf("storage: overflow chain length %d, expected %d", len(out), total)
+	}
+	return out, nil
+}
+
+// Scan calls fn for every live record in the heap, in physical order. The
+// payload passed to fn is freshly allocated and may be retained. If fn
+// returns false the scan stops early.
+//
+// Scan takes the heap latch per page, not for the whole pass, so fn may
+// itself read through the heap. A record deleted or relocated between
+// slot collection and its read is skipped silently (scans that need a
+// stable view hold a class S lock above this layer).
+func (h *Heap) Scan(fn func(rid RID, data []byte) bool) error {
+	for id := h.First; id != InvalidPage; {
+		h.mu.Lock()
+		p, err := h.pool.Fetch(id)
+		if err != nil {
+			h.mu.Unlock()
+			return err
+		}
+		next := p.Next()
+		n := p.Slots()
+		var rids []RID
+		for slot := 0; slot < n; slot++ {
+			if p.Live(slot) {
+				rids = append(rids, RID{Page: id, Slot: uint16(slot)})
+			}
+		}
+		h.pool.Unpin(id, false)
+		h.mu.Unlock()
+		for _, rid := range rids {
+			data, err := h.Read(rid)
+			if errors.Is(err, ErrNoRecord) {
+				continue
+			}
+			if err != nil {
+				return err
+			}
+			if !fn(rid, data) {
+				return nil
+			}
+		}
+		id = next
+	}
+	return nil
+}
+
+// Pages returns the number of pages in the heap chain (for clustering and
+// capacity tests).
+func (h *Heap) Pages() (int, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	n := 0
+	for id := h.First; id != InvalidPage; {
+		p, err := h.pool.Fetch(id)
+		if err != nil {
+			return 0, err
+		}
+		next := p.Next()
+		h.pool.Unpin(id, false)
+		n++
+		id = next
+	}
+	return n, nil
+}

@@ -1,0 +1,210 @@
+package storage
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+func TestPageInsertReadDelete(t *testing.T) {
+	var p Page
+	p.Init(pageTypeHeap)
+	s1, err := p.Insert([]byte("hello"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := p.Insert([]byte("world!"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := p.Read(s1); string(got) != "hello" {
+		t.Errorf("Read(s1) = %q", got)
+	}
+	if got, _ := p.Read(s2); string(got) != "world!" {
+		t.Errorf("Read(s2) = %q", got)
+	}
+	if err := p.Delete(s1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Read(s1); err == nil {
+		t.Error("read of deleted slot succeeded")
+	}
+	if err := p.Delete(s1); err == nil {
+		t.Error("double delete succeeded")
+	}
+	// Deleted slot is reused.
+	s3, err := p.Insert([]byte("again"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s3 != s1 {
+		t.Errorf("slot not reused: got %d, want %d", s3, s1)
+	}
+}
+
+func TestPageFillAndCompaction(t *testing.T) {
+	var p Page
+	p.Init(pageTypeHeap)
+	rec := make([]byte, 100)
+	var slots []int
+	for {
+		s, err := p.Insert(rec)
+		if errors.Is(err, ErrPageFull) {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		slots = append(slots, s)
+	}
+	if len(slots) < 30 {
+		t.Fatalf("only %d 100-byte records fit in a 4K page", len(slots))
+	}
+	// Delete every other record, then insert larger records into the
+	// reclaimed (fragmented) space — forcing compaction.
+	for i := 0; i < len(slots); i += 2 {
+		if err := p.Delete(slots[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	big := make([]byte, 150)
+	inserted := 0
+	for {
+		if _, err := p.Insert(big); err != nil {
+			break
+		}
+		inserted++
+	}
+	if inserted == 0 {
+		t.Fatal("compaction failed to reclaim fragmented space")
+	}
+	// Survivors are intact.
+	for i := 1; i < len(slots); i += 2 {
+		got, err := p.Read(slots[i])
+		if err != nil || len(got) != 100 {
+			t.Fatalf("record %d corrupted after compaction: %v", slots[i], err)
+		}
+	}
+}
+
+func TestPageUpdateInPlaceAndGrow(t *testing.T) {
+	var p Page
+	p.Init(pageTypeHeap)
+	s, _ := p.Insert([]byte("aaaa"))
+	if err := p.Update(s, []byte("bb")); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := p.Read(s); string(got) != "bb" {
+		t.Errorf("shrinking update: %q", got)
+	}
+	if err := p.Update(s, bytes.Repeat([]byte("c"), 500)); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := p.Read(s); len(got) != 500 || got[0] != 'c' {
+		t.Error("growing update corrupted record")
+	}
+}
+
+func TestPageUpdateFullSignalsRelocation(t *testing.T) {
+	var p Page
+	p.Init(pageTypeHeap)
+	s, _ := p.Insert(make([]byte, 100))
+	for {
+		if _, err := p.Insert(make([]byte, 200)); err != nil {
+			break
+		}
+	}
+	err := p.Update(s, make([]byte, 3000))
+	if !errors.Is(err, ErrPageFull) {
+		t.Fatalf("expected ErrPageFull, got %v", err)
+	}
+	// Contract: after ErrPageFull from Update the slot is deleted.
+	if p.Live(s) {
+		t.Error("slot should be deleted after failed growing update")
+	}
+}
+
+func TestPageTooLarge(t *testing.T) {
+	var p Page
+	p.Init(pageTypeHeap)
+	if _, err := p.Insert(make([]byte, MaxRecord+1)); !errors.Is(err, ErrTooLarge) {
+		t.Errorf("expected ErrTooLarge, got %v", err)
+	}
+}
+
+func TestPageChecksum(t *testing.T) {
+	var p Page
+	p.Init(pageTypeHeap)
+	p.Insert([]byte("payload"))
+	p.Seal()
+	if err := p.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	p.buf[2000] ^= 0xFF
+	if err := p.Verify(); !errors.Is(err, ErrBadChecksum) {
+		t.Errorf("expected ErrBadChecksum, got %v", err)
+	}
+}
+
+func TestPageRandomizedWorkload(t *testing.T) {
+	// Property-style stress: random inserts/updates/deletes mirrored
+	// against a map; the page must agree at every step.
+	var p Page
+	p.Init(pageTypeHeap)
+	r := rand.New(rand.NewSource(1))
+	mirror := map[int][]byte{}
+	for step := 0; step < 5000; step++ {
+		switch r.Intn(3) {
+		case 0: // insert
+			rec := make([]byte, 1+r.Intn(200))
+			r.Read(rec)
+			s, err := p.Insert(rec)
+			if errors.Is(err, ErrPageFull) {
+				continue
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, taken := mirror[s]; taken {
+				t.Fatalf("step %d: slot %d double-allocated", step, s)
+			}
+			mirror[s] = rec
+		case 1: // update
+			for s, old := range mirror {
+				rec := make([]byte, 1+r.Intn(200))
+				r.Read(rec)
+				err := p.Update(s, rec)
+				if errors.Is(err, ErrPageFull) {
+					delete(mirror, s) // contract: slot deleted
+					break
+				}
+				if err != nil {
+					t.Fatal(err)
+				}
+				_ = old
+				mirror[s] = rec
+				break
+			}
+		case 2: // delete
+			for s := range mirror {
+				if err := p.Delete(s); err != nil {
+					t.Fatal(err)
+				}
+				delete(mirror, s)
+				break
+			}
+		}
+		// Verify a random member.
+		for s, want := range mirror {
+			got, err := p.Read(s)
+			if err != nil {
+				t.Fatalf("step %d: read slot %d: %v", step, s, err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("step %d: slot %d mismatch", step, s)
+			}
+			break
+		}
+	}
+}

@@ -1,0 +1,452 @@
+package storage
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+
+	"oodb/internal/model"
+)
+
+// Store binds the disk manager, buffer pool, per-class heap segments and
+// the object directory into the object store the engine programs against.
+//
+// Contract with callers: the byte images handed to Put must begin with the
+// object's OID as a uvarint — model.EncodeObject's layout — because the
+// open-time directory rebuild recovers OIDs by peeking that prefix.
+type Store struct {
+	disk *DiskManager
+	pool *BufferPool
+
+	mu    sync.Mutex
+	heaps map[model.ClassID]*Heap
+	dir   map[model.OID]RID
+	seq   map[model.ClassID]uint64 // next sequence number per class
+}
+
+// ErrNoObject reports a lookup of an OID with no stored object.
+var ErrNoObject = errors.New("storage: no such object")
+
+// ErrNoSegment reports an operation on a class with no storage segment
+// (e.g. a replayed write to a class dropped after the log record was
+// written).
+var ErrNoSegment = errors.New("storage: no segment for class")
+
+// Options configures a Store.
+type Options struct {
+	// PoolPages is the buffer pool capacity in pages. Zero means the
+	// default (1024 pages = 4 MiB).
+	PoolPages int
+}
+
+// Open opens (or creates) the object store at path and rebuilds the object
+// directory by scanning every class segment. Records that fail checksum or
+// decoding are skipped — logical WAL replay above this layer restores them.
+func Open(path string, opts Options) (*Store, error) {
+	if opts.PoolPages == 0 {
+		opts.PoolPages = 1024
+	}
+	disk, err := OpenDisk(path)
+	if err != nil {
+		return nil, err
+	}
+	s := &Store{
+		disk:  disk,
+		pool:  NewBufferPool(disk, opts.PoolPages),
+		heaps: make(map[model.ClassID]*Heap),
+		dir:   make(map[model.OID]RID),
+		seq:   make(map[model.ClassID]uint64),
+	}
+	if err := s.loadSegments(); err != nil {
+		disk.Close()
+		return nil, err
+	}
+	if err := s.rebuildDirectory(); err != nil {
+		disk.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+// Close checkpoints and closes the store.
+func (s *Store) Close() error {
+	if err := s.Checkpoint(); err != nil {
+		s.disk.Close()
+		return err
+	}
+	return s.disk.Close()
+}
+
+// Pool exposes the buffer pool (the engine stores system blobs through it).
+func (s *Store) Pool() *BufferPool { return s.pool }
+
+// Disk exposes the disk manager.
+func (s *Store) Disk() *DiskManager { return s.disk }
+
+// CreateSegment ensures a heap segment exists for the class.
+func (s *Store) CreateSegment(class model.ClassID) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.heaps[class]; ok {
+		return nil
+	}
+	h, err := NewHeap(s.pool)
+	if err != nil {
+		return err
+	}
+	s.heaps[class] = h
+	if _, ok := s.seq[class]; !ok {
+		s.seq[class] = 1
+	}
+	return nil
+}
+
+// DropSegment deletes a class's segment and every object in it.
+func (s *Store) DropSegment(class model.ClassID) error {
+	s.mu.Lock()
+	h, ok := s.heaps[class]
+	if !ok {
+		s.mu.Unlock()
+		return nil
+	}
+	delete(s.heaps, class)
+	delete(s.seq, class)
+	for oid := range s.dir {
+		if oid.Class() == class {
+			delete(s.dir, oid)
+		}
+	}
+	s.mu.Unlock()
+	// Free overflow chains record by record, then the heap pages.
+	if err := h.Scan(func(rid RID, _ []byte) bool {
+		_ = h.Delete(rid)
+		return true
+	}); err != nil {
+		return err
+	}
+	for id := h.First; id != InvalidPage; {
+		p, err := s.pool.Fetch(id)
+		if err != nil {
+			return err
+		}
+		next := p.Next()
+		s.pool.Unpin(id, false)
+		s.pool.Drop(id)
+		if err := s.disk.FreePage(id); err != nil {
+			return err
+		}
+		id = next
+	}
+	return nil
+}
+
+// NewOID mints the next OID for the class. The segment must exist.
+func (s *Store) NewOID(class model.ClassID) (model.OID, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.heaps[class]; !ok {
+		return model.NilOID, fmt.Errorf("%w: %d", ErrNoSegment, class)
+	}
+	n := s.seq[class]
+	if n == 0 {
+		n = 1
+	}
+	s.seq[class] = n + 1
+	return model.MakeOID(class, n), nil
+}
+
+// Put upserts the object image under oid. The image must begin with the
+// OID uvarint (see Store contract). Put is idempotent with respect to
+// logical WAL replay: replaying a Put yields the same stored state.
+func (s *Store) Put(oid model.OID, data []byte) error {
+	s.mu.Lock()
+	h, ok := s.heaps[oid.Class()]
+	if !ok {
+		s.mu.Unlock()
+		return fmt.Errorf("%w: %d", ErrNoSegment, oid.Class())
+	}
+	rid, exists := s.dir[oid]
+	s.mu.Unlock()
+
+	var err error
+	var newRID RID
+	if exists {
+		newRID, err = h.Update(rid, data)
+	} else {
+		newRID, err = h.Insert(data)
+	}
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.dir[oid] = newRID
+	// Keep the sequence high-water mark ahead of replayed inserts.
+	if next := oid.Seq() + 1; next > s.seq[oid.Class()] {
+		s.seq[oid.Class()] = next
+	}
+	s.mu.Unlock()
+	return nil
+}
+
+// Get returns the stored image of oid.
+func (s *Store) Get(oid model.OID) ([]byte, error) {
+	s.mu.Lock()
+	h, ok := s.heaps[oid.Class()]
+	rid, found := s.dir[oid]
+	s.mu.Unlock()
+	if !ok || !found {
+		return nil, fmt.Errorf("%w: %s", ErrNoObject, oid)
+	}
+	return h.Read(rid)
+}
+
+// Exists reports whether oid has a stored object.
+func (s *Store) Exists(oid model.OID) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.dir[oid]
+	return ok
+}
+
+// Delete removes oid. Deleting a missing object is a no-op (idempotent
+// replay).
+func (s *Store) Delete(oid model.OID) error {
+	s.mu.Lock()
+	h, ok := s.heaps[oid.Class()]
+	rid, found := s.dir[oid]
+	if found {
+		delete(s.dir, oid)
+	}
+	s.mu.Unlock()
+	if !ok || !found {
+		return nil
+	}
+	return h.Delete(rid)
+}
+
+// ScanClass calls fn with every stored object image of exactly the given
+// class, in physical order. fn's data may be retained.
+func (s *Store) ScanClass(class model.ClassID, fn func(oid model.OID, data []byte) bool) error {
+	s.mu.Lock()
+	h, ok := s.heaps[class]
+	s.mu.Unlock()
+	if !ok {
+		return nil
+	}
+	return h.Scan(func(rid RID, data []byte) bool {
+		oid, n := binary.Uvarint(data)
+		if n <= 0 {
+			return true // skip torn record
+		}
+		return fn(model.OID(oid), data)
+	})
+}
+
+// Count returns the number of live objects of exactly the given class.
+func (s *Store) Count(class model.ClassID) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for oid := range s.dir {
+		if oid.Class() == class {
+			n++
+		}
+	}
+	return n
+}
+
+// Classes returns the classes that have segments.
+func (s *Store) Classes() []model.ClassID {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]model.ClassID, 0, len(s.heaps))
+	for c := range s.heaps {
+		out = append(out, c)
+	}
+	sortClassIDs(out)
+	return out
+}
+
+func sortClassIDs(ids []model.ClassID) {
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+}
+
+// SegmentPages returns the page count of the class's heap (clustering
+// experiments).
+func (s *Store) SegmentPages(class model.ClassID) (int, error) {
+	s.mu.Lock()
+	h, ok := s.heaps[class]
+	s.mu.Unlock()
+	if !ok {
+		return 0, nil
+	}
+	return h.Pages()
+}
+
+// PoolStats returns buffer pool hit/miss counters.
+func (s *Store) PoolStats() (hits, misses uint64) {
+	s.pool.mu.Lock()
+	defer s.pool.mu.Unlock()
+	return s.pool.Hits, s.pool.Misses
+}
+
+// Checkpoint persists the segment table and flushes every dirty page to
+// disk. After Checkpoint returns, the on-disk state is self-contained: a
+// reopened store rebuilds its directory without any WAL.
+func (s *Store) Checkpoint() error {
+	s.mu.Lock()
+	table := s.encodeSegTable()
+	s.mu.Unlock()
+	if err := s.pool.ReplaceBlob(RootSegTable, table); err != nil {
+		return err
+	}
+	return s.pool.FlushAll()
+}
+
+// encodeSegTable serializes {class, first, last, nextSeq} rows. Caller
+// holds s.mu.
+func (s *Store) encodeSegTable() []byte {
+	classes := make([]model.ClassID, 0, len(s.heaps))
+	for c := range s.heaps {
+		classes = append(classes, c)
+	}
+	sortClassIDs(classes)
+	buf := binary.AppendUvarint(nil, uint64(len(classes)))
+	for _, c := range classes {
+		h := s.heaps[c]
+		buf = binary.AppendUvarint(buf, uint64(c))
+		buf = binary.AppendUvarint(buf, uint64(h.First))
+		buf = binary.AppendUvarint(buf, uint64(h.Last))
+		buf = binary.AppendUvarint(buf, s.seq[c])
+	}
+	return buf
+}
+
+// loadSegments restores the heap map from the persisted segment table.
+func (s *Store) loadSegments() error {
+	head := s.disk.GetRoot(RootSegTable)
+	if head == InvalidPage {
+		return nil
+	}
+	buf, err := s.pool.ReadBlob(head)
+	if err != nil {
+		return err
+	}
+	r := reader{buf: buf}
+	n := r.uvarint()
+	for i := uint64(0); i < n && r.err == nil; i++ {
+		class := model.ClassID(r.uvarint())
+		first := PageID(r.uvarint())
+		last := PageID(r.uvarint())
+		seq := r.uvarint()
+		if r.err == nil {
+			s.heaps[class] = OpenHeap(s.pool, first, last)
+			s.seq[class] = seq
+		}
+	}
+	if r.err != nil {
+		return fmt.Errorf("storage: corrupt segment table: %w", r.err)
+	}
+	return nil
+}
+
+// rebuildDirectory scans every segment, mapping OIDs to RIDs and advancing
+// sequence high-water marks past every object seen. It also repairs heap
+// tail pointers that a crash may have left stale (the chain on disk can be
+// longer than the persisted Last), and amputates torn pages: a page that
+// fails its checksum is cut out of the chain and freed, its records left
+// to logical WAL replay above this layer.
+func (s *Store) rebuildDirectory() error {
+	for class, h := range s.heaps {
+		// Walk to the true tail, amputating at the first torn page.
+		last := h.First
+		prev := InvalidPage
+		for id := h.First; id != InvalidPage; {
+			p, err := s.pool.Fetch(id)
+			if errors.Is(err, ErrBadChecksum) {
+				if err := s.amputate(h, prev, id); err != nil {
+					return err
+				}
+				if prev == InvalidPage {
+					last = h.First // first page was torn and reformatted
+				} else {
+					last = prev
+				}
+				break
+			}
+			if err != nil {
+				return err
+			}
+			next := p.Next()
+			s.pool.Unpin(id, false)
+			prev, last = id, id
+			id = next
+		}
+		h.Last = last
+		err := h.Scan(func(rid RID, data []byte) bool {
+			raw, n := binary.Uvarint(data)
+			if n <= 0 {
+				return true // torn record: skip, WAL replay restores it
+			}
+			oid := model.OID(raw)
+			if oid.Class() != class {
+				return true // foreign record: corrupt, skip
+			}
+			s.dir[oid] = rid
+			if next := oid.Seq() + 1; next > s.seq[class] {
+				s.seq[class] = next
+			}
+			return true
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// amputate removes a torn page from a heap chain: the predecessor's link
+// is cut, and the torn page is reformatted (when it heads the chain) or
+// returned to the free list. The records it held are restored by logical
+// WAL replay above this layer — the crash-consistency contract documented
+// on the package.
+func (s *Store) amputate(h *Heap, prev, torn PageID) error {
+	if prev == InvalidPage {
+		// The chain head itself is torn: reformat it in place as an empty
+		// heap page.
+		var p Page
+		p.Init(pageTypeHeap)
+		return s.disk.WritePage(h.First, &p)
+	}
+	pp, err := s.pool.Fetch(prev)
+	if err != nil {
+		return err
+	}
+	pp.SetNext(InvalidPage)
+	s.pool.Unpin(prev, true)
+	return s.disk.FreePage(torn)
+}
+
+// reader mirrors the latching cursor in internal/schema for local decoding.
+type reader struct {
+	buf []byte
+	err error
+}
+
+func (r *reader) uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.buf)
+	if n <= 0 {
+		r.err = model.ErrCorrupt
+		return 0
+	}
+	r.buf = r.buf[n:]
+	return v
+}

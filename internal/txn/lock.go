@@ -1,0 +1,425 @@
+// Package txn implements kimdb's concurrency control: a hierarchical
+// granularity lock manager (database → class → instance) with intention
+// modes, strict two-phase locking and waits-for deadlock detection —
+// the ORION transaction model of Garza & Kim (SIGMOD 1988), which the paper
+// cites as the required extension of conventional concurrency control to
+// the semantics of a class hierarchy (§3.2).
+package txn
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"oodb/internal/model"
+)
+
+// Mode is a lock mode. The lattice and compatibility matrix are the
+// classical granular-locking ones (IS < IX < SIX < X; S conflicts with IX).
+type Mode int
+
+// The lock modes.
+const (
+	IS Mode = iota
+	IX
+	S
+	SIX
+	X
+)
+
+// String returns the conventional mode name.
+func (m Mode) String() string {
+	switch m {
+	case IS:
+		return "IS"
+	case IX:
+		return "IX"
+	case S:
+		return "S"
+	case SIX:
+		return "SIX"
+	case X:
+		return "X"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// compatible[a][b] reports whether a holder in mode a is compatible with a
+// requester in mode b.
+var compatible = [5][5]bool{
+	IS:  {IS: true, IX: true, S: true, SIX: true, X: false},
+	IX:  {IS: true, IX: true, S: false, SIX: false, X: false},
+	S:   {IS: true, IX: false, S: true, SIX: false, X: false},
+	SIX: {IS: true, IX: false, S: false, SIX: false, X: false},
+	X:   {IS: false, IX: false, S: false, SIX: false, X: false},
+}
+
+// join[a][b] is the supremum of two modes: the weakest single mode that
+// grants both (used for lock upgrades by re-request).
+var join = [5][5]Mode{
+	IS:  {IS: IS, IX: IX, S: S, SIX: SIX, X: X},
+	IX:  {IS: IX, IX: IX, S: SIX, SIX: SIX, X: X},
+	S:   {IS: S, IX: SIX, S: S, SIX: SIX, X: X},
+	SIX: {IS: SIX, IX: SIX, S: SIX, SIX: SIX, X: X},
+	X:   {IS: X, IX: X, S: X, SIX: X, X: X},
+}
+
+// ResKind is the granularity level of a lockable resource.
+type ResKind int
+
+// The lock granularities.
+const (
+	ResDatabase ResKind = iota
+	ResClass
+	ResInstance
+)
+
+// Resource names a lockable entity.
+type Resource struct {
+	Kind  ResKind
+	Class model.ClassID // for ResClass and ResInstance
+	OID   model.OID     // for ResInstance
+}
+
+// DatabaseRes returns the whole-database resource.
+func DatabaseRes() Resource { return Resource{Kind: ResDatabase} }
+
+// ClassRes returns the resource for a class.
+func ClassRes(c model.ClassID) Resource { return Resource{Kind: ResClass, Class: c} }
+
+// InstanceRes returns the resource for one object.
+func InstanceRes(oid model.OID) Resource {
+	return Resource{Kind: ResInstance, Class: oid.Class(), OID: oid}
+}
+
+func (r Resource) String() string {
+	switch r.Kind {
+	case ResDatabase:
+		return "db"
+	case ResClass:
+		return fmt.Sprintf("class(%d)", r.Class)
+	default:
+		return fmt.Sprintf("obj(%s)", r.OID)
+	}
+}
+
+// ErrDeadlock aborts the requesting transaction: granting its request
+// would close a waits-for cycle. Callers must roll the transaction back.
+var ErrDeadlock = errors.New("txn: deadlock detected; transaction chosen as victim")
+
+// ErrTxnDone reports lock traffic from a finished transaction.
+var ErrTxnDone = errors.New("txn: transaction already finished")
+
+type waiter struct {
+	txn  uint64
+	mode Mode
+	ch   chan error
+}
+
+type lockEntry struct {
+	holders map[uint64]Mode
+	queue   []*waiter
+}
+
+// LockManager is the central lock table. All methods are safe for
+// concurrent use.
+type LockManager struct {
+	mu       sync.Mutex
+	locks    map[Resource]*lockEntry
+	held     map[uint64]map[Resource]Mode // per-txn holdings, for release
+	pending  map[uint64]map[Resource]bool // per-txn queued requests
+	waitsFor map[uint64]map[uint64]bool   // waits-for graph
+}
+
+// NewLockManager returns an empty lock table.
+func NewLockManager() *LockManager {
+	return &LockManager{
+		locks:    make(map[Resource]*lockEntry),
+		held:     make(map[uint64]map[Resource]Mode),
+		pending:  make(map[uint64]map[Resource]bool),
+		waitsFor: make(map[uint64]map[uint64]bool),
+	}
+}
+
+// Acquire obtains (or upgrades to) mode on res for txn, blocking while
+// conflicting holders exist. It returns ErrDeadlock — without granting —
+// if waiting would close a cycle; the caller must abort the transaction.
+func (lm *LockManager) Acquire(txn uint64, res Resource, mode Mode) error {
+	lm.mu.Lock()
+	entry := lm.locks[res]
+	if entry == nil {
+		entry = &lockEntry{holders: make(map[uint64]Mode)}
+		lm.locks[res] = entry
+	}
+	if cur, holds := entry.holders[txn]; holds {
+		mode = join[cur][mode]
+		if mode == cur {
+			lm.mu.Unlock()
+			return nil
+		}
+	}
+	if lm.grantableLocked(entry, txn, mode) {
+		lm.grantLocked(entry, txn, res, mode)
+		lm.mu.Unlock()
+		return nil
+	}
+	// Must wait. Record waits-for edges and check for a cycle first.
+	blockers := lm.blockersLocked(entry, txn, mode)
+	edges := lm.waitsFor[txn]
+	if edges == nil {
+		edges = make(map[uint64]bool)
+		lm.waitsFor[txn] = edges
+	}
+	for _, b := range blockers {
+		edges[b] = true
+	}
+	if lm.cycleLocked(txn) {
+		delete(lm.waitsFor, txn)
+		lm.mu.Unlock()
+		return ErrDeadlock
+	}
+	w := &waiter{txn: txn, mode: mode, ch: make(chan error, 1)}
+	pend := lm.pending[txn]
+	if pend == nil {
+		pend = make(map[Resource]bool)
+		lm.pending[txn] = pend
+	}
+	pend[res] = true
+	if _, upgrading := entry.holders[txn]; upgrading {
+		// Upgrades go to the front so they cannot starve behind new
+		// requests that conflict with the mode they already hold.
+		entry.queue = append([]*waiter{w}, entry.queue...)
+	} else {
+		entry.queue = append(entry.queue, w)
+	}
+	lm.mu.Unlock()
+	err := <-w.ch
+	lm.mu.Lock()
+	if pend := lm.pending[txn]; pend != nil {
+		delete(pend, res)
+		if len(pend) == 0 {
+			delete(lm.pending, txn)
+		}
+	}
+	lm.mu.Unlock()
+	return err
+}
+
+// grantableLocked reports whether txn may take mode on entry right now.
+func (lm *LockManager) grantableLocked(entry *lockEntry, txn uint64, mode Mode) bool {
+	for holder, hm := range entry.holders {
+		if holder == txn {
+			continue
+		}
+		if !compatible[hm][mode] {
+			return false
+		}
+	}
+	// Fairness: a fresh (non-upgrade) request must also queue behind
+	// existing waiters.
+	if _, upgrading := entry.holders[txn]; !upgrading && len(entry.queue) > 0 {
+		return false
+	}
+	return true
+}
+
+func (lm *LockManager) grantLocked(entry *lockEntry, txn uint64, res Resource, mode Mode) {
+	entry.holders[txn] = mode
+	h := lm.held[txn]
+	if h == nil {
+		h = make(map[Resource]Mode)
+		lm.held[txn] = h
+	}
+	h[res] = mode
+}
+
+// blockersLocked lists the transactions txn would wait on: incompatible
+// holders plus queued waiters ahead of it.
+func (lm *LockManager) blockersLocked(entry *lockEntry, txn uint64, mode Mode) []uint64 {
+	var out []uint64
+	for holder, hm := range entry.holders {
+		if holder != txn && !compatible[hm][mode] {
+			out = append(out, holder)
+		}
+	}
+	for _, w := range entry.queue {
+		if w.txn != txn {
+			out = append(out, w.txn)
+		}
+	}
+	return out
+}
+
+// cycleLocked reports whether start can reach itself in the waits-for
+// graph.
+func (lm *LockManager) cycleLocked(start uint64) bool {
+	seen := make(map[uint64]bool)
+	var stack []uint64
+	for t := range lm.waitsFor[start] {
+		stack = append(stack, t)
+	}
+	for len(stack) > 0 {
+		t := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if t == start {
+			return true
+		}
+		if seen[t] {
+			continue
+		}
+		seen[t] = true
+		for n := range lm.waitsFor[t] {
+			stack = append(stack, n)
+		}
+	}
+	return false
+}
+
+// ReleaseAll drops every lock txn holds and cancels its queued requests
+// (strict 2PL: locks are released only at commit/abort).
+func (lm *LockManager) ReleaseAll(txn uint64) {
+	lm.mu.Lock()
+	defer lm.mu.Unlock()
+	delete(lm.waitsFor, txn)
+	// Cancel queued requests first (a transaction aborted while blocked
+	// may be queued on resources it does not hold).
+	for res := range lm.pending[txn] {
+		entry := lm.locks[res]
+		if entry == nil {
+			continue
+		}
+		kept := entry.queue[:0]
+		for _, w := range entry.queue {
+			if w.txn == txn {
+				w.ch <- ErrTxnDone
+			} else {
+				kept = append(kept, w)
+			}
+		}
+		entry.queue = kept
+		lm.wakeLocked(res, entry)
+		if len(entry.holders) == 0 && len(entry.queue) == 0 {
+			delete(lm.locks, res)
+		}
+	}
+	delete(lm.pending, txn)
+	for res := range lm.held[txn] {
+		entry := lm.locks[res]
+		if entry == nil {
+			continue
+		}
+		delete(entry.holders, txn)
+		// Cancel queued requests from this txn (aborted while waiting).
+		kept := entry.queue[:0]
+		for _, w := range entry.queue {
+			if w.txn == txn {
+				w.ch <- ErrTxnDone
+			} else {
+				kept = append(kept, w)
+			}
+		}
+		entry.queue = kept
+		lm.wakeLocked(res, entry)
+		if len(entry.holders) == 0 && len(entry.queue) == 0 {
+			delete(lm.locks, res)
+		}
+	}
+	delete(lm.held, txn)
+	// Remove edges pointing at txn from every waiter.
+	for _, edges := range lm.waitsFor {
+		delete(edges, txn)
+	}
+}
+
+// wakeLocked grants queued requests in FIFO order until the head cannot be
+// granted.
+func (lm *LockManager) wakeLocked(res Resource, entry *lockEntry) {
+	for len(entry.queue) > 0 {
+		w := entry.queue[0]
+		mode := w.mode
+		if cur, holds := entry.holders[w.txn]; holds {
+			mode = join[cur][mode]
+		}
+		granted := true
+		for holder, hm := range entry.holders {
+			if holder != w.txn && !compatible[hm][mode] {
+				granted = false
+				break
+			}
+		}
+		if !granted {
+			return
+		}
+		entry.queue = entry.queue[1:]
+		lm.grantLocked(entry, w.txn, res, mode)
+		delete(lm.waitsFor, w.txn)
+		w.ch <- nil
+	}
+}
+
+// Holding returns the mode txn holds on res (ok false if none). Intended
+// for tests and assertions.
+func (lm *LockManager) Holding(txn uint64, res Resource) (Mode, bool) {
+	lm.mu.Lock()
+	defer lm.mu.Unlock()
+	m, ok := lm.held[txn][res]
+	return m, ok
+}
+
+// LockInstanceRead takes the standard hierarchy for reading one object:
+// IS on the database, IS on the object's class, S on the instance.
+func (lm *LockManager) LockInstanceRead(txn uint64, oid model.OID) error {
+	if err := lm.Acquire(txn, DatabaseRes(), IS); err != nil {
+		return err
+	}
+	if err := lm.Acquire(txn, ClassRes(oid.Class()), IS); err != nil {
+		return err
+	}
+	return lm.Acquire(txn, InstanceRes(oid), S)
+}
+
+// LockInstanceWrite takes IX on the database and class and X on the
+// instance.
+func (lm *LockManager) LockInstanceWrite(txn uint64, oid model.OID) error {
+	if err := lm.Acquire(txn, DatabaseRes(), IX); err != nil {
+		return err
+	}
+	if err := lm.Acquire(txn, ClassRes(oid.Class()), IX); err != nil {
+		return err
+	}
+	return lm.Acquire(txn, InstanceRes(oid), X)
+}
+
+// LockClassRead takes a shared lock on a whole class (a class scan): IS on
+// the database, S on the class. Instance locks become unnecessary under it.
+func (lm *LockManager) LockClassRead(txn uint64, class model.ClassID) error {
+	if err := lm.Acquire(txn, DatabaseRes(), IS); err != nil {
+		return err
+	}
+	return lm.Acquire(txn, ClassRes(class), S)
+}
+
+// LockClassWrite takes an exclusive lock on a whole class (DDL, bulk
+// load): IX on the database, X on the class.
+func (lm *LockManager) LockClassWrite(txn uint64, class model.ClassID) error {
+	if err := lm.Acquire(txn, DatabaseRes(), IX); err != nil {
+		return err
+	}
+	return lm.Acquire(txn, ClassRes(class), X)
+}
+
+// LockHierarchyRead locks a class and all the given descendants shared —
+// the lock footprint of a class-hierarchy query (Garza-Kim: a query whose
+// scope is the hierarchy rooted at C locks every class in that hierarchy).
+func (lm *LockManager) LockHierarchyRead(txn uint64, classes []model.ClassID) error {
+	if err := lm.Acquire(txn, DatabaseRes(), IS); err != nil {
+		return err
+	}
+	for _, c := range classes {
+		if err := lm.Acquire(txn, ClassRes(c), S); err != nil {
+			return err
+		}
+	}
+	return nil
+}

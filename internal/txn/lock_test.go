@@ -1,0 +1,324 @@
+package txn
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"oodb/internal/model"
+)
+
+func TestCompatibilityMatrix(t *testing.T) {
+	// Spot-check the classical matrix.
+	cases := []struct {
+		a, b Mode
+		ok   bool
+	}{
+		{IS, IS, true}, {IS, X, false},
+		{IX, IX, true}, {IX, S, false}, {IX, IS, true},
+		{S, S, true}, {S, IX, false}, {S, IS, true},
+		{SIX, IS, true}, {SIX, S, false}, {SIX, IX, false},
+		{X, IS, false}, {X, X, false},
+	}
+	for _, c := range cases {
+		if compatible[c.a][c.b] != c.ok {
+			t.Errorf("compatible[%v][%v] = %v, want %v", c.a, c.b, compatible[c.a][c.b], c.ok)
+		}
+	}
+}
+
+func TestJoinLattice(t *testing.T) {
+	if join[S][IX] != SIX || join[IX][S] != SIX {
+		t.Error("S join IX should be SIX")
+	}
+	if join[IS][IX] != IX {
+		t.Error("IS join IX should be IX")
+	}
+	if join[SIX][X] != X {
+		t.Error("SIX join X should be X")
+	}
+	// Join is idempotent and monotone.
+	for a := IS; a <= X; a++ {
+		if join[a][a] != a {
+			t.Errorf("join[%v][%v] != %v", a, a, a)
+		}
+	}
+}
+
+func TestSharedLocksCoexist(t *testing.T) {
+	lm := NewLockManager()
+	oid := model.MakeOID(20, 1)
+	if err := lm.LockInstanceRead(1, oid); err != nil {
+		t.Fatal(err)
+	}
+	if err := lm.LockInstanceRead(2, oid); err != nil {
+		t.Fatal(err)
+	}
+	if m, ok := lm.Holding(1, InstanceRes(oid)); !ok || m != S {
+		t.Errorf("txn1 holding = %v %v", m, ok)
+	}
+}
+
+func TestExclusiveBlocksAndWakes(t *testing.T) {
+	lm := NewLockManager()
+	oid := model.MakeOID(20, 1)
+	if err := lm.LockInstanceWrite(1, oid); err != nil {
+		t.Fatal(err)
+	}
+	var got atomic.Int32
+	done := make(chan struct{})
+	go func() {
+		if err := lm.LockInstanceWrite(2, oid); err != nil {
+			t.Error(err)
+		}
+		got.Store(1)
+		close(done)
+	}()
+	time.Sleep(20 * time.Millisecond)
+	if got.Load() != 0 {
+		t.Fatal("writer acquired lock while held exclusively")
+	}
+	lm.ReleaseAll(1)
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("waiter never woken")
+	}
+}
+
+func TestIntentionConflictClassLevel(t *testing.T) {
+	lm := NewLockManager()
+	oid := model.MakeOID(20, 1)
+	// Writer holds IX on the class; a class-level S (scan) must wait, but
+	// another instance write in the same class proceeds.
+	if err := lm.LockInstanceWrite(1, oid); err != nil {
+		t.Fatal(err)
+	}
+	if err := lm.LockInstanceWrite(2, model.MakeOID(20, 2)); err != nil {
+		t.Fatal(err)
+	}
+	scanDone := make(chan error, 1)
+	go func() { scanDone <- lm.LockClassRead(3, 20) }()
+	select {
+	case err := <-scanDone:
+		t.Fatalf("class scan acquired S under IX holders: %v", err)
+	case <-time.After(30 * time.Millisecond):
+	}
+	lm.ReleaseAll(1)
+	lm.ReleaseAll(2)
+	if err := <-scanDone; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClassScanBlocksWriters(t *testing.T) {
+	lm := NewLockManager()
+	if err := lm.LockClassRead(1, 20); err != nil {
+		t.Fatal(err)
+	}
+	// A reader of one instance coexists (IS vs S at class level).
+	if err := lm.LockInstanceRead(2, model.MakeOID(20, 5)); err != nil {
+		t.Fatal(err)
+	}
+	// A writer must wait.
+	done := make(chan error, 1)
+	go func() { done <- lm.LockInstanceWrite(3, model.MakeOID(20, 6)) }()
+	select {
+	case <-done:
+		t.Fatal("writer acquired IX under class S")
+	case <-time.After(30 * time.Millisecond):
+	}
+	lm.ReleaseAll(1)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUpgradeSToX(t *testing.T) {
+	lm := NewLockManager()
+	oid := model.MakeOID(20, 1)
+	if err := lm.LockInstanceRead(1, oid); err != nil {
+		t.Fatal(err)
+	}
+	if err := lm.LockInstanceWrite(1, oid); err != nil {
+		t.Fatal(err)
+	}
+	if m, _ := lm.Holding(1, InstanceRes(oid)); m != X {
+		t.Errorf("after upgrade: %v", m)
+	}
+	// Class lock upgraded to IX as well (join of IS and IX).
+	if m, _ := lm.Holding(1, ClassRes(20)); m != IX {
+		t.Errorf("class mode = %v, want IX", m)
+	}
+}
+
+func TestDeadlockDetected(t *testing.T) {
+	lm := NewLockManager()
+	a := model.MakeOID(20, 1)
+	b := model.MakeOID(20, 2)
+	if err := lm.LockInstanceWrite(1, a); err != nil {
+		t.Fatal(err)
+	}
+	if err := lm.LockInstanceWrite(2, b); err != nil {
+		t.Fatal(err)
+	}
+	// txn1 waits for b (held by txn2)...
+	errs := make(chan error, 1)
+	go func() { errs <- lm.LockInstanceWrite(1, b) }()
+	time.Sleep(20 * time.Millisecond)
+	// ...and txn2 requesting a closes the cycle: it must get ErrDeadlock
+	// immediately, without blocking.
+	err := lm.LockInstanceWrite(2, a)
+	if !errors.Is(err, ErrDeadlock) {
+		t.Fatalf("expected ErrDeadlock, got %v", err)
+	}
+	// Victim aborts; txn1 proceeds.
+	lm.ReleaseAll(2)
+	select {
+	case err := <-errs:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("survivor never granted")
+	}
+}
+
+func TestUpgradeDeadlockDetected(t *testing.T) {
+	// Two readers both upgrading to X is the classic upgrade deadlock.
+	lm := NewLockManager()
+	oid := model.MakeOID(20, 1)
+	lm.LockInstanceRead(1, oid)
+	lm.LockInstanceRead(2, oid)
+	errs := make(chan error, 1)
+	go func() { errs <- lm.Acquire(1, InstanceRes(oid), X) }()
+	time.Sleep(20 * time.Millisecond)
+	err := lm.Acquire(2, InstanceRes(oid), X)
+	if !errors.Is(err, ErrDeadlock) {
+		t.Fatalf("expected ErrDeadlock, got %v", err)
+	}
+	lm.ReleaseAll(2)
+	if err := <-errs; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAbortWhileWaiting(t *testing.T) {
+	lm := NewLockManager()
+	oid := model.MakeOID(20, 1)
+	lm.LockInstanceWrite(1, oid)
+	errs := make(chan error, 1)
+	go func() { errs <- lm.LockInstanceWrite(2, oid) }()
+	time.Sleep(20 * time.Millisecond)
+	// txn2 aborts while queued; but ReleaseAll(2) needs txn2 in held map.
+	// It holds DB IX and class IX from the helper, so ReleaseAll reaches
+	// the queue and cancels the instance request.
+	lm.ReleaseAll(2)
+	select {
+	case err := <-errs:
+		if !errors.Is(err, ErrTxnDone) {
+			t.Fatalf("expected ErrTxnDone, got %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("canceled waiter never signaled")
+	}
+	lm.ReleaseAll(1)
+}
+
+func TestFIFOFairness(t *testing.T) {
+	// A stream of readers must not starve a queued writer: once the writer
+	// queues, later read requests queue behind it.
+	lm := NewLockManager()
+	oid := model.MakeOID(20, 1)
+	lm.LockInstanceRead(1, oid)
+	writerDone := make(chan error, 1)
+	go func() { writerDone <- lm.Acquire(2, InstanceRes(oid), X) }()
+	time.Sleep(20 * time.Millisecond)
+	readerDone := make(chan error, 1)
+	go func() { readerDone <- lm.Acquire(3, InstanceRes(oid), S) }()
+	time.Sleep(20 * time.Millisecond)
+	select {
+	case <-readerDone:
+		t.Fatal("late reader jumped the queued writer")
+	default:
+	}
+	lm.ReleaseAll(1)
+	if err := <-writerDone; err != nil {
+		t.Fatal(err)
+	}
+	lm.ReleaseAll(2)
+	if err := <-readerDone; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentWritersSerialize(t *testing.T) {
+	lm := NewLockManager()
+	oid := model.MakeOID(20, 1)
+	var inCrit atomic.Int32
+	var maxSeen atomic.Int32
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(txn uint64) {
+			defer wg.Done()
+			if err := lm.LockInstanceWrite(txn, oid); err != nil {
+				t.Error(err)
+				return
+			}
+			n := inCrit.Add(1)
+			if n > maxSeen.Load() {
+				maxSeen.Store(n)
+			}
+			time.Sleep(time.Millisecond)
+			inCrit.Add(-1)
+			lm.ReleaseAll(txn)
+		}(uint64(i + 1))
+	}
+	wg.Wait()
+	if maxSeen.Load() != 1 {
+		t.Fatalf("%d writers in critical section simultaneously", maxSeen.Load())
+	}
+}
+
+func TestHierarchyReadLocksAllClasses(t *testing.T) {
+	lm := NewLockManager()
+	classes := []model.ClassID{20, 21, 22}
+	if err := lm.LockHierarchyRead(1, classes); err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range classes {
+		if m, ok := lm.Holding(1, ClassRes(c)); !ok || m != S {
+			t.Errorf("class %d mode = %v %v", c, m, ok)
+		}
+	}
+	// DDL on a subclass (class X) must wait even though the query targeted
+	// the root — the Garza-Kim hierarchy-locking property.
+	done := make(chan error, 1)
+	go func() { done <- lm.LockClassWrite(2, 22) }()
+	select {
+	case <-done:
+		t.Fatal("DDL acquired X under hierarchy S locks")
+	case <-time.After(30 * time.Millisecond):
+	}
+	lm.ReleaseAll(1)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReleaseAllIsIdempotent(t *testing.T) {
+	lm := NewLockManager()
+	lm.LockInstanceWrite(1, model.MakeOID(20, 1))
+	lm.ReleaseAll(1)
+	lm.ReleaseAll(1) // must not panic
+	// Resource map is cleaned up.
+	lm.mu.Lock()
+	n := len(lm.locks)
+	lm.mu.Unlock()
+	if n != 0 {
+		t.Errorf("%d lock entries leak after release", n)
+	}
+}

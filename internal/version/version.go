@@ -1,0 +1,545 @@
+// Package version implements kimdb's version model, following Chou & Kim
+// (VLDB 1986 / DAC 1988), the semantics the paper lists among the CAx
+// requirements (§3.3) and revisits under "Semantic Extensions" (§5.5):
+//
+//   - a versionable instance is represented by a generic object plus a set
+//     of version instances forming a derivation hierarchy;
+//   - versions progress transient → working → released: transient versions
+//     are updatable and deletable, working versions are frozen but can
+//     spawn derivations and be deleted, released versions are immutable;
+//   - a reference to the generic object dynamically binds to its default
+//     version (or the most recently derived one when no default is set);
+//   - deriving or promoting a version notifies registered dependents
+//     (change notification: flag-based, queryable, plus an optional
+//     callback).
+//
+// Per the paper's §5.5 layering advice, this manager is a layer above the
+// engine: version state is ordinary attributes maintained through ordinary
+// transactions, so installation-specific version semantics can be built as
+// alternative layers without engine changes.
+package version
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"oodb/internal/core"
+	"oodb/internal/model"
+	"oodb/internal/schema"
+)
+
+// State is a version's lifecycle state.
+type State int
+
+// The version states.
+const (
+	Transient State = iota
+	Working
+	Released
+)
+
+func (s State) String() string {
+	switch s {
+	case Transient:
+		return "transient"
+	case Working:
+		return "working"
+	case Released:
+		return "released"
+	default:
+		return fmt.Sprintf("State(%d)", int(s))
+	}
+}
+
+// Hidden attribute names the manager adds to versionable classes and to
+// the generic class. The leading underscore keeps them out of the way of
+// application attributes (identifiers may not start with '_' in the query
+// language's reserved space by convention).
+const (
+	attrGeneric = "_vGeneric" // version -> its generic object
+	attrParent  = "_vParent"  // version -> version it was derived from
+	attrNumber  = "_vNumber"  // version -> version number (1, 2, ...)
+	attrState   = "_vState"   // version -> lifecycle state (int)
+
+	genericClassName = "VersionGeneric"
+	attrDefault      = "_vDefault" // generic -> default version
+	attrNext         = "_vNext"    // generic -> next version number
+	attrVersions     = "_vAll"     // generic -> set of version refs
+)
+
+// Errors of the version layer.
+var (
+	ErrNotVersionable = errors.New("version: class is not versioning-enabled")
+	ErrFrozen         = errors.New("version: working and released versions are immutable")
+	ErrReleased       = errors.New("version: released versions cannot be deleted")
+	ErrNotVersion     = errors.New("version: object is not a version instance")
+	ErrNotGeneric     = errors.New("version: object is not a generic object")
+)
+
+// Notification describes one change event delivered to dependents.
+type Notification struct {
+	Generic  model.OID // the generic object whose version set changed
+	Version  model.OID // the version derived or promoted
+	Event    string    // "derive" or "promote"
+	NewState State     // for promote
+}
+
+// Policy tailors installation-specific version semantics — the layered
+// architecture §5.5 recommends: "the lower level may support a basic
+// mechanism for low-level version semantics that are common to various
+// proposals; the higher level may be made extensible to allow easy
+// tailoring". The zero Policy is the Chou-Kim default.
+type Policy struct {
+	// CanUpdate reports whether a version in the given state accepts
+	// in-place updates. Nil means the default (transient only).
+	CanUpdate func(State) bool
+	// CanDelete reports whether a version in the given state may be
+	// deleted. Nil means the default (anything but released).
+	CanDelete func(State) bool
+	// PromoteParentOnDerive controls whether deriving from a transient
+	// version first promotes it to working (the Chou-Kim rule). Nil means
+	// true.
+	PromoteParentOnDerive *bool
+}
+
+// Manager layers version semantics over a database.
+type Manager struct {
+	db      *core.DB
+	generic *schema.Class
+
+	mu         sync.Mutex
+	enabled    map[model.ClassID]bool
+	dependents map[model.OID]map[model.OID]bool // generic -> dependents
+	stale      map[model.OID]bool               // dependents flagged out-of-date
+	callback   func(Notification)
+	policy     Policy
+}
+
+// SetPolicy installs installation-specific version semantics.
+func (m *Manager) SetPolicy(p Policy) {
+	m.mu.Lock()
+	m.policy = p
+	m.mu.Unlock()
+}
+
+func (m *Manager) canUpdate(st State) bool {
+	m.mu.Lock()
+	f := m.policy.CanUpdate
+	m.mu.Unlock()
+	if f == nil {
+		return st == Transient
+	}
+	return f(st)
+}
+
+func (m *Manager) canDelete(st State) bool {
+	m.mu.Lock()
+	f := m.policy.CanDelete
+	m.mu.Unlock()
+	if f == nil {
+		return st != Released
+	}
+	return f(st)
+}
+
+func (m *Manager) promoteParentOnDerive() bool {
+	m.mu.Lock()
+	p := m.policy.PromoteParentOnDerive
+	m.mu.Unlock()
+	return p == nil || *p
+}
+
+// New creates (or re-attaches) the version layer, installing the generic
+// class if absent.
+func New(db *core.DB) (*Manager, error) {
+	m := &Manager{
+		db:         db,
+		enabled:    make(map[model.ClassID]bool),
+		dependents: make(map[model.OID]map[model.OID]bool),
+		stale:      make(map[model.OID]bool),
+	}
+	cl, err := db.Catalog.ClassByName(genericClassName)
+	if errors.Is(err, schema.ErrNoSuchClass) {
+		cl, err = db.DefineClass(genericClassName, nil,
+			schema.AttrSpec{Name: attrDefault, Domain: schema.ClassObject},
+			schema.AttrSpec{Name: attrNext, Domain: schema.ClassInteger, Default: model.Int(1)},
+			schema.AttrSpec{Name: attrVersions, Domain: schema.ClassObject, SetValued: true},
+		)
+	}
+	if err != nil {
+		return nil, err
+	}
+	m.generic = cl
+	// Re-detect versioning-enabled classes (they carry the hidden attrs).
+	for _, c := range db.Catalog.Classes() {
+		if schema.IsPrimitive(c.ID) {
+			continue
+		}
+		if _, err := db.Catalog.ResolveAttr(c.ID, attrGeneric); err == nil {
+			m.enabled[c.ID] = true
+		}
+	}
+	return m, nil
+}
+
+// OnChange installs a notification callback (message-based notification;
+// the flag-based mechanism via StaleDependents works regardless).
+func (m *Manager) OnChange(fn func(Notification)) {
+	m.mu.Lock()
+	m.callback = fn
+	m.mu.Unlock()
+}
+
+// EnableVersioning makes a class versionable by adding the hidden version
+// attributes. Idempotent.
+func (m *Manager) EnableVersioning(class model.ClassID) error {
+	m.mu.Lock()
+	if m.enabled[class] {
+		m.mu.Unlock()
+		return nil
+	}
+	m.mu.Unlock()
+	for _, spec := range []schema.AttrSpec{
+		{Name: attrGeneric, Domain: m.generic.ID},
+		{Name: attrParent, Domain: schema.ClassObject},
+		{Name: attrNumber, Domain: schema.ClassInteger},
+		{Name: attrState, Domain: schema.ClassInteger, Default: model.Int(int64(Transient))},
+	} {
+		if _, err := m.db.AddAttribute(class, spec); err != nil && !errors.Is(err, schema.ErrAttrExists) {
+			return err
+		}
+	}
+	m.mu.Lock()
+	m.enabled[class] = true
+	m.mu.Unlock()
+	return nil
+}
+
+// CreateVersioned creates the first (transient) version of a new
+// versionable entity along with its generic object, returning both.
+func (m *Manager) CreateVersioned(tx *core.Tx, class model.ClassID, attrs map[string]model.Value) (generic, version model.OID, err error) {
+	if !m.isEnabled(class) {
+		return model.NilOID, model.NilOID, ErrNotVersionable
+	}
+	generic, err = tx.InsertClass(m.generic.ID, map[string]model.Value{attrNext: model.Int(2)})
+	if err != nil {
+		return model.NilOID, model.NilOID, err
+	}
+	all := make(map[string]model.Value, len(attrs)+3)
+	for k, v := range attrs {
+		all[k] = v
+	}
+	all[attrGeneric] = model.Ref(generic)
+	all[attrNumber] = model.Int(1)
+	all[attrState] = model.Int(int64(Transient))
+	version, err = tx.InsertClass(class, all)
+	if err != nil {
+		return model.NilOID, model.NilOID, err
+	}
+	err = tx.Update(generic, map[string]model.Value{
+		attrVersions: model.Set(model.Ref(version)),
+	})
+	return generic, version, err
+}
+
+func (m *Manager) isEnabled(class model.ClassID) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.enabled[class]
+}
+
+// StateOf returns the lifecycle state of a version instance.
+func (m *Manager) StateOf(oid model.OID) (State, error) {
+	obj, err := m.db.FetchObject(oid)
+	if err != nil {
+		return Transient, err
+	}
+	v, err := m.db.AttrValue(obj, attrState)
+	if err != nil {
+		return Transient, ErrNotVersion
+	}
+	n, _ := v.AsInt()
+	return State(n), nil
+}
+
+// GenericOf returns the generic object of a version instance.
+func (m *Manager) GenericOf(oid model.OID) (model.OID, error) {
+	obj, err := m.db.FetchObject(oid)
+	if err != nil {
+		return model.NilOID, err
+	}
+	v, err := m.db.AttrValue(obj, attrGeneric)
+	if err != nil {
+		return model.NilOID, ErrNotVersion
+	}
+	g, ok := v.AsRef()
+	if !ok {
+		return model.NilOID, ErrNotVersion
+	}
+	return g, nil
+}
+
+// UpdateVersion writes attributes of a version, enforcing the update
+// rules: only transient versions are updatable.
+func (m *Manager) UpdateVersion(tx *core.Tx, oid model.OID, attrs map[string]model.Value) error {
+	st, err := m.StateOf(oid)
+	if err != nil {
+		return err
+	}
+	if !m.canUpdate(st) {
+		return fmt.Errorf("%w (state %s)", ErrFrozen, st)
+	}
+	return tx.Update(oid, attrs)
+}
+
+// Promote advances a version transient → working → released. Promoting a
+// released version is a no-op.
+func (m *Manager) Promote(tx *core.Tx, oid model.OID) (State, error) {
+	st, err := m.StateOf(oid)
+	if err != nil {
+		return st, err
+	}
+	if st == Released {
+		return Released, nil
+	}
+	next := st + 1
+	if err := tx.Update(oid, map[string]model.Value{attrState: model.Int(int64(next))}); err != nil {
+		return st, err
+	}
+	g, err := m.GenericOf(oid)
+	if err == nil {
+		m.notify(Notification{Generic: g, Version: oid, Event: "promote", NewState: next})
+	}
+	return next, nil
+}
+
+// Derive creates a new transient version from an existing version. Per
+// Chou-Kim, deriving from a transient version first promotes it to
+// working (a version with derivations must be stable).
+func (m *Manager) Derive(tx *core.Tx, parent model.OID) (model.OID, error) {
+	st, err := m.StateOf(parent)
+	if err != nil {
+		return model.NilOID, err
+	}
+	if st == Transient && m.promoteParentOnDerive() {
+		if _, err := m.Promote(tx, parent); err != nil {
+			return model.NilOID, err
+		}
+	}
+	pobj, err := m.db.FetchObject(parent)
+	if err != nil {
+		return model.NilOID, err
+	}
+	g, err := m.GenericOf(parent)
+	if err != nil {
+		return model.NilOID, err
+	}
+	gobj, err := m.db.FetchObject(g)
+	if err != nil {
+		return model.NilOID, err
+	}
+	nextV, err := m.db.AttrValue(gobj, attrNext)
+	if err != nil {
+		return model.NilOID, ErrNotGeneric
+	}
+	n, _ := nextV.AsInt()
+	if n == 0 {
+		n = 1
+	}
+
+	// Copy the parent's application state.
+	child := model.NewObject(model.NilOID) // template
+	for id, v := range pobj.Attrs {
+		child.Set(id, v)
+	}
+	attrs := map[string]model.Value{}
+	effAttrs, err := m.db.Catalog.EffectiveAttrs(parent.Class())
+	if err != nil {
+		return model.NilOID, err
+	}
+	for _, a := range effAttrs {
+		if v, ok := child.Attrs[a.ID]; ok {
+			attrs[a.Name] = v
+		}
+	}
+	attrs[attrGeneric] = model.Ref(g)
+	attrs[attrParent] = model.Ref(parent)
+	attrs[attrNumber] = model.Int(n)
+	attrs[attrState] = model.Int(int64(Transient))
+	oid, err := tx.InsertClass(parent.Class(), attrs)
+	if err != nil {
+		return model.NilOID, err
+	}
+
+	// Register with the generic object.
+	versions, _ := m.db.AttrValue(gobj, attrVersions)
+	members, _ := versions.AsSet()
+	newSet := append(append([]model.Value(nil), members...), model.Ref(oid))
+	if err := tx.Update(g, map[string]model.Value{
+		attrVersions: model.Set(newSet...),
+		attrNext:     model.Int(n + 1),
+	}); err != nil {
+		return model.NilOID, err
+	}
+	m.notify(Notification{Generic: g, Version: oid, Event: "derive"})
+	return oid, nil
+}
+
+// DeleteVersion removes a version; released versions are protected.
+func (m *Manager) DeleteVersion(tx *core.Tx, oid model.OID) error {
+	st, err := m.StateOf(oid)
+	if err != nil {
+		return err
+	}
+	if !m.canDelete(st) {
+		return ErrReleased
+	}
+	g, err := m.GenericOf(oid)
+	if err != nil {
+		return err
+	}
+	gobj, err := m.db.FetchObject(g)
+	if err != nil {
+		return err
+	}
+	versions, _ := m.db.AttrValue(gobj, attrVersions)
+	members, _ := versions.AsSet()
+	var kept []model.Value
+	for _, mem := range members {
+		if ref, _ := mem.AsRef(); ref != oid {
+			kept = append(kept, mem)
+		}
+	}
+	upd := map[string]model.Value{attrVersions: model.Set(kept...)}
+	// Clear the default if it pointed at the deleted version.
+	if def, _ := m.db.AttrValue(gobj, attrDefault); !def.IsNull() {
+		if ref, _ := def.AsRef(); ref == oid {
+			upd[attrDefault] = model.Null
+		}
+	}
+	if err := tx.Update(g, upd); err != nil {
+		return err
+	}
+	return tx.Delete(oid)
+}
+
+// SetDefault pins the generic object's default version (static binding).
+func (m *Manager) SetDefault(tx *core.Tx, generic, version model.OID) error {
+	return tx.Update(generic, map[string]model.Value{attrDefault: model.Ref(version)})
+}
+
+// Resolve performs dynamic binding: a reference to the generic object
+// resolves to its default version if set, else to the most recently
+// derived (highest-numbered) version.
+func (m *Manager) Resolve(generic model.OID) (model.OID, error) {
+	gobj, err := m.db.FetchObject(generic)
+	if err != nil {
+		return model.NilOID, err
+	}
+	if def, err := m.db.AttrValue(gobj, attrDefault); err == nil && !def.IsNull() {
+		if oid, ok := def.AsRef(); ok {
+			return oid, nil
+		}
+	}
+	vs, err := m.Versions(generic)
+	if err != nil {
+		return model.NilOID, err
+	}
+	if len(vs) == 0 {
+		return model.NilOID, fmt.Errorf("version: generic %s has no versions", generic)
+	}
+	best := vs[0]
+	bestN := int64(-1)
+	for _, v := range vs {
+		obj, err := m.db.FetchObject(v)
+		if err != nil {
+			continue
+		}
+		nv, _ := m.db.AttrValue(obj, attrNumber)
+		n, _ := nv.AsInt()
+		if n > bestN {
+			bestN, best = n, v
+		}
+	}
+	return best, nil
+}
+
+// Versions lists a generic object's versions.
+func (m *Manager) Versions(generic model.OID) ([]model.OID, error) {
+	gobj, err := m.db.FetchObject(generic)
+	if err != nil {
+		return nil, err
+	}
+	vs, err := m.db.AttrValue(gobj, attrVersions)
+	if err != nil {
+		return nil, ErrNotGeneric
+	}
+	members, _ := vs.AsSet()
+	out := make([]model.OID, 0, len(members))
+	for _, mem := range members {
+		if oid, ok := mem.AsRef(); ok {
+			out = append(out, oid)
+		}
+	}
+	return out, nil
+}
+
+// ParentOf returns the version a version was derived from (nil for the
+// first version).
+func (m *Manager) ParentOf(oid model.OID) (model.OID, error) {
+	obj, err := m.db.FetchObject(oid)
+	if err != nil {
+		return model.NilOID, err
+	}
+	v, err := m.db.AttrValue(obj, attrParent)
+	if err != nil {
+		return model.NilOID, ErrNotVersion
+	}
+	p, _ := v.AsRef()
+	return p, nil
+}
+
+// RegisterDependent subscribes an object to change notification for a
+// generic object: derives and promotes flag it stale.
+func (m *Manager) RegisterDependent(generic, dependent model.OID) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	set := m.dependents[generic]
+	if set == nil {
+		set = make(map[model.OID]bool)
+		m.dependents[generic] = set
+	}
+	set[dependent] = true
+}
+
+// StaleDependents returns the dependents flagged by change notification
+// since the last ClearStale.
+func (m *Manager) StaleDependents() []model.OID {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]model.OID, 0, len(m.stale))
+	for oid := range m.stale {
+		out = append(out, oid)
+	}
+	return out
+}
+
+// ClearStale acknowledges stale flags.
+func (m *Manager) ClearStale() {
+	m.mu.Lock()
+	m.stale = make(map[model.OID]bool)
+	m.mu.Unlock()
+}
+
+func (m *Manager) notify(n Notification) {
+	m.mu.Lock()
+	for dep := range m.dependents[n.Generic] {
+		m.stale[dep] = true
+	}
+	cb := m.callback
+	m.mu.Unlock()
+	if cb != nil {
+		cb(n)
+	}
+}

@@ -1,0 +1,360 @@
+// Package wal implements kimdb's write-ahead log: logical (object-level)
+// redo/undo records appended to a dedicated log file and fsynced at commit.
+//
+// Recovery model (see internal/core/recover.go for the applier):
+//
+//   - DML (object put/delete) is logged with before- and after-images and
+//     is idempotent to replay against the store;
+//   - a checkpoint flushes every dirty page plus the catalog and segment
+//     table, then truncates the log, so replay always starts from an empty
+//     or post-checkpoint log;
+//   - the log tail may be torn by a crash: frames carry checksums, and the
+//     first bad frame ends recovery (everything after it was never
+//     acknowledged as committed, because commit syncs).
+package wal
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync"
+	"sync/atomic"
+
+	"oodb/internal/model"
+)
+
+// RecType enumerates log record types.
+type RecType uint8
+
+// The log record types.
+const (
+	RecBegin RecType = iota + 1
+	RecCommit
+	RecAbort
+	RecPut    // object upsert: Before = prior image (nil on insert), After = new image
+	RecDelete // object delete: Before = prior image
+)
+
+// Record is one logical log record.
+type Record struct {
+	LSN    uint64
+	Txn    uint64
+	Type   RecType
+	OID    model.OID
+	Before []byte
+	After  []byte
+}
+
+// WAL is an append-only log file. Appends are buffered; Sync flushes and
+// fsyncs. SyncGroup is the group-commit path: concurrent committers
+// enqueue and a single fsync makes a whole batch durable.
+type WAL struct {
+	mu      sync.Mutex
+	path    string
+	file    *os.File
+	w       *bufio.Writer
+	nextLSN uint64
+
+	// Group commit state.
+	gcMu      sync.Mutex
+	gcWaiters []chan error
+	gcRunning bool
+
+	// Syncs counts fsyncs performed (observability: commits/Syncs is the
+	// group-commit batching factor).
+	Syncs atomic.Uint64
+}
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrTorn marks the first unreadable (torn) frame during recovery scan; it
+// is internal — Open stops the scan there and returns cleanly.
+var errTorn = errors.New("wal: torn frame")
+
+// Open opens the log at path, scans any existing records for recovery and
+// positions the log for appending. The returned records are everything
+// durably logged since the last checkpoint, in LSN order.
+func Open(path string) (*WAL, []Record, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("wal: open %s: %w", path, err)
+	}
+	recs, validLen, err := scan(f)
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	// Drop any torn tail so new appends start at a clean boundary.
+	if err := f.Truncate(validLen); err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	if _, err := f.Seek(validLen, io.SeekStart); err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	w := &WAL{path: path, file: f, w: bufio.NewWriterSize(f, 1<<16), nextLSN: 1}
+	if n := len(recs); n > 0 {
+		w.nextLSN = recs[n-1].LSN + 1
+	}
+	return w, recs, nil
+}
+
+// Close flushes and closes the log.
+func (w *WAL) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if err := w.w.Flush(); err != nil {
+		w.file.Close()
+		return err
+	}
+	return w.file.Close()
+}
+
+// Append assigns the record an LSN and buffers it. The record is durable
+// only after a subsequent Sync.
+func (w *WAL) Append(rec Record) (uint64, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	rec.LSN = w.nextLSN
+	w.nextLSN++
+	frame := encodeRecord(rec)
+	var hdr [8]byte
+	binary.BigEndian.PutUint32(hdr[0:], uint32(len(frame)))
+	binary.BigEndian.PutUint32(hdr[4:], crc32.Checksum(frame, crcTable))
+	if _, err := w.w.Write(hdr[:]); err != nil {
+		return 0, err
+	}
+	if _, err := w.w.Write(frame); err != nil {
+		return 0, err
+	}
+	return rec.LSN, nil
+}
+
+// Sync makes all appended records durable. The buffer flush happens under
+// the append lock, but the fsync itself does not: records appended during
+// the fsync are simply not covered by it, and keeping appends unblocked is
+// what gives SyncGroup its batching window.
+func (w *WAL) Sync() error {
+	w.mu.Lock()
+	err := w.w.Flush()
+	w.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	w.Syncs.Add(1)
+	return w.file.Sync()
+}
+
+// SyncGroup makes all records appended so far durable, sharing the fsync
+// with any other transactions committing concurrently (group commit). It
+// returns when a sync that started at or after this call completes. With a
+// single committer it behaves like Sync; with N concurrent committers one
+// fsync typically serves the whole batch.
+func (w *WAL) SyncGroup() error {
+	ch := make(chan error, 1)
+	w.gcMu.Lock()
+	w.gcWaiters = append(w.gcWaiters, ch)
+	if !w.gcRunning {
+		w.gcRunning = true
+		go w.gcLoop()
+	}
+	w.gcMu.Unlock()
+	return <-ch
+}
+
+// gcLoop drains commit batches: each iteration takes every waiter queued
+// so far, performs one Sync, and reports the result to all of them.
+func (w *WAL) gcLoop() {
+	for {
+		w.gcMu.Lock()
+		batch := w.gcWaiters
+		w.gcWaiters = nil
+		if len(batch) == 0 {
+			w.gcRunning = false
+			w.gcMu.Unlock()
+			return
+		}
+		w.gcMu.Unlock()
+		err := w.Sync()
+		for _, ch := range batch {
+			ch <- err
+		}
+	}
+}
+
+// Reset truncates the log after a checkpoint. All buffered and stored
+// records are discarded; the LSN sequence continues (LSNs never repeat
+// within a process lifetime).
+func (w *WAL) Reset() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.w.Reset(io.Discard) // drop buffered frames
+	if err := w.file.Truncate(0); err != nil {
+		return err
+	}
+	if _, err := w.file.Seek(0, io.SeekStart); err != nil {
+		return err
+	}
+	w.w.Reset(w.file)
+	return w.file.Sync()
+}
+
+// Size returns the current log length in bytes (buffered bytes included).
+func (w *WAL) Size() (int64, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	st, err := w.file.Stat()
+	if err != nil {
+		return 0, err
+	}
+	return st.Size() + int64(w.w.Buffered()), nil
+}
+
+// encodeRecord serializes a record body (without the frame header).
+func encodeRecord(rec Record) []byte {
+	buf := make([]byte, 0, 32+len(rec.Before)+len(rec.After))
+	buf = binary.AppendUvarint(buf, rec.LSN)
+	buf = binary.AppendUvarint(buf, rec.Txn)
+	buf = append(buf, byte(rec.Type))
+	buf = binary.AppendUvarint(buf, uint64(rec.OID))
+	buf = binary.AppendUvarint(buf, uint64(len(rec.Before)))
+	buf = append(buf, rec.Before...)
+	buf = binary.AppendUvarint(buf, uint64(len(rec.After)))
+	buf = append(buf, rec.After...)
+	return buf
+}
+
+func decodeRecord(buf []byte) (Record, error) {
+	var rec Record
+	lsn, n := binary.Uvarint(buf)
+	if n <= 0 {
+		return rec, errTorn
+	}
+	buf = buf[n:]
+	txn, n := binary.Uvarint(buf)
+	if n <= 0 {
+		return rec, errTorn
+	}
+	buf = buf[n:]
+	if len(buf) == 0 {
+		return rec, errTorn
+	}
+	typ := RecType(buf[0])
+	buf = buf[1:]
+	oid, n := binary.Uvarint(buf)
+	if n <= 0 {
+		return rec, errTorn
+	}
+	buf = buf[n:]
+	bl, n := binary.Uvarint(buf)
+	if n <= 0 || uint64(len(buf)-n) < bl {
+		return rec, errTorn
+	}
+	before := buf[n : n+int(bl)]
+	buf = buf[n+int(bl):]
+	al, n := binary.Uvarint(buf)
+	if n <= 0 || uint64(len(buf)-n) < al {
+		return rec, errTorn
+	}
+	after := buf[n : n+int(al)]
+	rec = Record{LSN: lsn, Txn: txn, Type: typ, OID: model.OID(oid)}
+	if bl > 0 {
+		rec.Before = append([]byte(nil), before...)
+	}
+	if al > 0 {
+		rec.After = append([]byte(nil), after...)
+	}
+	return rec, nil
+}
+
+// scan reads records from the start of the file until EOF or the first
+// torn frame, returning the records and the byte length of the valid
+// prefix.
+func scan(f *os.File) ([]Record, int64, error) {
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return nil, 0, err
+	}
+	r := bufio.NewReaderSize(f, 1<<16)
+	var recs []Record
+	var valid int64
+	for {
+		var hdr [8]byte
+		if _, err := io.ReadFull(r, hdr[:]); err != nil {
+			break // EOF or short header: end of valid prefix
+		}
+		size := binary.BigEndian.Uint32(hdr[0:])
+		sum := binary.BigEndian.Uint32(hdr[4:])
+		if size == 0 || size > 1<<28 {
+			break
+		}
+		frame := make([]byte, size)
+		if _, err := io.ReadFull(r, frame); err != nil {
+			break
+		}
+		if crc32.Checksum(frame, crcTable) != sum {
+			break
+		}
+		rec, err := decodeRecord(frame)
+		if err != nil {
+			break
+		}
+		recs = append(recs, rec)
+		valid += int64(8 + size)
+	}
+	return recs, valid, nil
+}
+
+// Analysis partitions recovered records into finished transactions
+// (commit OR abort record present) and in-flight losers. Aborted
+// transactions count as finished because rollback logs compensation
+// records (the restore operations themselves), so replaying an aborted
+// transaction forward — originals then compensations — reproduces the
+// rolled-back state without a recovery-time undo that could clobber later
+// committed writes to the same objects.
+type Analysis struct {
+	Records  []Record
+	Finished map[uint64]bool
+}
+
+// Analyze builds the recovery analysis from a recovered record stream.
+func Analyze(recs []Record) Analysis {
+	a := Analysis{Records: recs, Finished: make(map[uint64]bool)}
+	for _, r := range recs {
+		if r.Type == RecCommit || r.Type == RecAbort {
+			a.Finished[r.Txn] = true
+		}
+	}
+	return a
+}
+
+// RedoOps returns the data ops of finished transactions in LSN order
+// (for aborted transactions this includes their compensation records,
+// which restore the pre-transaction state).
+func (a Analysis) RedoOps() []Record {
+	var out []Record
+	for _, r := range a.Records {
+		if (r.Type == RecPut || r.Type == RecDelete) && a.Finished[r.Txn] {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// UndoOps returns the data ops of in-flight (crashed) transactions in
+// reverse LSN order — the order in which their before-images must be
+// restored.
+func (a Analysis) UndoOps() []Record {
+	var out []Record
+	for i := len(a.Records) - 1; i >= 0; i-- {
+		r := a.Records[i]
+		if (r.Type == RecPut || r.Type == RecDelete) && !a.Finished[r.Txn] {
+			out = append(out, r)
+		}
+	}
+	return out
+}

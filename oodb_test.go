@@ -1,0 +1,348 @@
+package oodb
+
+import (
+	"strings"
+	"testing"
+
+	"oodb/internal/authz"
+	"oodb/internal/federation"
+)
+
+// TestPublicAPIEndToEnd exercises the facade the way the README's quick
+// start does: schema, data, query, method dispatch, workspace, views.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	db, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+
+	if _, err := db.DefineClass("Company", nil,
+		Attr{Name: "name", Domain: "String"},
+		Attr{Name: "location", Domain: "String"},
+	); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.DefineClass("Vehicle", nil,
+		Attr{Name: "id", Domain: "String"},
+		Attr{Name: "weight", Domain: "Integer"},
+		Attr{Name: "manufacturer", Domain: "Company"},
+	); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.DefineClass("Truck", []string{"Vehicle"},
+		Attr{Name: "payload", Domain: "Integer"},
+	); err != nil {
+		t.Fatal(err)
+	}
+
+	var gm, truck OID
+	err = db.Do(func(tx *Tx) error {
+		var err error
+		gm, err = tx.Insert("Company", Attrs{
+			"name": String("GM"), "location": String("Detroit")})
+		if err != nil {
+			return err
+		}
+		truck, err = tx.Insert("Truck", Attrs{
+			"id": String("t1"), "weight": Int(9000), "manufacturer": Ref(gm)})
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The paper's example query through the public API.
+	res, err := db.Query(`SELECT id FROM Vehicle WHERE weight > 7500 AND manufacturer.location = 'Detroit'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	if s, _ := res.Rows[0].Values[0].AsString(); s != "t1" {
+		t.Fatalf("id = %v", res.Rows[0].Values[0])
+	}
+
+	// Method dispatch with late binding.
+	if err := db.AddMethod("Vehicle", "describe", func(eng MethodEngine, recv *Object, _ []Value) (Value, error) {
+		return String("a vehicle"), nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	out, err := db.Send(truck, "describe")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s, _ := out.AsString(); s != "a vehicle" {
+		t.Fatalf("describe = %v", out)
+	}
+
+	// Workspace navigation.
+	ws := db.NewWorkspace()
+	d, err := ws.Fetch(truck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	maker, err := d.Deref("manufacturer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	loc, _ := maker.Get("location")
+	if s, _ := loc.AsString(); s != "Detroit" {
+		t.Fatalf("workspace deref = %v", loc)
+	}
+}
+
+func TestSelfReferentialDomain(t *testing.T) {
+	db, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if _, err := db.DefineClass("Employee", nil,
+		Attr{Name: "name", Domain: "String"},
+		Attr{Name: "manager", Domain: "Employee"}, // self-reference
+	); err != nil {
+		t.Fatal(err)
+	}
+	var boss, emp OID
+	err = db.Do(func(tx *Tx) error {
+		var err error
+		boss, err = tx.Insert("Employee", Attrs{"name": String("alice")})
+		if err != nil {
+			return err
+		}
+		emp, err = tx.Insert("Employee", Attrs{
+			"name": String("bob"), "manager": Ref(boss)})
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.Query(`SELECT name FROM Employee WHERE manager.name = 'alice'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	_ = emp
+}
+
+func TestIndexAndExplainThroughFacade(t *testing.T) {
+	db, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	db.DefineClass("P", nil, Attr{Name: "n", Domain: "Integer"})
+	if err := db.CreateIndex("pn", "P", []string{"n"}, true); err != nil {
+		t.Fatal(err)
+	}
+	db.Do(func(tx *Tx) error {
+		for i := 0; i < 10; i++ {
+			if _, err := tx.Insert("P", Attrs{"n": Int(int64(i))}); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	plan, err := db.Explain(`SELECT * FROM P WHERE n = 3`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := "index-eq(pn)"; !strings.Contains(plan, want) {
+		t.Fatalf("plan = %q, want %q", plan, want)
+	}
+	res, _ := db.Query(`SELECT * FROM P WHERE n = 3`)
+	if len(res.Rows) != 1 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	if err := db.DropIndex("pn"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFeatureLayersThroughFacade(t *testing.T) {
+	db, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	cl, err := db.DefineClass("Design", nil, Attr{Name: "name", Domain: "String"})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	vm, err := db.Versions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := vm.EnableVersioning(cl.ID); err != nil {
+		t.Fatal(err)
+	}
+	var v1 OID
+	db.Do(func(tx *Tx) error {
+		_, v1, err = vm.CreateVersioned(tx, cl.ID, Attrs{"name": String("x")})
+		return err
+	})
+	if v1.IsNil() {
+		t.Fatal("no version created")
+	}
+
+	views, err := db.Views()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := views.Define("AllDesigns", `SELECT * FROM Design`); err != nil {
+		t.Fatal(err)
+	}
+
+	az := db.Authorizer()
+	az.AddRole("eng")
+	if az.Allowed("eng", authz.Read, authz.Class(cl.ID)) {
+		t.Fatal("closed world violated")
+	}
+
+	eng, edb := db.RuleEngine()
+	if err := edb.MapClass("design", "Design"); err != nil {
+		t.Fatal(err)
+	}
+	facts, err := eng.Infer("design")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(facts) != 1 {
+		t.Fatalf("design facts = %d", len(facts))
+	}
+}
+
+func TestFacadeSchemaOps(t *testing.T) {
+	db, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if _, err := db.DefineClass("A", nil, Attr{Name: "x", Domain: "Integer"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.DefineClass("B", nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.AddSuperclass("B", "A"); err != nil {
+		t.Fatal(err)
+	}
+	// B inherits x now.
+	db.Do(func(tx *Tx) error {
+		_, err := tx.Insert("B", Attrs{"x": Int(7)})
+		return err
+	})
+	res, err := db.Query(`SELECT * FROM A WHERE x = 7`)
+	if err != nil || len(res.Rows) != 1 {
+		t.Fatalf("hierarchy query after AddSuperclass: %d rows, %v", len(res.Rows), err)
+	}
+	if err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.DropClass("B"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.ClassByName("B"); err == nil {
+		t.Fatal("B survived drop")
+	}
+	// Unknown names error cleanly.
+	if err := db.AddSuperclass("A", "Nope"); err == nil {
+		t.Fatal("unknown super accepted")
+	}
+	if err := db.DropClass("Nope"); err == nil {
+		t.Fatal("unknown class dropped")
+	}
+	if err := db.AddAttribute("Nope", Attr{Name: "x", Domain: "Integer"}); err == nil {
+		t.Fatal("attr on unknown class accepted")
+	}
+	if err := db.AddAttribute("A", Attr{Name: "y", Domain: "Nope"}); err == nil {
+		t.Fatal("attr with unknown domain accepted")
+	}
+}
+
+func TestFacadeSchemaVersioning(t *testing.T) {
+	db, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	db.DefineClass("P", nil, Attr{Name: "n", Domain: "Integer"})
+	if _, err := db.SnapshotSchema("v1"); err != nil {
+		t.Fatal(err)
+	}
+	db.AddAttribute("P", Attr{Name: "m", Domain: "Integer"})
+	diff, err := db.DiffSchema("v1")
+	if err != nil || len(diff) != 1 || diff[0] != "+ attr P.m" {
+		t.Fatalf("diff = %v, %v", diff, err)
+	}
+	vs, _ := db.SchemaVersions()
+	if len(vs) != 1 {
+		t.Fatalf("versions = %v", vs)
+	}
+}
+
+func TestFacadeQueryFromView(t *testing.T) {
+	db, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	db.DefineClass("P", nil, Attr{Name: "n", Domain: "Integer"})
+	db.Do(func(tx *Tx) error {
+		for i := 0; i < 5; i++ {
+			if _, err := tx.Insert("P", Attrs{"n": Int(int64(i))}); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	vm, err := db.Views()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := vm.Define("Big", `SELECT * FROM P WHERE n >= 3`); err != nil {
+		t.Fatal(err)
+	}
+	// The facade's own Query resolves the view name.
+	res, err := db.Query(`SELECT COUNT(*) FROM Big`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := res.Rows[0].Values[0].AsInt(); n != 2 {
+		t.Fatalf("COUNT over view = %v", res.Rows[0].Values[0])
+	}
+}
+
+func TestFacadeFederationSource(t *testing.T) {
+	db, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	db.DefineClass("P", nil, Attr{Name: "n", Domain: "Integer"})
+	db.Do(func(tx *Tx) error {
+		_, err := tx.Insert("P", Attrs{"n": Int(1)})
+		return err
+	})
+	src := db.FederationSource()
+	found := false
+	for _, c := range src.Classes() {
+		if c == "P" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("federation source misses class P")
+	}
+	n := 0
+	src.Scan("P", func(federation.Entity) bool { n++; return true })
+	if n != 1 {
+		t.Fatalf("scan saw %d entities", n)
+	}
+}

@@ -1,0 +1,134 @@
+package oodb
+
+import (
+	"errors"
+	"testing"
+
+	"oodb/internal/authz"
+)
+
+// sessionWorld: Employees with salaries; HR reads everything, staff read
+// everything except salary, interns see nothing.
+func sessionWorld(t *testing.T) (*DB, *authz.Authorizer, OID) {
+	t.Helper()
+	db, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	if _, err := db.DefineClass("Employee", nil,
+		Attr{Name: "name", Domain: "String"},
+		Attr{Name: "salary", Domain: "Integer"},
+	); err != nil {
+		t.Fatal(err)
+	}
+	var alice OID
+	db.Do(func(tx *Tx) error {
+		var err error
+		alice, err = tx.Insert("Employee", Attrs{
+			"name": String("alice"), "salary": Int(200)})
+		return err
+	})
+	cl, _ := db.ClassByName("Employee")
+	az := db.Authorizer()
+	for _, r := range []string{"hr", "staff", "intern"} {
+		az.AddRole(r)
+	}
+	az.Grant(authz.Grant{Role: "hr", Type: authz.Write, Object: authz.ClassDeep(cl.ID)})
+	az.Grant(authz.Grant{Role: "staff", Type: authz.Read, Object: authz.ClassDeep(cl.ID)})
+	az.Grant(authz.Grant{Role: "staff", Type: authz.Read,
+		Object: authz.Attribute(cl.ID, "salary"), Negative: true})
+	return db, az, alice
+}
+
+func TestSessionQueryFiltering(t *testing.T) {
+	db, az, _ := sessionWorld(t)
+	// Staff see the row; interns see nothing; neither errors.
+	res, err := db.Session(az, "staff").Query(`SELECT name FROM Employee`)
+	if err != nil || len(res.Rows) != 1 {
+		t.Fatalf("staff rows = %d, %v", len(res.Rows), err)
+	}
+	res, err = db.Session(az, "intern").Query(`SELECT name FROM Employee`)
+	if err != nil || len(res.Rows) != 0 {
+		t.Fatalf("intern rows = %d, %v", len(res.Rows), err)
+	}
+}
+
+func TestSessionAttributeHiding(t *testing.T) {
+	db, az, alice := sessionWorld(t)
+	staff := db.Session(az, "staff")
+	obj, err := staff.Fetch(alice)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// name readable, salary hidden by the attribute negative.
+	if _, err := staff.Get(obj, "name"); err != nil {
+		t.Fatalf("name: %v", err)
+	}
+	if _, err := staff.Get(obj, "salary"); !errors.Is(err, authz.ErrDenied) {
+		t.Fatalf("salary: expected denial, got %v", err)
+	}
+	// HR reads both (write implies read; no negative for hr).
+	hr := db.Session(az, "hr")
+	if _, err := hr.Get(obj, "salary"); err != nil {
+		t.Fatalf("hr salary: %v", err)
+	}
+}
+
+func TestSessionWriteEnforcement(t *testing.T) {
+	db, az, alice := sessionWorld(t)
+	staff := db.Session(az, "staff")
+	if err := staff.Update(alice, Attrs{"name": String("x")}); !errors.Is(err, authz.ErrDenied) {
+		t.Fatalf("staff update: %v", err)
+	}
+	if _, err := staff.Insert("Employee", Attrs{"name": String("bob")}); !errors.Is(err, authz.ErrDenied) {
+		t.Fatalf("staff insert: %v", err)
+	}
+	if err := staff.Delete(alice); !errors.Is(err, authz.ErrDenied) {
+		t.Fatalf("staff delete: %v", err)
+	}
+	hr := db.Session(az, "hr")
+	if err := hr.Update(alice, Attrs{"salary": Int(210)}); err != nil {
+		t.Fatalf("hr update: %v", err)
+	}
+	bob, err := hr.Insert("Employee", Attrs{"name": String("bob")})
+	if err != nil {
+		t.Fatalf("hr insert: %v", err)
+	}
+	if err := hr.Delete(bob); err != nil {
+		t.Fatalf("hr delete: %v", err)
+	}
+}
+
+func TestSessionAttributeWriteProhibition(t *testing.T) {
+	db, az, alice := sessionWorld(t)
+	cl, _ := db.ClassByName("Employee")
+	az.AddRole("auditor")
+	az.Grant(authz.Grant{Role: "auditor", Type: authz.Write, Object: authz.ClassDeep(cl.ID)})
+	az.Grant(authz.Grant{Role: "auditor", Type: authz.Write,
+		Object: authz.Attribute(cl.ID, "salary"), Negative: true})
+	auditor := db.Session(az, "auditor")
+	// May rename, may not touch salary.
+	if err := auditor.Update(alice, Attrs{"name": String("a2")}); err != nil {
+		t.Fatalf("auditor rename: %v", err)
+	}
+	if err := auditor.Update(alice, Attrs{"salary": Int(0)}); !errors.Is(err, authz.ErrDenied) {
+		t.Fatalf("auditor salary write: %v", err)
+	}
+}
+
+func TestSessionAggregateRequiresDatabaseRead(t *testing.T) {
+	db, az, _ := sessionWorld(t)
+	// Aggregates have no row identity; only a database-wide reader sees
+	// them through a session.
+	res, err := db.Session(az, "staff").Query(`SELECT COUNT(*) FROM Employee`)
+	if err != nil || len(res.Rows) != 0 {
+		t.Fatalf("staff aggregate rows = %d, %v", len(res.Rows), err)
+	}
+	az.AddRole("root")
+	az.Grant(authz.Grant{Role: "root", Type: authz.Read, Object: authz.Database()})
+	res, err = db.Session(az, "root").Query(`SELECT COUNT(*) FROM Employee`)
+	if err != nil || len(res.Rows) != 1 {
+		t.Fatalf("root aggregate rows = %d, %v", len(res.Rows), err)
+	}
+}
