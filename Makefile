@@ -1,0 +1,22 @@
+GO ?= go
+
+.PHONY: build test vet race bench verify
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem -run '^$$' .
+
+# The full pre-merge gate: compile, static checks, and the whole test
+# suite under the race detector (the concurrency tests depend on it).
+verify: build vet race

@@ -486,6 +486,68 @@ func benchE7(b *testing.B, workers int, coarse bool) {
 func BenchmarkE7_InstanceLocks_8Writers(b *testing.B) { benchE7(b, 8, false) }
 func BenchmarkE7_ClassXLock_8Writers(b *testing.B)    { benchE7(b, 8, true) }
 
+// --- E14: read-path concurrency (sharded pool + parallel scope scans) ----
+
+// e14DB builds a moderately deep hierarchy with no indexes, so every query
+// is a multi-class heap scan — the workload that serializes on the storage
+// layer's locks. Run with -cpu 1,4,8 to see the scaling curve.
+func e14DB(b *testing.B) *oodb.DB {
+	db := openBenchDB(b)
+	if _, err := bench.BuildHierarchy(db, 4, 3, 200, 1000, 1); err != nil { // 21 classes, 4200 objects
+		b.Fatal(err)
+	}
+	// Warm the buffer pool so the benchmark measures lock contention on
+	// cached pages, not disk I/O.
+	mustRows(b, db, `SELECT * FROM H0 WHERE val < 0`)
+	return db
+}
+
+func BenchmarkE14_HierarchyScan_Concurrent(b *testing.B) {
+	db := e14DB(b)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			mustRows(b, db, fmt.Sprintf(`SELECT * FROM H0 WHERE val < %d`, i%1000))
+			i++
+		}
+	})
+}
+
+func BenchmarkE14_HierarchyScan_SingleClient(b *testing.B) {
+	// One client, many cores: per-query latency. The per-class fan-out is
+	// the only parallelism available here.
+	db := e14DB(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mustRows(b, db, fmt.Sprintf(`SELECT * FROM H0 WHERE val < %d`, i%1000))
+	}
+}
+
+func BenchmarkE14_HierarchyScan_SingleClientSerialExec(b *testing.B) {
+	db := e14DB(b)
+	db.QueryEngine().SerialScan = true
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mustRows(b, db, fmt.Sprintf(`SELECT * FROM H0 WHERE val < %d`, i%1000))
+	}
+}
+
+func BenchmarkE14_HierarchyScan_SerialExec(b *testing.B) {
+	// Ablation: same workload with the per-class fan-out disabled, isolating
+	// the executor's contribution from the storage-layer lock fixes.
+	db := e14DB(b)
+	db.QueryEngine().SerialScan = true
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			mustRows(b, db, fmt.Sprintf(`SELECT * FROM H0 WHERE val < %d`, i%1000))
+			i++
+		}
+	})
+}
+
 // --- E8: optimizer ablation ----------------------------------------------
 
 func BenchmarkE8_Optimized(b *testing.B) {

@@ -26,6 +26,10 @@ import (
 type Options struct {
 	// PoolPages is the buffer pool capacity in pages (0 = default).
 	PoolPages int
+	// PoolShards is the number of lock stripes in the buffer pool
+	// (0 = default). More shards reduce contention between concurrent
+	// readers of unrelated pages.
+	PoolShards int
 	// CheckpointBytes triggers an automatic checkpoint when the WAL grows
 	// past this size (0 = 8 MiB).
 	CheckpointBytes int64
@@ -70,7 +74,10 @@ func Open(dir string, opts Options) (*DB, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("core: create %s: %w", dir, err)
 	}
-	store, err := storage.Open(filepath.Join(dir, "data.kdb"), storage.Options{PoolPages: opts.PoolPages})
+	store, err := storage.Open(filepath.Join(dir, "data.kdb"), storage.Options{
+		PoolPages:  opts.PoolPages,
+		PoolShards: opts.PoolShards,
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -263,7 +270,7 @@ func (db *DB) AttrValue(obj *model.Object, name string) (model.Value, error) {
 	if err != nil {
 		return model.Null, err
 	}
-	if v, ok := obj.Attrs[a.ID]; ok {
+	if v, ok := obj.Lookup(a.ID); ok {
 		return v, nil
 	}
 	return a.Default, nil

@@ -376,7 +376,7 @@ func TestMethodsCanSendAndFetch(t *testing.T) {
 	td := openVehicleDB(t)
 	// makerLocation fetches the referenced company through the engine.
 	err := td.AddMethod(td.vehicle.ID, "makerLocation", func(eng schema.MethodEngine, recv *model.Object, _ []model.Value) (model.Value, error) {
-		for _, a := range recv.Attrs {
+		for _, a := range recv.AttrVals() {
 			_ = a
 		}
 		mref, err := td.AttrValue(recv, "manufacturer")

@@ -121,6 +121,134 @@ func TestConcurrentSameClassWriters(t *testing.T) {
 	}
 }
 
+// TestConcurrentHierarchyScansAndWriters drives the read path the parallel
+// query executor uses — LockClassScan over a class hierarchy, then
+// concurrent ScanLocked per class from several goroutines — while a writer
+// keeps inserting into the leaf classes. Run under -race it guards the
+// sharded buffer pool, the store RWMutex and the heap read latch.
+func TestConcurrentHierarchyScansAndWriters(t *testing.T) {
+	db, err := Open(t.TempDir(), Options{NoSync: true, PoolShards: 4, PoolPages: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	// A three-level hierarchy: Root <- Mid{0,1} <- Leaf{0,1,2,3}.
+	root, err := db.DefineClass("Root", nil,
+		schema.AttrSpec{Name: "n", Domain: schema.ClassInteger},
+		schema.AttrSpec{Name: "pad", Domain: schema.ClassString})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var leaves []model.ClassID
+	for m := 0; m < 2; m++ {
+		mid, err := db.DefineClass(fmt.Sprintf("Mid%d", m), []model.ClassID{root.ID})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for l := 0; l < 2; l++ {
+			leaf, err := db.DefineClass(fmt.Sprintf("Leaf%d_%d", m, l), []model.ClassID{mid.ID})
+			if err != nil {
+				t.Fatal(err)
+			}
+			leaves = append(leaves, leaf.ID)
+		}
+	}
+	scope, err := db.Catalog.Descendants(root.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Seed every class in the scope; spill across pages with padding.
+	const seedPerClass = 40
+	err = db.Do(func(tx *Tx) error {
+		for _, c := range scope {
+			for i := 0; i < seedPerClass; i++ {
+				if _, err := tx.InsertClass(c, map[string]model.Value{
+					"n":   model.Int(int64(i)),
+					"pad": model.String(string(make([]byte, 200))),
+				}); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	minTotal := seedPerClass * len(scope)
+
+	var writers, readers sync.WaitGroup
+	stop := make(chan struct{})
+	// One writer appending to the leaves (inserts only: the scan floor
+	// stays valid).
+	writers.Add(1)
+	go func() {
+		defer writers.Done()
+		r := rand.New(rand.NewSource(7))
+		for i := 0; i < 200; i++ {
+			err := db.Do(func(tx *Tx) error {
+				_, err := tx.InsertClass(leaves[r.Intn(len(leaves))], map[string]model.Value{
+					"n":   model.Int(int64(i)),
+					"pad": model.String(string(make([]byte, r.Intn(400)))),
+				})
+				return err
+			})
+			if err != nil {
+				t.Errorf("writer: %v", err)
+				return
+			}
+		}
+	}()
+	// Hierarchy-scoped readers: lock the scope once, then scan every class
+	// from its own goroutine — the executor's fan-out, concentrated.
+	for w := 0; w < 4; w++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				err := db.Do(func(tx *Tx) error {
+					if err := tx.LockClassScan(scope); err != nil {
+						return err
+					}
+					counts := make([]int, len(scope))
+					var wg sync.WaitGroup
+					for i, c := range scope {
+						wg.Add(1)
+						go func(i int, c model.ClassID) {
+							defer wg.Done()
+							tx.ScanLocked(c, func(*model.Object) bool {
+								counts[i]++
+								return true
+							})
+						}(i, c)
+					}
+					wg.Wait()
+					total := 0
+					for _, n := range counts {
+						total += n
+					}
+					if total < minTotal {
+						t.Errorf("hierarchy scan saw %d objects, want >= %d", total, minTotal)
+					}
+					return nil
+				})
+				if err != nil {
+					t.Errorf("reader: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	writers.Wait()
+	close(stop)
+	readers.Wait()
+}
+
 // TestConcurrentReadersAndWriters mixes scans, point reads and writers on
 // one class; under -race it guards reader/writer page access.
 func TestConcurrentReadersAndWriters(t *testing.T) {

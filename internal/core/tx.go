@@ -247,6 +247,23 @@ func (tx *Tx) Scan(class model.ClassID, fn func(*model.Object) bool) error {
 	if err := tx.abortOn(tx.db.Locks.LockClassRead(tx.id, class)); err != nil {
 		return err
 	}
+	return tx.scanClass(class, fn)
+}
+
+// ScanLocked iterates the stored instances of exactly one class, assuming
+// the transaction already holds the class S lock (via LockClassScan). It
+// acquires no locks and performs no abort handling, so — unlike the rest
+// of Tx — it is safe to call from multiple goroutines at once: the query
+// executor locks a hierarchy scope up front and then fans the per-class
+// scans out in parallel.
+func (tx *Tx) ScanLocked(class model.ClassID, fn func(*model.Object) bool) error {
+	if tx.done {
+		return ErrTxnFinished
+	}
+	return tx.scanClass(class, fn)
+}
+
+func (tx *Tx) scanClass(class model.ClassID, fn func(*model.Object) bool) error {
 	var derr error
 	err := tx.db.Store.ScanClass(class, func(oid model.OID, data []byte) bool {
 		obj, err := model.DecodeObject(data)

@@ -341,7 +341,7 @@ func (e *ooEntity) Get(path []string) (model.Value, bool) {
 		if err != nil {
 			return model.Null, false
 		}
-		v, ok := obj.Attrs[a.ID]
+		v, ok := obj.Lookup(a.ID)
 		if !ok {
 			v = a.Default
 		}

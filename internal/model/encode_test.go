@@ -120,12 +120,12 @@ func TestObjectCodecRoundTrip(t *testing.T) {
 	if got.OID != o.OID {
 		t.Fatalf("OID %v != %v", got.OID, o.OID)
 	}
-	if len(got.Attrs) != len(o.Attrs) {
-		t.Fatalf("attr count %d != %d", len(got.Attrs), len(o.Attrs))
+	if got.NumAttrs() != o.NumAttrs() {
+		t.Fatalf("attr count %d != %d", got.NumAttrs(), o.NumAttrs())
 	}
-	for id, v := range o.Attrs {
-		if !Equal(got.Get(id), v) {
-			t.Errorf("attr %d: %v != %v", id, got.Get(id), v)
+	for _, av := range o.AttrVals() {
+		if !Equal(got.Get(av.ID), av.V) {
+			t.Errorf("attr %d: %v != %v", av.ID, got.Get(av.ID), av.V)
 		}
 	}
 }
@@ -148,7 +148,7 @@ func TestObjectSetNullDeletes(t *testing.T) {
 	o := NewObject(MakeOID(1, 1))
 	o.Set(5, Int(1))
 	o.Set(5, Null)
-	if _, present := o.Attrs[5]; present {
+	if _, present := o.Lookup(5); present {
 		t.Fatal("setting null should delete the stored attribute")
 	}
 	if !o.Get(5).IsNull() {

@@ -2,7 +2,10 @@ package query
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"oodb/internal/core"
 	"oodb/internal/model"
@@ -53,83 +56,20 @@ func (e *Engine) Execute(tx *core.Tx, p *Plan) (*Result, error) {
 	if err := tx.LockClassScan(p.Scope); err != nil {
 		return nil, err
 	}
-	scopeSet := make(map[model.ClassID]bool, len(p.Scope))
-	for _, c := range p.Scope {
-		scopeSet[c] = true
-	}
 
 	var rows []Row
-	consider := func(obj *model.Object) (bool, error) {
-		if p.Query.Where != nil {
-			ok, err := e.evalBool(p.Query.Where, obj)
-			if err != nil {
-				return true, err
-			}
-			if !ok {
-				return true, nil
-			}
-		}
-		rows = append(rows, Row{OID: obj.OID, Object: obj})
-		// Early exit only when no ordering (ordering needs all matches).
-		if p.Query.OrderBy == nil && p.Query.Limit > 0 && len(rows) >= p.Query.Limit {
-			return false, nil
-		}
-		return true, nil
-	}
-
 	switch p.kind {
 	case accessScan:
-		for _, class := range p.Scope {
-			stop := false
-			var ierr error
-			err := tx.Scan(class, func(obj *model.Object) bool {
-				cont, err := consider(obj)
-				if err != nil {
-					ierr = err
-					return false
-				}
-				if !cont {
-					stop = true
-					return false
-				}
-				return true
-			})
-			if err != nil {
-				return nil, err
-			}
-			if ierr != nil {
-				return nil, ierr
-			}
-			if stop {
-				break
-			}
+		var err error
+		rows, err = e.scanRows(tx, p)
+		if err != nil {
+			return nil, err
 		}
 	default:
-		var oids []model.OID
-		for _, idx := range p.indexes {
-			if !p.probe.IsNull() {
-				oids = append(oids, idx.Lookup(p.probe, scopeSet)...)
-			} else {
-				oids = append(oids, idx.Range(p.lo, p.hi, p.hiInc, scopeSet)...)
-			}
-		}
-		seen := make(map[model.OID]bool, len(oids))
-		for _, oid := range oids {
-			if seen[oid] {
-				continue
-			}
-			seen[oid] = true
-			obj, err := e.db.FetchObject(oid)
-			if err != nil {
-				continue // unindexed race or dangling entry: skip
-			}
-			cont, err := consider(obj)
-			if err != nil {
-				return nil, err
-			}
-			if !cont {
-				break
-			}
+		var err error
+		rows, err = e.probeRows(p)
+		if err != nil {
+			return nil, err
 		}
 	}
 
@@ -170,19 +110,25 @@ func (e *Engine) Execute(tx *core.Tx, p *Plan) (*Result, error) {
 		return e.aggregate(p, rows)
 	}
 
-	// Projection.
+	// Projection. One backing array serves every row's Values slice: the
+	// result set is assembled and consumed together, so per-row slices
+	// would only fragment the heap.
 	res := &Result{}
 	if len(p.Query.Select) == 0 {
 		res.Cols = []string{"oid"}
+		backing := make([]model.Value, len(rows))
 		for i := range rows {
-			rows[i].Values = []model.Value{model.Ref(rows[i].OID)}
+			backing[i] = model.Ref(rows[i].OID)
+			rows[i].Values = backing[i : i+1 : i+1]
 		}
 	} else {
 		for _, path := range p.Query.Select {
 			res.Cols = append(res.Cols, path.String())
 		}
+		w := len(p.Query.Select)
+		backing := make([]model.Value, len(rows)*w)
 		for i := range rows {
-			vals := make([]model.Value, len(p.Query.Select))
+			vals := backing[i*w : (i+1)*w : (i+1)*w]
 			for j, path := range p.Query.Select {
 				v, err := e.evalPath(rows[i].Object, path.Steps)
 				if err != nil {
@@ -195,6 +141,168 @@ func (e *Engine) Execute(tx *core.Tx, p *Plan) (*Result, error) {
 	}
 	res.Rows = rows
 	return res, nil
+}
+
+// earlyLimit returns the row count past which collection may stop, or 0
+// when every match is needed (no LIMIT, or ORDER BY must see all matches).
+func earlyLimit(p *Plan) int {
+	if p.Query.OrderBy == nil && p.Query.Limit > 0 {
+		return p.Query.Limit
+	}
+	return 0
+}
+
+// matches evaluates the residual predicate against one candidate.
+func (e *Engine) matches(p *Plan, obj *model.Object) (bool, error) {
+	if p.Query.Where == nil {
+		return true, nil
+	}
+	return e.evalBool(p.Query.Where, obj)
+}
+
+// scanRows collects the matching rows of a heap-scan plan. A scope of more
+// than one class fans out one goroutine per class (bounded by GOMAXPROCS):
+// Kim's query model evaluates a hierarchy-scoped query as independent
+// per-class scans, and the scope's S locks are already held, so the scans
+// share nothing but the storage layer. Per-class results are concatenated
+// in scope order, which makes the output identical to a sequential pass.
+func (e *Engine) scanRows(tx *core.Tx, p *Plan) ([]Row, error) {
+	limit := earlyLimit(p)
+	if e.SerialScan || len(p.Scope) == 1 {
+		var rows []Row
+		for _, class := range p.Scope {
+			var ierr error
+			err := tx.ScanLocked(class, func(obj *model.Object) bool {
+				ok, merr := e.matches(p, obj)
+				if merr != nil {
+					ierr = merr
+					return false
+				}
+				if ok {
+					rows = append(rows, Row{OID: obj.OID, Object: obj})
+				}
+				return limit == 0 || len(rows) < limit
+			})
+			if err != nil {
+				return nil, err
+			}
+			if ierr != nil {
+				return nil, ierr
+			}
+			if limit > 0 && len(rows) >= limit {
+				break
+			}
+		}
+		return rows, nil
+	}
+
+	perClass := make([][]Row, len(p.Scope))
+	errs := make([]error, len(p.Scope))
+	// full is the smallest scope index whose class alone satisfied the
+	// limit: classes after it cannot contribute to the result, so their
+	// scans stop early.
+	var full atomic.Int64
+	full.Store(int64(len(p.Scope)))
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	var wg sync.WaitGroup
+	for i, class := range p.Scope {
+		wg.Add(1)
+		go func(i int, class model.ClassID) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			if int64(i) > full.Load() {
+				return
+			}
+			var mine []Row
+			var ierr error
+			errs[i] = tx.ScanLocked(class, func(obj *model.Object) bool {
+				if int64(i) > full.Load() {
+					return false
+				}
+				ok, merr := e.matches(p, obj)
+				if merr != nil {
+					ierr = merr
+					return false
+				}
+				if ok {
+					mine = append(mine, Row{OID: obj.OID, Object: obj})
+					if limit > 0 && len(mine) >= limit {
+						for {
+							cur := full.Load()
+							if int64(i) >= cur || full.CompareAndSwap(cur, int64(i)) {
+								break
+							}
+						}
+						return false
+					}
+				}
+				return true
+			})
+			if errs[i] == nil {
+				errs[i] = ierr
+			}
+			perClass[i] = mine
+		}(i, class)
+	}
+	wg.Wait()
+	var rows []Row
+	for i := range p.Scope {
+		if errs[i] != nil {
+			return nil, errs[i]
+		}
+		rows = append(rows, perClass[i]...)
+		if limit > 0 && len(rows) >= limit {
+			rows = rows[:limit]
+			break
+		}
+	}
+	return rows, nil
+}
+
+// probeRows collects the matching rows of an index plan. Each index's
+// postings are probed and filtered incrementally — with LIMIT and no ORDER
+// BY the probe stops as soon as enough rows matched, instead of
+// materializing every candidate OID and truncating afterwards (the same
+// early exit the heap-scan path has).
+func (e *Engine) probeRows(p *Plan) ([]Row, error) {
+	scopeSet := make(map[model.ClassID]bool, len(p.Scope))
+	for _, c := range p.Scope {
+		scopeSet[c] = true
+	}
+	limit := earlyLimit(p)
+	var rows []Row
+	seen := make(map[model.OID]bool)
+	for _, idx := range p.indexes {
+		var oids []model.OID
+		if !p.probe.IsNull() {
+			oids = idx.Lookup(p.probe, scopeSet)
+		} else {
+			oids = idx.Range(p.lo, p.hi, p.hiInc, scopeSet)
+		}
+		for _, oid := range oids {
+			if seen[oid] {
+				continue
+			}
+			seen[oid] = true
+			obj, err := e.db.FetchObject(oid)
+			if err != nil {
+				continue // unindexed race or dangling entry: skip
+			}
+			ok, err := e.matches(p, obj)
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				continue
+			}
+			rows = append(rows, Row{OID: obj.OID, Object: obj})
+			if limit > 0 && len(rows) >= limit {
+				return rows, nil
+			}
+		}
+	}
+	return rows, nil
 }
 
 // aggregate computes the aggregate select list over the matched rows.
@@ -401,6 +509,26 @@ func (e *Engine) evalValue(ex Expr, obj *model.Object) (model.Value, error) {
 // result is the set of terminal values (existential comparison semantics).
 // A null or dangling step yields null.
 func (e *Engine) evalPath(obj *model.Object, steps []string) (model.Value, error) {
+	// Single-step fast path: the common `WHERE attr op k` shape. Scans
+	// evaluate this once per object, so the general walk below (two slice
+	// allocations per call) turns hot loops GC-bound.
+	if len(steps) == 1 {
+		v, err := e.stepValue(obj, steps[0])
+		if err != nil {
+			return model.Null, err
+		}
+		if members, ok := v.AsSet(); ok {
+			// Match the general walk: flatten, so a singleton set yields
+			// its member and an empty set yields null.
+			switch len(members) {
+			case 0:
+				return model.Null, nil
+			case 1:
+				return members[0], nil
+			}
+		}
+		return v, nil
+	}
 	cur := []*model.Object{obj}
 	for i, step := range steps {
 		last := i == len(steps)-1
@@ -454,7 +582,7 @@ func (e *Engine) evalPath(obj *model.Object, steps []string) (model.Value, error
 // method (late-bound, no arguments).
 func (e *Engine) stepValue(o *model.Object, step string) (model.Value, error) {
 	if a, err := e.db.Catalog.ResolveAttr(o.Class(), step); err == nil {
-		if v, ok := o.Attrs[a.ID]; ok {
+		if v, ok := o.Lookup(a.ID); ok {
 			return v, nil
 		}
 		return a.Default, nil

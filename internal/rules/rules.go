@@ -460,7 +460,7 @@ func (o *ObjectEDB) Facts(pred string, fn func(args []model.Value)) bool {
 			if err != nil {
 				return
 			}
-			v, ok := obj.Attrs[a.ID]
+			v, ok := obj.Lookup(a.ID)
 			if !ok {
 				v = a.Default
 			}

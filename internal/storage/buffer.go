@@ -5,24 +5,59 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 )
+
+// DiskBackend is the page I/O surface the buffer pool programs against.
+// *DiskManager is the production implementation; tests substitute stubs
+// (e.g. a slow disk) to exercise the pool's concurrency protocol.
+type DiskBackend interface {
+	ReadPage(id PageID, p *Page) error
+	WritePage(id PageID, p *Page) error
+	AllocPage() (PageID, error)
+	FreePage(id PageID) error
+	Sync() error
+	GetRoot(r MetaRoot) PageID
+	SetRoot(r MetaRoot, id PageID) error
+}
+
+// DefaultPoolShards is the default number of lock-striped shards.
+const DefaultPoolShards = 16
 
 // BufferPool caches pages in memory with LRU replacement and pin counting.
 // All page access above the disk manager goes through the pool; the engine
 // pins a page for the duration of a read or write and the pool refuses to
 // evict pinned frames. Dirty frames are written back on eviction and on
 // FlushAll (the checkpoint path).
+//
+// The pool is sharded: frames are striped across N independent shards keyed
+// by PageID, each with its own mutex, LRU list and pin table, so fetches of
+// unrelated pages never contend. Within a shard, a miss reads from disk
+// *outside* the shard lock: the fetching goroutine installs a frame in the
+// "loading" state (ready channel open) and releases the lock for the
+// duration of the I/O. Concurrent fetchers of the same page find the
+// loading frame, pin it, and wait on the channel — they coalesce onto one
+// disk read instead of duplicating it — while fetchers of other pages in
+// the shard proceed untouched.
 type BufferPool struct {
+	disk   DiskBackend
+	shards []*poolShard
+	mask   uint64 // len(shards)-1; len is a power of two
+
+	// Stats observed by the benchmarks (E3/E5 measure the cost gap between
+	// buffer-pool access and workspace pointer access). Atomic: they are
+	// read outside any shard lock and bumped from all shards.
+	Hits   atomic.Uint64
+	Misses atomic.Uint64
+}
+
+// poolShard is one lock stripe: a private frame table, LRU list and
+// capacity slice of the pool.
+type poolShard struct {
 	mu     sync.Mutex
-	disk   *DiskManager
 	frames map[PageID]*frame
 	lru    *list.List // of PageID; front = most recently used
 	cap    int
-
-	// Stats observed by the benchmarks (E3/E5 measure the cost gap between
-	// buffer-pool access and workspace pointer access).
-	Hits   uint64
-	Misses uint64
 }
 
 type frame struct {
@@ -30,45 +65,115 @@ type frame struct {
 	pins  int
 	dirty bool
 	elem  *list.Element
+
+	// ready is non-nil while the frame's page is being read from disk.
+	// It is closed — after err is set — when the load finishes; waiters
+	// pin the frame, block on it outside the shard lock, then check err.
+	ready chan struct{}
+	err   error
 }
 
-// ErrPoolExhausted reports that every frame is pinned.
+// ErrPoolExhausted reports that every frame in the page's shard is pinned.
 var ErrPoolExhausted = errors.New("storage: buffer pool exhausted (all frames pinned)")
 
-// NewBufferPool creates a pool of the given capacity over the disk manager.
-func NewBufferPool(disk *DiskManager, capacity int) *BufferPool {
+// NewBufferPool creates a pool of the given total capacity with the default
+// shard count.
+func NewBufferPool(disk DiskBackend, capacity int) *BufferPool {
+	return NewShardedBufferPool(disk, capacity, DefaultPoolShards)
+}
+
+// NewShardedBufferPool creates a pool of the given total capacity striped
+// over the given number of shards. The shard count is clamped to the
+// capacity and rounded down to a power of two; each shard owns an equal
+// slice of the capacity (rounded up, so the pool never shrinks below the
+// request).
+func NewShardedBufferPool(disk DiskBackend, capacity, shards int) *BufferPool {
 	if capacity < 1 {
 		capacity = 1
 	}
-	return &BufferPool{
-		disk:   disk,
-		frames: make(map[PageID]*frame, capacity),
-		lru:    list.New(),
-		cap:    capacity,
+	if shards < 1 {
+		shards = 1
 	}
+	if shards > capacity {
+		shards = capacity
+	}
+	// Round down to a power of two so shard selection is a mask.
+	n := 1
+	for n*2 <= shards {
+		n *= 2
+	}
+	perShard := (capacity + n - 1) / n
+	bp := &BufferPool{
+		disk:   disk,
+		shards: make([]*poolShard, n),
+		mask:   uint64(n - 1),
+	}
+	for i := range bp.shards {
+		bp.shards[i] = &poolShard{
+			frames: make(map[PageID]*frame, perShard),
+			lru:    list.New(),
+			cap:    perShard,
+		}
+	}
+	return bp
+}
+
+// ShardCount returns the number of lock stripes (for tests and stats).
+func (bp *BufferPool) ShardCount() int { return len(bp.shards) }
+
+func (bp *BufferPool) shard(id PageID) *poolShard {
+	return bp.shards[uint64(id)&bp.mask]
 }
 
 // Fetch pins the page and returns it. The caller must Unpin it (with the
 // dirty flag if it modified the page).
 func (bp *BufferPool) Fetch(id PageID) (*Page, error) {
-	bp.mu.Lock()
-	defer bp.mu.Unlock()
-	if f, ok := bp.frames[id]; ok {
+	sh := bp.shard(id)
+	sh.mu.Lock()
+	if f, ok := sh.frames[id]; ok {
 		f.pins++
-		bp.lru.MoveToFront(f.elem)
-		bp.Hits++
+		sh.lru.MoveToFront(f.elem)
+		ready := f.ready
+		sh.mu.Unlock()
+		bp.Hits.Add(1)
+		if ready != nil {
+			// Another goroutine is reading this page from disk; wait for
+			// it rather than issuing a duplicate read.
+			<-ready
+			if f.err != nil {
+				// The loader failed and dropped the frame (our pin with
+				// it); surface its error.
+				return nil, f.err
+			}
+		}
 		return &f.page, nil
 	}
-	bp.Misses++
-	f, err := bp.allocFrameLocked(id)
+	bp.Misses.Add(1)
+	f, err := sh.allocFrameLocked(bp.disk, id)
 	if err != nil {
-		return nil, err
-	}
-	if err := bp.disk.ReadPage(id, &f.page); err != nil {
-		bp.dropFrameLocked(id, f)
+		sh.mu.Unlock()
 		return nil, err
 	}
 	f.pins = 1
+	f.ready = make(chan struct{})
+	sh.mu.Unlock()
+
+	// Disk I/O happens outside the shard lock: cache hits on other pages
+	// of this shard must never wait on this read.
+	rerr := bp.disk.ReadPage(id, &f.page)
+
+	sh.mu.Lock()
+	ready := f.ready
+	f.ready = nil
+	f.err = rerr
+	if rerr != nil {
+		sh.dropFrameLocked(id, f)
+	}
+	sh.mu.Unlock()
+	close(ready)
+	if rerr != nil {
+		return nil, rerr
+	}
 	return &f.page, nil
 }
 
@@ -80,9 +185,10 @@ func (bp *BufferPool) FetchNew(ptype byte) (PageID, *Page, error) {
 	if err != nil {
 		return InvalidPage, nil, err
 	}
-	bp.mu.Lock()
-	defer bp.mu.Unlock()
-	f, err := bp.allocFrameLocked(id)
+	sh := bp.shard(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	f, err := sh.allocFrameLocked(bp.disk, id)
 	if err != nil {
 		return InvalidPage, nil, err
 	}
@@ -95,9 +201,10 @@ func (bp *BufferPool) FetchNew(ptype byte) (PageID, *Page, error) {
 // Unpin releases one pin on the page, marking the frame dirty if the caller
 // modified it.
 func (bp *BufferPool) Unpin(id PageID, dirty bool) {
-	bp.mu.Lock()
-	defer bp.mu.Unlock()
-	f, ok := bp.frames[id]
+	sh := bp.shard(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	f, ok := sh.frames[id]
 	if !ok || f.pins == 0 {
 		panic(fmt.Sprintf("storage: unpin of unpinned page %d", id))
 	}
@@ -107,38 +214,38 @@ func (bp *BufferPool) Unpin(id PageID, dirty bool) {
 	}
 }
 
-// allocFrameLocked finds room for one more frame, evicting the least
-// recently used unpinned frame if the pool is at capacity.
-func (bp *BufferPool) allocFrameLocked(id PageID) (*frame, error) {
-	if len(bp.frames) >= bp.cap {
-		if err := bp.evictLocked(); err != nil {
+// allocFrameLocked finds room for one more frame in the shard, evicting the
+// least recently used unpinned frame if the shard is at capacity.
+func (sh *poolShard) allocFrameLocked(disk DiskBackend, id PageID) (*frame, error) {
+	if len(sh.frames) >= sh.cap {
+		if err := sh.evictLocked(disk); err != nil {
 			return nil, err
 		}
 	}
 	f := &frame{}
-	f.elem = bp.lru.PushFront(id)
-	bp.frames[id] = f
+	f.elem = sh.lru.PushFront(id)
+	sh.frames[id] = f
 	return f, nil
 }
 
-func (bp *BufferPool) dropFrameLocked(id PageID, f *frame) {
-	bp.lru.Remove(f.elem)
-	delete(bp.frames, id)
+func (sh *poolShard) dropFrameLocked(id PageID, f *frame) {
+	sh.lru.Remove(f.elem)
+	delete(sh.frames, id)
 }
 
-func (bp *BufferPool) evictLocked() error {
-	for e := bp.lru.Back(); e != nil; e = e.Prev() {
+func (sh *poolShard) evictLocked(disk DiskBackend) error {
+	for e := sh.lru.Back(); e != nil; e = e.Prev() {
 		id := e.Value.(PageID)
-		f := bp.frames[id]
+		f := sh.frames[id]
 		if f.pins > 0 {
 			continue
 		}
 		if f.dirty {
-			if err := bp.disk.WritePage(id, &f.page); err != nil {
+			if err := disk.WritePage(id, &f.page); err != nil {
 				return err
 			}
 		}
-		bp.dropFrameLocked(id, f)
+		sh.dropFrameLocked(id, f)
 		return nil
 	}
 	return ErrPoolExhausted
@@ -148,36 +255,43 @@ func (bp *BufferPool) evictLocked() error {
 // checkpoint path: after FlushAll returns, the on-disk pages reflect all
 // buffered changes.
 func (bp *BufferPool) FlushAll() error {
-	bp.mu.Lock()
-	for id, f := range bp.frames {
-		if f.dirty {
-			if err := bp.disk.WritePage(id, &f.page); err != nil {
-				bp.mu.Unlock()
-				return err
+	for _, sh := range bp.shards {
+		sh.mu.Lock()
+		for id, f := range sh.frames {
+			if f.dirty {
+				if err := bp.disk.WritePage(id, &f.page); err != nil {
+					sh.mu.Unlock()
+					return err
+				}
+				f.dirty = false
 			}
-			f.dirty = false
 		}
+		sh.mu.Unlock()
 	}
-	bp.mu.Unlock()
 	return bp.disk.Sync()
 }
 
 // Drop discards the frame for a page without writing it (used when the
 // page itself is being freed).
 func (bp *BufferPool) Drop(id PageID) {
-	bp.mu.Lock()
-	defer bp.mu.Unlock()
-	if f, ok := bp.frames[id]; ok {
+	sh := bp.shard(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if f, ok := sh.frames[id]; ok {
 		if f.pins > 0 {
 			panic(fmt.Sprintf("storage: drop of pinned page %d", id))
 		}
-		bp.dropFrameLocked(id, f)
+		sh.dropFrameLocked(id, f)
 	}
 }
 
 // Len returns the number of resident frames (for tests).
 func (bp *BufferPool) Len() int {
-	bp.mu.Lock()
-	defer bp.mu.Unlock()
-	return len(bp.frames)
+	n := 0
+	for _, sh := range bp.shards {
+		sh.mu.Lock()
+		n += len(sh.frames)
+		sh.mu.Unlock()
+	}
+	return n
 }

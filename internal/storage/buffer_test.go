@@ -1,0 +1,301 @@
+package storage
+
+import (
+	"errors"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// slowDisk wraps the real disk manager, parking reads of designated pages
+// on a gate channel so tests can hold a miss in flight while probing the
+// pool from other goroutines.
+type slowDisk struct {
+	*DiskManager
+	mu      sync.Mutex
+	slow    map[PageID]bool
+	gate    chan struct{} // reads of slow pages block until this closes
+	entered chan PageID   // signals a slow read has started
+	reads   map[PageID]int
+	fail    map[PageID]error
+}
+
+func newSlowDisk(d *DiskManager) *slowDisk {
+	return &slowDisk{
+		DiskManager: d,
+		slow:        make(map[PageID]bool),
+		gate:        make(chan struct{}),
+		entered:     make(chan PageID, 16),
+		reads:       make(map[PageID]int),
+		fail:        make(map[PageID]error),
+	}
+}
+
+func (sd *slowDisk) ReadPage(id PageID, p *Page) error {
+	sd.mu.Lock()
+	sd.reads[id]++
+	isSlow := sd.slow[id]
+	ferr := sd.fail[id]
+	sd.mu.Unlock()
+	if isSlow {
+		sd.entered <- id
+		<-sd.gate
+	}
+	if ferr != nil {
+		return ferr
+	}
+	return sd.DiskManager.ReadPage(id, p)
+}
+
+func (sd *slowDisk) readCount(id PageID) int {
+	sd.mu.Lock()
+	defer sd.mu.Unlock()
+	return sd.reads[id]
+}
+
+// seedPages writes n heap pages through a throwaway pool and flushes them,
+// returning their ids: fodder for cold-cache fetch tests.
+func seedPages(t *testing.T, d *DiskManager, n int) []PageID {
+	t.Helper()
+	bp := NewBufferPool(d, n+1)
+	ids := make([]PageID, n)
+	for i := range ids {
+		id, p, err := bp.FetchNew(pageTypeHeap)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := p.Insert([]byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+		bp.Unpin(id, true)
+		ids[i] = id
+	}
+	if err := bp.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	return ids
+}
+
+// TestFetchHitDoesNotBlockOnMiss is the regression test for the seed bug
+// where Fetch held the pool mutex across disk I/O: a cache hit must
+// complete while another page's (arbitrarily slow) disk read is in flight.
+func TestFetchHitDoesNotBlockOnMiss(t *testing.T) {
+	d, err := OpenDisk(filepath.Join(t.TempDir(), "b.kdb"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	ids := seedPages(t, d, 2)
+	slowPage, hotPage := ids[0], ids[1]
+
+	sd := newSlowDisk(d)
+	// One shard on purpose: the hit and the miss share a stripe, so only
+	// the I/O-outside-the-lock protocol can keep the hit fast.
+	bp := NewShardedBufferPool(sd, 8, 1)
+
+	// Warm the hot page.
+	if _, err := bp.Fetch(hotPage); err != nil {
+		t.Fatal(err)
+	}
+	bp.Unpin(hotPage, false)
+
+	sd.mu.Lock()
+	sd.slow[slowPage] = true
+	sd.mu.Unlock()
+
+	missDone := make(chan error, 1)
+	go func() {
+		_, err := bp.Fetch(slowPage)
+		if err == nil {
+			bp.Unpin(slowPage, false)
+		}
+		missDone <- err
+	}()
+	<-sd.entered // the miss is now parked inside disk I/O
+
+	hitDone := make(chan error, 1)
+	go func() {
+		_, err := bp.Fetch(hotPage)
+		if err == nil {
+			bp.Unpin(hotPage, false)
+		}
+		hitDone <- err
+	}()
+	select {
+	case err := <-hitDone:
+		if err != nil {
+			t.Fatalf("cache hit failed: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cache hit blocked behind another page's disk read")
+	}
+
+	close(sd.gate)
+	if err := <-missDone; err != nil {
+		t.Fatalf("slow fetch failed: %v", err)
+	}
+}
+
+// TestFetchCoalescesConcurrentMisses asserts that concurrent fetchers of
+// the same absent page share one disk read instead of duplicating I/O.
+func TestFetchCoalescesConcurrentMisses(t *testing.T) {
+	d, err := OpenDisk(filepath.Join(t.TempDir(), "b.kdb"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	id := seedPages(t, d, 1)[0]
+
+	sd := newSlowDisk(d)
+	sd.slow[id] = true
+	bp := NewBufferPool(sd, 8)
+
+	const fetchers = 8
+	var wg sync.WaitGroup
+	var ok atomic.Int64
+	for i := 0; i < fetchers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			p, err := bp.Fetch(id)
+			if err != nil {
+				t.Errorf("fetch: %v", err)
+				return
+			}
+			if got, err := p.Read(0); err != nil || got[0] != 0 {
+				t.Errorf("page content: %v %v", got, err)
+			}
+			bp.Unpin(id, false)
+			ok.Add(1)
+		}()
+	}
+	<-sd.entered // exactly one fetcher reached the disk
+	close(sd.gate)
+	wg.Wait()
+	if ok.Load() != fetchers {
+		t.Fatalf("%d/%d fetchers succeeded", ok.Load(), fetchers)
+	}
+	if n := sd.readCount(id); n != 1 {
+		t.Fatalf("page read from disk %d times; want 1 (coalesced)", n)
+	}
+	if h, m := bp.Hits.Load(), bp.Misses.Load(); m != 1 || h < fetchers-1 {
+		t.Errorf("hits=%d misses=%d; want 1 miss and >=%d hits", h, m, fetchers-1)
+	}
+}
+
+// TestFetchLoadFailurePropagates asserts a failed load reaches both the
+// loader and any coalesced waiters, and that the frame is dropped so a
+// later fetch retries the disk.
+func TestFetchLoadFailurePropagates(t *testing.T) {
+	d, err := OpenDisk(filepath.Join(t.TempDir(), "b.kdb"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	id := seedPages(t, d, 1)[0]
+
+	sd := newSlowDisk(d)
+	sd.slow[id] = true
+	boom := errors.New("injected read failure")
+	sd.fail[id] = boom
+	bp := NewBufferPool(sd, 8)
+
+	const fetchers = 4
+	errsCh := make(chan error, fetchers)
+	for i := 0; i < fetchers; i++ {
+		go func() {
+			_, err := bp.Fetch(id)
+			errsCh <- err
+		}()
+	}
+	<-sd.entered
+	close(sd.gate)
+	for i := 0; i < fetchers; i++ {
+		if err := <-errsCh; !errors.Is(err, boom) {
+			t.Fatalf("fetcher error = %v, want %v", err, boom)
+		}
+	}
+	if bp.Len() != 0 {
+		t.Fatalf("failed frame still resident (%d frames)", bp.Len())
+	}
+
+	// Clear the fault: the next fetch must retry the disk and succeed.
+	sd.mu.Lock()
+	delete(sd.fail, id)
+	delete(sd.slow, id)
+	sd.mu.Unlock()
+	p, err := bp.Fetch(id)
+	if err != nil {
+		t.Fatalf("fetch after fault cleared: %v", err)
+	}
+	if got, err := p.Read(0); err != nil || got[0] != 0 {
+		t.Fatalf("page content after retry: %v %v", got, err)
+	}
+	bp.Unpin(id, false)
+}
+
+// TestShardedPoolStripes sanity-checks shard-count normalization.
+func TestShardedPoolStripes(t *testing.T) {
+	d, err := OpenDisk(filepath.Join(t.TempDir(), "b.kdb"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	cases := []struct {
+		capacity, shards, want int
+	}{
+		{1024, 16, 16},
+		{1024, 0, 1},   // clamped up to 1
+		{1024, 24, 16}, // rounded down to a power of two
+		{4, 16, 4},     // clamped to capacity
+		{1, 16, 1},
+	}
+	for _, c := range cases {
+		bp := NewShardedBufferPool(d, c.capacity, c.shards)
+		if got := bp.ShardCount(); got != c.want {
+			t.Errorf("shards(cap=%d, req=%d) = %d, want %d", c.capacity, c.shards, got, c.want)
+		}
+	}
+}
+
+// TestConcurrentFetchStress hammers a small sharded pool from many
+// goroutines (run under -race): hits, misses, evictions and pins all
+// interleave.
+func TestConcurrentFetchStress(t *testing.T) {
+	d, err := OpenDisk(filepath.Join(t.TempDir(), "b.kdb"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	ids := seedPages(t, d, 32)
+	bp := NewShardedBufferPool(d, 16, 4) // smaller than the working set: constant eviction
+
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				id := ids[(w*13+i)%len(ids)]
+				p, err := bp.Fetch(id)
+				if err != nil {
+					if errors.Is(err, ErrPoolExhausted) {
+						continue // transient: all frames of one stripe pinned
+					}
+					t.Errorf("fetch %d: %v", id, err)
+					return
+				}
+				if _, err := p.Read(0); err != nil {
+					t.Errorf("read %d: %v", id, err)
+				}
+				bp.Unpin(id, false)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if h, m := bp.Hits.Load(), bp.Misses.Load(); h+m == 0 {
+		t.Error("counters never moved")
+	}
+}

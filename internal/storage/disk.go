@@ -42,6 +42,9 @@ const (
 // ErrNotADatabase reports a file that does not carry the kimdb magic.
 var ErrNotADatabase = errors.New("storage: not a kimdb database file")
 
+// The disk manager is the production page backend of the buffer pool.
+var _ DiskBackend = (*DiskManager)(nil)
+
 // OpenDisk opens (or creates) a database file.
 func OpenDisk(path string) (*DiskManager, error) {
 	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)

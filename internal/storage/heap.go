@@ -39,9 +39,11 @@ var ErrNoRecord = errors.New("storage: no such record")
 // lock manager isolates logical conflicts (two writers never touch the
 // same object), but two transactions writing *different* objects of the
 // same class legitimately run concurrently and would otherwise race on a
-// shared page.
+// shared page. The latch is a reader/writer lock: reads only inspect page
+// bytes, so concurrent readers of the same segment share the latch and
+// serialize only against mutators.
 type Heap struct {
-	mu    sync.Mutex
+	mu    sync.RWMutex
 	pool  *BufferPool
 	First PageID
 	Last  PageID
@@ -126,10 +128,19 @@ func (h *Heap) insertRec(rec []byte) (RID, error) {
 	return RID{Page: newID, Slot: uint16(slot)}, nil
 }
 
+// Bounds returns the first and last page of the heap chain under the
+// latch (the checkpoint path reads them while writers may be growing the
+// chain).
+func (h *Heap) Bounds() (first, last PageID) {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return h.First, h.Last
+}
+
 // Read returns a copy of the payload stored at rid.
 func (h *Heap) Read(rid RID) ([]byte, error) {
-	h.mu.Lock()
-	defer h.mu.Unlock()
+	h.mu.RLock()
+	defer h.mu.RUnlock()
 	return h.read(rid)
 }
 
@@ -352,10 +363,10 @@ func (h *Heap) readOverflow(head PageID, total int) ([]byte, error) {
 // stable view hold a class S lock above this layer).
 func (h *Heap) Scan(fn func(rid RID, data []byte) bool) error {
 	for id := h.First; id != InvalidPage; {
-		h.mu.Lock()
+		h.mu.RLock()
 		p, err := h.pool.Fetch(id)
 		if err != nil {
-			h.mu.Unlock()
+			h.mu.RUnlock()
 			return err
 		}
 		next := p.Next()
@@ -367,7 +378,7 @@ func (h *Heap) Scan(fn func(rid RID, data []byte) bool) error {
 			}
 		}
 		h.pool.Unpin(id, false)
-		h.mu.Unlock()
+		h.mu.RUnlock()
 		for _, rid := range rids {
 			data, err := h.Read(rid)
 			if errors.Is(err, ErrNoRecord) {
@@ -388,8 +399,8 @@ func (h *Heap) Scan(fn func(rid RID, data []byte) bool) error {
 // Pages returns the number of pages in the heap chain (for clustering and
 // capacity tests).
 func (h *Heap) Pages() (int, error) {
-	h.mu.Lock()
-	defer h.mu.Unlock()
+	h.mu.RLock()
+	defer h.mu.RUnlock()
 	n := 0
 	for id := h.First; id != InvalidPage; {
 		p, err := h.pool.Fetch(id)

@@ -15,11 +15,15 @@ import (
 // Contract with callers: the byte images handed to Put must begin with the
 // object's OID as a uvarint — model.EncodeObject's layout — because the
 // open-time directory rebuild recovers OIDs by peeking that prefix.
+// The store mutex is a sync.RWMutex: the read paths (Get, Exists,
+// ScanClass, Count, Classes) only consult the heap map and directory, so
+// concurrent readers share the lock and serialize only against writers
+// (segment DDL, directory updates).
 type Store struct {
 	disk *DiskManager
 	pool *BufferPool
 
-	mu    sync.Mutex
+	mu    sync.RWMutex
 	heaps map[model.ClassID]*Heap
 	dir   map[model.OID]RID
 	seq   map[model.ClassID]uint64 // next sequence number per class
@@ -38,6 +42,10 @@ type Options struct {
 	// PoolPages is the buffer pool capacity in pages. Zero means the
 	// default (1024 pages = 4 MiB).
 	PoolPages int
+	// PoolShards is the number of lock stripes in the buffer pool. Zero
+	// means DefaultPoolShards; it is clamped to PoolPages and rounded down
+	// to a power of two.
+	PoolShards int
 }
 
 // Open opens (or creates) the object store at path and rebuilds the object
@@ -47,13 +55,16 @@ func Open(path string, opts Options) (*Store, error) {
 	if opts.PoolPages == 0 {
 		opts.PoolPages = 1024
 	}
+	if opts.PoolShards == 0 {
+		opts.PoolShards = DefaultPoolShards
+	}
 	disk, err := OpenDisk(path)
 	if err != nil {
 		return nil, err
 	}
 	s := &Store{
 		disk:  disk,
-		pool:  NewBufferPool(disk, opts.PoolPages),
+		pool:  NewShardedBufferPool(disk, opts.PoolPages, opts.PoolShards),
 		heaps: make(map[model.ClassID]*Heap),
 		dir:   make(map[model.OID]RID),
 		seq:   make(map[model.ClassID]uint64),
@@ -160,14 +171,14 @@ func (s *Store) NewOID(class model.ClassID) (model.OID, error) {
 // OID uvarint (see Store contract). Put is idempotent with respect to
 // logical WAL replay: replaying a Put yields the same stored state.
 func (s *Store) Put(oid model.OID, data []byte) error {
-	s.mu.Lock()
+	s.mu.RLock()
 	h, ok := s.heaps[oid.Class()]
 	if !ok {
-		s.mu.Unlock()
+		s.mu.RUnlock()
 		return fmt.Errorf("%w: %d", ErrNoSegment, oid.Class())
 	}
 	rid, exists := s.dir[oid]
-	s.mu.Unlock()
+	s.mu.RUnlock()
 
 	var err error
 	var newRID RID
@@ -191,10 +202,10 @@ func (s *Store) Put(oid model.OID, data []byte) error {
 
 // Get returns the stored image of oid.
 func (s *Store) Get(oid model.OID) ([]byte, error) {
-	s.mu.Lock()
+	s.mu.RLock()
 	h, ok := s.heaps[oid.Class()]
 	rid, found := s.dir[oid]
-	s.mu.Unlock()
+	s.mu.RUnlock()
 	if !ok || !found {
 		return nil, fmt.Errorf("%w: %s", ErrNoObject, oid)
 	}
@@ -203,8 +214,8 @@ func (s *Store) Get(oid model.OID) ([]byte, error) {
 
 // Exists reports whether oid has a stored object.
 func (s *Store) Exists(oid model.OID) bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	_, ok := s.dir[oid]
 	return ok
 }
@@ -228,9 +239,9 @@ func (s *Store) Delete(oid model.OID) error {
 // ScanClass calls fn with every stored object image of exactly the given
 // class, in physical order. fn's data may be retained.
 func (s *Store) ScanClass(class model.ClassID, fn func(oid model.OID, data []byte) bool) error {
-	s.mu.Lock()
+	s.mu.RLock()
 	h, ok := s.heaps[class]
-	s.mu.Unlock()
+	s.mu.RUnlock()
 	if !ok {
 		return nil
 	}
@@ -245,8 +256,8 @@ func (s *Store) ScanClass(class model.ClassID, fn func(oid model.OID, data []byt
 
 // Count returns the number of live objects of exactly the given class.
 func (s *Store) Count(class model.ClassID) int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	n := 0
 	for oid := range s.dir {
 		if oid.Class() == class {
@@ -258,8 +269,8 @@ func (s *Store) Count(class model.ClassID) int {
 
 // Classes returns the classes that have segments.
 func (s *Store) Classes() []model.ClassID {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	out := make([]model.ClassID, 0, len(s.heaps))
 	for c := range s.heaps {
 		out = append(out, c)
@@ -279,9 +290,9 @@ func sortClassIDs(ids []model.ClassID) {
 // SegmentPages returns the page count of the class's heap (clustering
 // experiments).
 func (s *Store) SegmentPages(class model.ClassID) (int, error) {
-	s.mu.Lock()
+	s.mu.RLock()
 	h, ok := s.heaps[class]
-	s.mu.Unlock()
+	s.mu.RUnlock()
 	if !ok {
 		return 0, nil
 	}
@@ -290,18 +301,16 @@ func (s *Store) SegmentPages(class model.ClassID) (int, error) {
 
 // PoolStats returns buffer pool hit/miss counters.
 func (s *Store) PoolStats() (hits, misses uint64) {
-	s.pool.mu.Lock()
-	defer s.pool.mu.Unlock()
-	return s.pool.Hits, s.pool.Misses
+	return s.pool.Hits.Load(), s.pool.Misses.Load()
 }
 
 // Checkpoint persists the segment table and flushes every dirty page to
 // disk. After Checkpoint returns, the on-disk state is self-contained: a
 // reopened store rebuilds its directory without any WAL.
 func (s *Store) Checkpoint() error {
-	s.mu.Lock()
+	s.mu.RLock()
 	table := s.encodeSegTable()
-	s.mu.Unlock()
+	s.mu.RUnlock()
 	if err := s.pool.ReplaceBlob(RootSegTable, table); err != nil {
 		return err
 	}
@@ -318,10 +327,10 @@ func (s *Store) encodeSegTable() []byte {
 	sortClassIDs(classes)
 	buf := binary.AppendUvarint(nil, uint64(len(classes)))
 	for _, c := range classes {
-		h := s.heaps[c]
+		first, last := s.heaps[c].Bounds()
 		buf = binary.AppendUvarint(buf, uint64(c))
-		buf = binary.AppendUvarint(buf, uint64(h.First))
-		buf = binary.AppendUvarint(buf, uint64(h.Last))
+		buf = binary.AppendUvarint(buf, uint64(first))
+		buf = binary.AppendUvarint(buf, uint64(last))
 		buf = binary.AppendUvarint(buf, s.seq[c])
 	}
 	return buf

@@ -350,8 +350,8 @@ func (m *Manager) Derive(tx *core.Tx, parent model.OID) (model.OID, error) {
 
 	// Copy the parent's application state.
 	child := model.NewObject(model.NilOID) // template
-	for id, v := range pobj.Attrs {
-		child.Set(id, v)
+	for _, av := range pobj.AttrVals() {
+		child.Set(av.ID, av.V)
 	}
 	attrs := map[string]model.Value{}
 	effAttrs, err := m.db.Catalog.EffectiveAttrs(parent.Class())
@@ -359,7 +359,7 @@ func (m *Manager) Derive(tx *core.Tx, parent model.OID) (model.OID, error) {
 		return model.NilOID, err
 	}
 	for _, a := range effAttrs {
-		if v, ok := child.Attrs[a.ID]; ok {
+		if v, ok := child.Lookup(a.ID); ok {
 			attrs[a.Name] = v
 		}
 	}

@@ -132,7 +132,7 @@ func (ws *Workspace) Save() error {
 				return err
 			}
 			for _, a := range effAttrs {
-				if v, ok := d.obj.Attrs[a.ID]; ok {
+				if v, ok := d.obj.Lookup(a.ID); ok {
 					attrs[a.Name] = v
 				}
 			}

@@ -116,6 +116,10 @@ type Attr struct {
 type Options struct {
 	// PoolPages is the buffer pool capacity in 4 KiB pages (0 = 1024).
 	PoolPages int
+	// PoolShards is the number of lock stripes in the buffer pool
+	// (0 = 16). More shards let more concurrent readers fetch unrelated
+	// pages without contending.
+	PoolShards int
 	// CheckpointBytes triggers an automatic checkpoint when the WAL grows
 	// past this size (0 = 8 MiB).
 	CheckpointBytes int64
@@ -134,6 +138,7 @@ type DB struct {
 func Open(dir string, opts Options) (*DB, error) {
 	eng, err := core.Open(dir, core.Options{
 		PoolPages:       opts.PoolPages,
+		PoolShards:      opts.PoolShards,
 		CheckpointBytes: opts.CheckpointBytes,
 		NoSync:          opts.NoSync,
 	})
@@ -363,6 +368,10 @@ func (db *DB) QueryTx(tx *Tx, src string) (*Result, error) {
 
 // Explain returns the access plan chosen for a query.
 func (db *DB) Explain(src string) (string, error) { return db.q.Explain(src) }
+
+// QueryEngine exposes the query engine for tuning knobs (e.g. SerialScan,
+// the concurrency-ablation switch) and plan-level integration.
+func (db *DB) QueryEngine() *query.Engine { return db.q }
 
 // NewWorkspace returns a memory-resident object workspace (OID→pointer
 // swizzling; see Workspace).
