@@ -1,12 +1,20 @@
 GO ?= go
 
-.PHONY: build test vet race bench verify
+# Crash matrix breadth for `make crash` (the test's default is 60; the
+# pre-merge gate sweeps wider). Override: make crash CRASH_SCHEDULES=500
+CRASH_SCHEDULES ?= 120
+
+.PHONY: build test vet fmtcheck race bench crash verify
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+fmtcheck:
+	@drift=$$(gofmt -l .); if [ -n "$$drift" ]; then \
+		echo "gofmt drift in:"; echo "$$drift"; exit 1; fi
 
 test:
 	$(GO) test ./...
@@ -17,6 +25,12 @@ race:
 bench:
 	$(GO) test -bench=. -benchmem -run '^$$' .
 
-# The full pre-merge gate: compile, static checks, and the whole test
-# suite under the race detector (the concurrency tests depend on it).
-verify: build vet race
+# The crash-recovery matrix under the race detector: every schedule
+# crashes the engine at a distinct I/O op and verifies both recovery
+# invariants after reopening (crash_test.go, internal/fault).
+crash:
+	CRASH_SCHEDULES=$(CRASH_SCHEDULES) $(GO) test -race -count=1 -run 'TestCrash' .
+
+# The full pre-merge gate: compile, static checks, formatting drift, the
+# whole test suite under the race detector, and a wide crash sweep.
+verify: build vet fmtcheck race crash

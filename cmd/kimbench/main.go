@@ -25,12 +25,17 @@ import (
 )
 
 var (
-	quick = flag.Bool("quick", false, "smaller scales, fewer repetitions")
-	only  = flag.String("only", "", "run only the named experiment (e.g. E3)")
+	quick    = flag.Bool("quick", false, "smaller scales, fewer repetitions")
+	only     = flag.String("only", "", "run only the named experiment (e.g. E3)")
+	recovery = flag.String("recovery", "", "measure recovery time vs WAL size, write the JSON report to this path, and exit")
 )
 
 func main() {
 	flag.Parse()
+	if *recovery != "" {
+		runRecoveryBench(*recovery)
+		return
+	}
 	experiments := []struct {
 		name  string
 		claim string

@@ -35,6 +35,11 @@ type Options struct {
 	CheckpointBytes int64
 	// NoSync skips the fsync at commit. Unsafe; benchmarks only.
 	NoSync bool
+	// WrapDisk and WrapWAL, when set, wrap the storage disk layer and the
+	// WAL's backing file — the seams the fault-injection harness
+	// (internal/fault) uses to script I/O failures and simulated crashes.
+	WrapDisk func(storage.Disk) storage.Disk
+	WrapWAL  func(wal.File) wal.File
 }
 
 // DB is an open kimdb database.
@@ -52,6 +57,15 @@ type DB struct {
 	// ddlMu serializes DDL (schema evolution is rare and heavyweight:
 	// catalog change + instance/index maintenance + checkpoint).
 	ddlMu sync.Mutex
+
+	// ckptMu fences WAL truncation against transaction begin: a
+	// transaction logs its begin record and raises activeTxns under the
+	// read side, the checkpoint checks activeTxns and truncates under the
+	// write side. Without the fence, Checkpoint can observe zero active
+	// transactions, then a begin record (and first data record) lands in
+	// the log just before Reset truncates it — an acknowledged commit of
+	// that transaction would then lose its records.
+	ckptMu sync.RWMutex
 
 	closed atomic.Bool
 }
@@ -74,18 +88,31 @@ func Open(dir string, opts Options) (*DB, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("core: create %s: %w", dir, err)
 	}
-	store, err := storage.Open(filepath.Join(dir, "data.kdb"), storage.Options{
+	dataPath := filepath.Join(dir, "data.kdb")
+	// The WAL opens first: pages torn by a crash mid-write are physically
+	// restored from their logged full-page images before the store scans
+	// anything (WAL-before-data, so an image always exists for such pages).
+	log, records, err := wal.OpenWith(filepath.Join(dir, "log.wal"), opts.WrapWAL)
+	if err != nil {
+		return nil, err
+	}
+	if imgs := wal.PageImages(records); len(imgs) > 0 {
+		if _, err := storage.RestoreTornPages(dataPath, imgs); err != nil {
+			log.Close()
+			return nil, fmt.Errorf("core: page-image restore failed: %w", err)
+		}
+	}
+	store, err := storage.Open(dataPath, storage.Options{
 		PoolPages:  opts.PoolPages,
 		PoolShards: opts.PoolShards,
+		WrapDisk:   opts.WrapDisk,
 	})
 	if err != nil {
+		log.Close()
 		return nil, err
 	}
-	log, records, err := wal.Open(filepath.Join(dir, "log.wal"))
-	if err != nil {
-		store.Close()
-		return nil, err
-	}
+	// From here on, in-place page writes log full-page images first.
+	store.Pool().SetPageLogger(pageLogger{log: log, noSync: opts.NoSync})
 
 	// Restore the catalog persisted at the last checkpoint (or start
 	// fresh).
@@ -114,9 +141,15 @@ func Open(dir string, opts Options) (*DB, error) {
 	}
 	db.Indexes = index.NewManager(cat, db)
 
-	// Crash recovery: logical redo of winners, undo of losers.
+	// Crash recovery: logical redo of winners, undo of losers. Replay runs
+	// with stub-driven frees suppressed — a stub read back from the heap
+	// may predate the records being replayed (its page can have reverted
+	// in the crash), so the chain it names is not trustworthy to free.
 	if len(records) > 0 {
-		if err := db.replay(records); err != nil {
+		store.Pool().SetRecovering(true)
+		err := db.replay(records)
+		store.Pool().SetRecovering(false)
+		if err != nil {
 			store.Close()
 			log.Close()
 			return nil, fmt.Errorf("core: recovery failed: %w", err)
@@ -193,10 +226,35 @@ func (db *DB) Checkpoint() error {
 	if err := db.Store.Checkpoint(); err != nil {
 		return err
 	}
+	// Truncate under the begin fence: after taking the write side, the
+	// active count is exact — no transaction can slip its begin record into
+	// the log between the check and the Reset (see ckptMu).
+	db.ckptMu.Lock()
+	defer db.ckptMu.Unlock()
 	if db.activeTxns.Load() != 0 {
 		return nil // keep the log: in-flight undo information lives there
 	}
 	return db.Log.Reset()
+}
+
+// pageLogger adapts the WAL to the buffer pool's full-page-image hook.
+// With NoSync the flush skips the fsync, consistent with commits: the
+// NoSync mode trades crash safety for speed across the board.
+type pageLogger struct {
+	log    *wal.WAL
+	noSync bool
+}
+
+func (l pageLogger) LogPageImage(id storage.PageID, img []byte) error {
+	_, err := l.log.Append(wal.Record{Type: wal.RecPageImage, OID: model.OID(id), After: img})
+	return err
+}
+
+func (l pageLogger) FlushImages() error {
+	if l.noSync {
+		return nil
+	}
+	return l.log.Sync()
 }
 
 // maybeCheckpoint checkpoints when the WAL has outgrown the configured

@@ -42,11 +42,20 @@ func (tx *Tx) ensureBegan() error {
 		return ErrClosed
 	}
 	if !tx.began {
-		if _, err := tx.db.Log.Append(wal.Record{Txn: tx.id, Type: wal.RecBegin}); err != nil {
+		// Under the checkpoint fence: the begin record and the active-count
+		// increment are atomic with respect to WAL truncation, so a
+		// checkpoint can never truncate the log out from under a
+		// transaction that has started logging (see DB.ckptMu).
+		tx.db.ckptMu.RLock()
+		_, err := tx.db.Log.Append(wal.Record{Txn: tx.id, Type: wal.RecBegin})
+		if err == nil {
+			tx.began = true
+			tx.db.activeTxns.Add(1)
+		}
+		tx.db.ckptMu.RUnlock()
+		if err != nil {
 			return err
 		}
-		tx.began = true
-		tx.db.activeTxns.Add(1)
 	}
 	return nil
 }

@@ -1,0 +1,232 @@
+package fault
+
+import (
+	"math/rand"
+	"os"
+	"sort"
+	"sync"
+
+	"oodb/internal/storage"
+)
+
+// Disk wraps a storage.Disk with a failpoint at every page-I/O site and a
+// durability model for simulated crashes: it remembers the pre-write
+// content of every page written since the last honest fsync, and when the
+// crash fires each such write independently survives, vanishes (the page
+// reverts to its durable content), or tears (half new, half old) — decided
+// by the schedule's seeded RNG, applied to the real file so a plain reopen
+// observes exactly what a power cut could have left.
+//
+// Writes the disk manager performs internally without going through the
+// page seam — the metadata page (roots, free list) and file extension —
+// are treated as durable at write time. That narrows the simulation to the
+// data pages the WAL protocol is responsible for; metadata durability would
+// need its own journaling and is noted as an open item.
+type Disk struct {
+	inj     *Injector
+	under   storage.Disk
+	raw     *os.File
+	initErr error
+
+	mu       sync.Mutex
+	unsynced map[storage.PageID][]byte // pre-write durable image; nil = absent
+}
+
+// WrapDisk returns an Options.WrapDisk hook that injects faults through inj
+// for the database file at path (the wrapper needs its own descriptor to
+// rewind pages at crash time).
+func WrapDisk(inj *Injector, path string) func(storage.Disk) storage.Disk {
+	return func(under storage.Disk) storage.Disk {
+		d := &Disk{inj: inj, under: under, unsynced: make(map[storage.PageID][]byte)}
+		d.raw, d.initErr = os.OpenFile(path, os.O_RDWR, 0o644)
+		inj.OnCrash(d.applyCrash)
+		return d
+	}
+}
+
+func (d *Disk) ReadPage(id storage.PageID, p *storage.Page) error {
+	if d.initErr != nil {
+		return d.initErr
+	}
+	switch d.inj.begin(OpDiskRead) {
+	case decError:
+		return ErrInjected
+	case decOK:
+		return d.under.ReadPage(id, p)
+	default:
+		return ErrCrashed
+	}
+}
+
+func (d *Disk) WritePage(id storage.PageID, p *storage.Page) error {
+	if d.initErr != nil {
+		return d.initErr
+	}
+	dec := d.inj.begin(OpDiskWrite)
+	switch dec {
+	case decError:
+		return ErrInjected
+	case decCrash:
+		return ErrCrashed
+	}
+	d.captureBefore(id)
+	if dec == decTorn {
+		// The crashing write itself: the first half of the new page reaches
+		// the platter, the rest (including nothing that fixes the now-stale
+		// checksum unless the halves happen to agree) does not.
+		img := *p
+		img.Seal()
+		torn := make([]byte, storage.PageSize)
+		d.mu.Lock()
+		if before := d.unsynced[id]; before != nil {
+			copy(torn, before)
+		}
+		d.mu.Unlock()
+		copy(torn[:storage.PageSize/2], img.Bytes()[:storage.PageSize/2])
+		d.raw.WriteAt(torn, int64(id)*storage.PageSize)
+		d.inj.Crash()
+		return ErrCrashed
+	}
+	return d.under.WritePage(id, p)
+}
+
+func (d *Disk) AllocPage() (storage.PageID, error) {
+	if d.initErr != nil {
+		return storage.InvalidPage, d.initErr
+	}
+	switch d.inj.begin(OpDiskAlloc) {
+	case decError:
+		return storage.InvalidPage, ErrInjected
+	case decOK:
+		return d.under.AllocPage()
+	default:
+		return storage.InvalidPage, ErrCrashed
+	}
+}
+
+func (d *Disk) FreePage(id storage.PageID) error {
+	if d.initErr != nil {
+		return d.initErr
+	}
+	switch d.inj.begin(OpDiskFree) {
+	case decError:
+		return ErrInjected
+	case decOK:
+		// FreePage rewrites the page as a free-list link: track it like any
+		// other page write so the crash model can lose it.
+		d.captureBefore(id)
+		return d.under.FreePage(id)
+	default:
+		return ErrCrashed
+	}
+}
+
+func (d *Disk) Sync() error {
+	if d.initErr != nil {
+		return d.initErr
+	}
+	switch d.inj.begin(OpDiskSync) {
+	case decError:
+		return ErrInjected
+	case decLie:
+		return nil // acknowledged, not durable: unsynced stays tracked
+	case decCrash, decTorn:
+		return ErrCrashed
+	}
+	if err := d.under.Sync(); err != nil {
+		return err
+	}
+	d.mu.Lock()
+	d.unsynced = make(map[storage.PageID][]byte)
+	d.mu.Unlock()
+	return nil
+}
+
+// GetRoot is read-only against in-memory metadata: not an I/O site.
+func (d *Disk) GetRoot(r storage.MetaRoot) storage.PageID {
+	return d.under.GetRoot(r)
+}
+
+func (d *Disk) SetRoot(r storage.MetaRoot, id storage.PageID) error {
+	if d.initErr != nil {
+		return d.initErr
+	}
+	switch d.inj.begin(OpDiskRoot) {
+	case decError:
+		return ErrInjected
+	case decOK:
+		return d.under.SetRoot(r, id)
+	default:
+		return ErrCrashed
+	}
+}
+
+func (d *Disk) NumPages() storage.PageID { return d.under.NumPages() }
+
+func (d *Disk) Close() error {
+	if d.raw != nil {
+		d.raw.Close()
+	}
+	return d.under.Close()
+}
+
+// captureBefore snapshots the page's current on-disk content the first time
+// it is written since the last honest fsync — the state it reverts to if
+// the crash decides the write never happened.
+func (d *Disk) captureBefore(id storage.PageID) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, ok := d.unsynced[id]; ok {
+		return
+	}
+	buf := make([]byte, storage.PageSize)
+	if _, err := d.raw.ReadAt(buf, int64(id)*storage.PageSize); err != nil {
+		d.unsynced[id] = nil // the page did not durably exist yet
+		return
+	}
+	d.unsynced[id] = buf
+}
+
+// applyCrash rewrites the real file to one state a power cut could have
+// produced: every page written since the last honest fsync independently
+// survives, reverts, or tears. Deterministic: pages are visited in sorted
+// order and all randomness comes from the schedule RNG.
+func (d *Disk) applyCrash(rng *rand.Rand) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.raw == nil {
+		return
+	}
+	ids := make([]storage.PageID, 0, len(d.unsynced))
+	for id := range d.unsynced {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		before := d.unsynced[id]
+		off := int64(id) * storage.PageSize
+		switch rng.Intn(3) {
+		case 0:
+			// The write made it to the platter.
+		case 1:
+			// The write was lost entirely.
+			if before == nil {
+				before = make([]byte, storage.PageSize)
+			}
+			d.raw.WriteAt(before, off)
+		case 2:
+			// Torn: the first half made it, the second half did not.
+			cur := make([]byte, storage.PageSize)
+			if _, err := d.raw.ReadAt(cur, off); err != nil {
+				continue
+			}
+			if before == nil {
+				before = make([]byte, storage.PageSize)
+			}
+			copy(cur[storage.PageSize/2:], before[storage.PageSize/2:])
+			d.raw.WriteAt(cur, off)
+		}
+	}
+	d.unsynced = make(map[storage.PageID][]byte)
+	d.raw.Sync()
+}

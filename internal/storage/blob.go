@@ -76,17 +76,24 @@ func (bp *BufferPool) ReadBlob(head PageID) ([]byte, error) {
 	return out, nil
 }
 
-// FreeBlob returns a blob chain's pages to the free list.
+// FreeBlob returns a blob chain's pages to the free list. Pages that are
+// not blob-typed terminate the walk and are leaked, not freed: after a
+// crash a stale chain pointer can lead into a reused page, and freeing it
+// would hand one page to two owners (same rule as heap overflow chains).
 func (bp *BufferPool) FreeBlob(head PageID) error {
 	for id := head; id != InvalidPage; {
 		p, err := bp.Fetch(id)
 		if err != nil {
-			return err
+			return nil // unverifiable page: leak the rest of the chain
+		}
+		if p.Type() != pageTypeBlob {
+			bp.Unpin(id, false)
+			return nil
 		}
 		next := p.Next()
 		bp.Unpin(id, false)
 		bp.Drop(id)
-		if err := bp.disk.FreePage(id); err != nil {
+		if err := bp.FreePage(id); err != nil {
 			return err
 		}
 		id = next
@@ -95,12 +102,20 @@ func (bp *BufferPool) FreeBlob(head PageID) error {
 }
 
 // ReplaceBlob atomically (with respect to the metadata root) swaps the blob
-// stored under root for data: the new chain is written first, the root is
-// flipped, then the old chain is freed.
+// stored under root for data: the new chain is written AND made durable
+// first, the root is flipped, then the old chain is freed. The durability
+// barrier before the flip is load-bearing: the root write reaches the
+// metadata page immediately, so if the chain pages were still only buffered
+// a crash before the next checkpoint flush would leave the root pointing at
+// garbage and the store unopenable (the old chain, though intact, is no
+// longer referenced).
 func (bp *BufferPool) ReplaceBlob(root MetaRoot, data []byte) error {
 	old := bp.disk.GetRoot(root)
 	head, err := bp.WriteBlob(data)
 	if err != nil {
+		return err
+	}
+	if err := bp.FlushChain(head); err != nil {
 		return err
 	}
 	if err := bp.disk.SetRoot(root, head); err != nil {

@@ -4,6 +4,7 @@ import (
 	"container/list"
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 )
@@ -19,6 +20,19 @@ type DiskBackend interface {
 	Sync() error
 	GetRoot(r MetaRoot) PageID
 	SetRoot(r MetaRoot, id PageID) error
+}
+
+// PageLogger receives full-page images ahead of in-place page writes
+// (WAL-before-data). LogPageImage is called with the sealed image of a
+// dirty page the first time that page is about to be written back since its
+// on-disk state was last known durable; FlushImages must make every logged
+// image durable and completes before the page write itself. Recovery uses
+// the images to physically restore pages torn by a crash mid-write, which
+// is the only way to save records that predate the last checkpoint (they
+// are no longer in the log, so amputating the torn page would lose them).
+type PageLogger interface {
+	LogPageImage(id PageID, img []byte) error
+	FlushImages() error
 }
 
 // DefaultPoolShards is the default number of lock-striped shards.
@@ -44,12 +58,36 @@ type BufferPool struct {
 	shards []*poolShard
 	mask   uint64 // len(shards)-1; len is a power of two
 
+	// pageLog, when set, receives full-page images before in-place write-
+	// backs (WAL-before-data). Set once right after open, before writes.
+	pageLog PageLogger
+
+	// recovering, while set, suppresses page frees driven by on-disk record
+	// stubs (overflow and blob chains). During WAL replay a stub read from
+	// the heap can predate the records being replayed — a crash may have
+	// reverted its page to an older image — so the chain it names may
+	// belong to another owner by now. Freeing through it would double-enter
+	// pages on the free list; recovery leaks such chains instead.
+	recovering atomic.Bool
+
 	// Stats observed by the benchmarks (E3/E5 measure the cost gap between
 	// buffer-pool access and workspace pointer access). Atomic: they are
 	// read outside any shard lock and bumped from all shards.
 	Hits   atomic.Uint64
 	Misses atomic.Uint64
 }
+
+// SetPageLogger installs the full-page-image logger. Must be called before
+// any page writes go through the pool (the engine wires it immediately
+// after open).
+func (bp *BufferPool) SetPageLogger(l PageLogger) { bp.pageLog = l }
+
+// SetRecovering toggles recovery mode: stub-driven chain frees become
+// leaks (see the recovering field). The engine sets it around WAL replay.
+func (bp *BufferPool) SetRecovering(on bool) { bp.recovering.Store(on) }
+
+// Recovering reports whether the pool is in recovery mode.
+func (bp *BufferPool) Recovering() bool { return bp.recovering.Load() }
 
 // poolShard is one lock stripe: a private frame table, LRU list and
 // capacity slice of the pool.
@@ -64,7 +102,12 @@ type frame struct {
 	page  Page
 	pins  int
 	dirty bool
-	elem  *list.Element
+	// imaged records that a full-page image of this frame has been logged
+	// since the page's on-disk state was last made durable; further write-
+	// backs in the same interval need no new image (recovery only needs
+	// *some* consistent base to replay onto). Cleared after a sync.
+	imaged bool
+	elem   *list.Element
 
 	// ready is non-nil while the frame's page is being read from disk.
 	// It is closed — after err is set — when the load finishes; waiters
@@ -149,7 +192,7 @@ func (bp *BufferPool) Fetch(id PageID) (*Page, error) {
 		return &f.page, nil
 	}
 	bp.Misses.Add(1)
-	f, err := sh.allocFrameLocked(bp.disk, id)
+	f, err := bp.allocFrameLocked(sh, id)
 	if err != nil {
 		sh.mu.Unlock()
 		return nil, err
@@ -188,7 +231,7 @@ func (bp *BufferPool) FetchNew(ptype byte) (PageID, *Page, error) {
 	sh := bp.shard(id)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	f, err := sh.allocFrameLocked(bp.disk, id)
+	f, err := bp.allocFrameLocked(sh, id)
 	if err != nil {
 		return InvalidPage, nil, err
 	}
@@ -216,9 +259,9 @@ func (bp *BufferPool) Unpin(id PageID, dirty bool) {
 
 // allocFrameLocked finds room for one more frame in the shard, evicting the
 // least recently used unpinned frame if the shard is at capacity.
-func (sh *poolShard) allocFrameLocked(disk DiskBackend, id PageID) (*frame, error) {
+func (bp *BufferPool) allocFrameLocked(sh *poolShard, id PageID) (*frame, error) {
 	if len(sh.frames) >= sh.cap {
-		if err := sh.evictLocked(disk); err != nil {
+		if err := bp.evictLocked(sh); err != nil {
 			return nil, err
 		}
 	}
@@ -233,7 +276,40 @@ func (sh *poolShard) dropFrameLocked(id PageID, f *frame) {
 	delete(sh.frames, id)
 }
 
-func (sh *poolShard) evictLocked(disk DiskBackend) error {
+// sortedIDsLocked returns the shard's resident page ids in ascending order
+// (deterministic sweeps for checkpoint and the crash harness).
+func (sh *poolShard) sortedIDsLocked() []PageID {
+	ids := make([]PageID, 0, len(sh.frames))
+	for id := range sh.frames {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// imageLocked logs a full-page image of the frame if the page logger is
+// installed and this is the first write-back since the frame's on-disk
+// state was known durable. With flush set, logged images are made durable
+// immediately — required before the page write that follows (the
+// WAL-before-data rule).
+func (bp *BufferPool) imageLocked(id PageID, f *frame, flush bool) error {
+	if bp.pageLog == nil || f.imaged {
+		return nil
+	}
+	f.page.Seal()
+	if err := bp.pageLog.LogPageImage(id, f.page.Bytes()); err != nil {
+		return err
+	}
+	if flush {
+		if err := bp.pageLog.FlushImages(); err != nil {
+			return err
+		}
+	}
+	f.imaged = true
+	return nil
+}
+
+func (bp *BufferPool) evictLocked(sh *poolShard) error {
 	for e := sh.lru.Back(); e != nil; e = e.Prev() {
 		id := e.Value.(PageID)
 		f := sh.frames[id]
@@ -241,7 +317,10 @@ func (sh *poolShard) evictLocked(disk DiskBackend) error {
 			continue
 		}
 		if f.dirty {
-			if err := disk.WritePage(id, &f.page); err != nil {
+			if err := bp.imageLocked(id, f, true); err != nil {
+				return err
+			}
+			if err := bp.disk.WritePage(id, &f.page); err != nil {
 				return err
 			}
 		}
@@ -253,12 +332,49 @@ func (sh *poolShard) evictLocked(disk DiskBackend) error {
 
 // FlushAll writes every dirty frame back to disk and syncs. This is the
 // checkpoint path: after FlushAll returns, the on-disk pages reflect all
-// buffered changes.
+// buffered changes. Page images for all dirty frames are logged and made
+// durable in one batch before any page is overwritten, so a crash in the
+// middle of the write-back pass can always be repaired physically.
 func (bp *BufferPool) FlushAll() error {
+	// Frames are visited in sorted page order, not map order: the crash
+	// harness replays schedules by global I/O op index, which must be
+	// identical across runs of the same seed.
+	if bp.pageLog != nil {
+		logged := false
+		for _, sh := range bp.shards {
+			sh.mu.Lock()
+			for _, id := range sh.sortedIDsLocked() {
+				f := sh.frames[id]
+				if f.dirty && !f.imaged {
+					f.page.Seal()
+					if err := bp.pageLog.LogPageImage(id, f.page.Bytes()); err != nil {
+						sh.mu.Unlock()
+						return err
+					}
+					f.imaged = true
+					logged = true
+				}
+			}
+			sh.mu.Unlock()
+		}
+		if logged {
+			if err := bp.pageLog.FlushImages(); err != nil {
+				return err
+			}
+		}
+	}
 	for _, sh := range bp.shards {
 		sh.mu.Lock()
-		for id, f := range sh.frames {
+		for _, id := range sh.sortedIDsLocked() {
+			f := sh.frames[id]
 			if f.dirty {
+				// Frames dirtied since the imaging pass (concurrent writers
+				// under an active-transaction checkpoint) get their image
+				// here, flushed inline.
+				if err := bp.imageLocked(id, f, true); err != nil {
+					sh.mu.Unlock()
+					return err
+				}
 				if err := bp.disk.WritePage(id, &f.page); err != nil {
 					sh.mu.Unlock()
 					return err
@@ -268,7 +384,70 @@ func (bp *BufferPool) FlushAll() error {
 		}
 		sh.mu.Unlock()
 	}
+	if err := bp.disk.Sync(); err != nil {
+		return err
+	}
+	// The synced state is a valid recovery base: the next write-back of any
+	// frame must log a fresh image.
+	for _, sh := range bp.shards {
+		sh.mu.Lock()
+		for _, f := range sh.frames {
+			f.imaged = false
+		}
+		sh.mu.Unlock()
+	}
+	return nil
+}
+
+// FlushChain writes back and syncs every page of a linked chain (pages
+// threaded by their Next pointer, e.g. a blob chain), making the chain
+// durably readable. ReplaceBlob uses this to persist a new chain BEFORE
+// flipping the meta root to it: without that ordering, a crash after the
+// root write but before the next full flush leaves the root pointing at
+// pages that never reached disk, and the store cannot open.
+func (bp *BufferPool) FlushChain(head PageID) error {
+	for id := head; id != InvalidPage; {
+		sh := bp.shard(id)
+		sh.mu.Lock()
+		var next PageID
+		if f, ok := sh.frames[id]; ok && f.ready == nil {
+			if f.dirty {
+				if err := bp.disk.WritePage(id, &f.page); err != nil {
+					sh.mu.Unlock()
+					return err
+				}
+				f.dirty = false
+			}
+			next = f.page.Next()
+			sh.mu.Unlock()
+		} else {
+			sh.mu.Unlock()
+			// Not resident (or still loading): the on-disk copy is current
+			// for non-resident pages — evictions write through.
+			var p Page
+			if err := bp.disk.ReadPage(id, &p); err != nil {
+				return err
+			}
+			next = p.Next()
+		}
+		id = next
+	}
 	return bp.disk.Sync()
+}
+
+// FreePage returns a page to the disk free list after forcing the log:
+// the free-list seal destroys the page's prior content in place, so the
+// records describing how to rebuild it — typically the freeing
+// transaction's undo, still sitting in the log's append buffer — must be
+// durable first. Same WAL-before-data rule eviction enforces with page
+// images, applied to the one other destructive in-place write.
+func (bp *BufferPool) FreePage(id PageID) error {
+	if bp.pageLog != nil {
+		if err := bp.pageLog.FlushImages(); err != nil {
+			return err
+		}
+	}
+	return bp.disk.FreePage(id)
 }
 
 // Drop discards the frame for a page without writing it (used when the

@@ -42,8 +42,18 @@ const (
 // ErrNotADatabase reports a file that does not carry the kimdb magic.
 var ErrNotADatabase = errors.New("storage: not a kimdb database file")
 
+// Disk is the complete disk surface the store programs against: the buffer
+// pool's page I/O plus lifecycle. *DiskManager is the production
+// implementation; the fault-injection layer (internal/fault) wraps it to
+// script I/O failures and simulated crashes.
+type Disk interface {
+	DiskBackend
+	NumPages() PageID
+	Close() error
+}
+
 // The disk manager is the production page backend of the buffer pool.
-var _ DiskBackend = (*DiskManager)(nil)
+var _ Disk = (*DiskManager)(nil)
 
 // OpenDisk opens (or creates) a database file.
 func OpenDisk(path string) (*DiskManager, error) {
@@ -154,14 +164,25 @@ func (d *DiskManager) AllocPage() (PageID, error) {
 	head := PageID(binary.BigEndian.Uint64(d.meta.buf[metaOffFree:]))
 	if head != InvalidPage {
 		var p Page
-		if err := d.readPageLocked(head, &p); err != nil {
-			return InvalidPage, err
+		err := d.readPageLocked(head, &p)
+		if err == nil && p.Type() != pageTypeFree {
+			err = fmt.Errorf("storage: free-list head %d is not a free page", head)
 		}
-		binary.BigEndian.PutUint64(d.meta.buf[metaOffFree:], uint64(p.Next()))
-		if err := d.writeMetaLocked(); err != nil {
-			return InvalidPage, err
+		if err != nil {
+			// A torn or clobbered free-list head would otherwise wedge every
+			// allocation forever. Abandon the list — its pages leak, which
+			// only costs space — and fall through to extending the file.
+			binary.BigEndian.PutUint64(d.meta.buf[metaOffFree:], uint64(InvalidPage))
+			if merr := d.writeMetaLocked(); merr != nil {
+				return InvalidPage, merr
+			}
+		} else {
+			binary.BigEndian.PutUint64(d.meta.buf[metaOffFree:], uint64(p.Next()))
+			if err := d.writeMetaLocked(); err != nil {
+				return InvalidPage, err
+			}
+			return head, nil
 		}
-		return head, nil
 	}
 	id := d.numPages
 	d.numPages++

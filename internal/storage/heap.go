@@ -257,8 +257,14 @@ func (h *Heap) delete(rid RID) error {
 }
 
 // freeIfOverflow releases the overflow chain referenced by the record at
-// rid, if any.
+// rid, if any. In recovery mode the chain is leaked instead: the stub was
+// read from a possibly-reverted page, so the pages it names may have been
+// reallocated to another owner since — even to another overflow chain,
+// which no type check can distinguish.
 func (h *Heap) freeIfOverflow(rid RID) error {
+	if h.pool.Recovering() {
+		return nil
+	}
 	p, err := h.pool.Fetch(rid.Page)
 	if err != nil {
 		return err
@@ -282,12 +288,23 @@ func (h *Heap) freeIfOverflow(rid RID) error {
 	for head != InvalidPage {
 		op, err := h.pool.Fetch(head)
 		if err != nil {
-			return err
+			// Unreadable chain page: stop and leak the rest. Freeing pages
+			// we cannot verify risks freeing someone else's page.
+			return nil
+		}
+		if op.Type() != pageTypeOverflow {
+			// Stale stub (crash recovery replaying over a reverted page
+			// image): the chain pointer leads to a page that was freed and
+			// reused. Freeing it would enter a live page — or a page
+			// already on the free list — into the free list and a later
+			// alloc would hand it to two owners. Stop; leak the chain.
+			h.pool.Unpin(head, false)
+			return nil
 		}
 		next := op.Next()
 		h.pool.Unpin(head, false)
 		h.pool.Drop(head)
-		if err := h.pool.disk.FreePage(head); err != nil {
+		if err := h.pool.FreePage(head); err != nil {
 			return err
 		}
 		head = next
@@ -392,6 +409,78 @@ func (h *Heap) Scan(fn func(rid RID, data []byte) bool) error {
 			}
 		}
 		id = next
+	}
+	return nil
+}
+
+// RecoverScan is Scan for crash recovery: a live record whose content
+// cannot be reassembled — typically an overflow stub whose chain pages
+// never became durable before the crash and reverted to stale (but
+// checksum-valid) states — is quarantined and the scan continues, where a
+// normal Scan would fail. A quarantined record's transaction either logged
+// its redo before acknowledging (logical WAL replay reinserts the object)
+// or never acknowledged (the record had to disappear anyway).
+func (h *Heap) RecoverScan(fn func(rid RID, data []byte) bool) error {
+	for id := h.First; id != InvalidPage; {
+		h.mu.RLock()
+		p, err := h.pool.Fetch(id)
+		if err != nil {
+			h.mu.RUnlock()
+			return err
+		}
+		if p.Type() != pageTypeHeap {
+			// Stale chain link into a reused page (rebuildDirectory cuts
+			// these, but the scan guards independently): stop here rather
+			// than read someone else's records.
+			h.pool.Unpin(id, false)
+			h.mu.RUnlock()
+			return nil
+		}
+		next := p.Next()
+		n := p.Slots()
+		var rids []RID
+		for slot := 0; slot < n; slot++ {
+			if p.Live(slot) {
+				rids = append(rids, RID{Page: id, Slot: uint16(slot)})
+			}
+		}
+		h.pool.Unpin(id, false)
+		h.mu.RUnlock()
+		for _, rid := range rids {
+			data, err := h.Read(rid)
+			if errors.Is(err, ErrNoRecord) {
+				continue
+			}
+			if err != nil {
+				if qerr := h.quarantine(rid); qerr != nil {
+					return qerr
+				}
+				continue
+			}
+			if !fn(rid, data) {
+				return nil
+			}
+		}
+		id = next
+	}
+	return nil
+}
+
+// quarantine deletes an unreadable record's slot in place without touching
+// its overflow chain: the chain pages may have reverted to older states or
+// been reallocated, so walking them to free is unsafe. The chain is leaked
+// deliberately (reclaimed by a future segment rewrite).
+func (h *Heap) quarantine(rid RID) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	p, err := h.pool.Fetch(rid.Page)
+	if err != nil {
+		return err
+	}
+	err = p.Delete(int(rid.Slot))
+	h.pool.Unpin(rid.Page, err == nil)
+	if err != nil {
+		return fmt.Errorf("storage: quarantine %s: %w", rid, err)
 	}
 	return nil
 }

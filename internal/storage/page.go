@@ -35,6 +35,11 @@ const (
 	pageTypeOverflow
 	pageTypeMeta
 	pageTypeBlob
+
+	// PageTypeHeap is the one page type exported by name, for external
+	// consumers (the fault-injection tests) that construct raw pages
+	// against the Disk interface.
+	PageTypeHeap = pageTypeHeap
 )
 
 // Page header layout (all big-endian):

@@ -1,0 +1,190 @@
+package storage
+
+// Regression tests for the recovery bugs the crash harness surfaced: a
+// torn free-list head wedging allocation, and the physical page-image
+// restore pass that runs ahead of logical replay.
+
+import (
+	"bytes"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestAllocSurvivesCorruptFreeListHead: a crash can tear the in-place
+// free-page seal, leaving the meta free-list head pointing at garbage.
+// Allocation must abandon the list (leaking its pages) rather than fail
+// forever. Surfaced by crash schedules landing inside FreePage writes.
+func TestAllocSurvivesCorruptFreeListHead(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "d.kdb")
+	d, err := OpenDisk(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := d.AllocPage()
+	b, _ := d.AllocPage()
+	if err := d.FreePage(a); err != nil {
+		t.Fatal(err)
+	}
+	// Tear the free head on disk, bypassing the manager.
+	garbage := make([]byte, PageSize)
+	rand.New(rand.NewSource(1)).Read(garbage)
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt(garbage, int64(a)*PageSize); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	c, err := d.AllocPage()
+	if err != nil {
+		t.Fatalf("alloc with corrupt free head: %v", err)
+	}
+	if c == a {
+		t.Fatalf("alloc handed out the corrupt page %d", c)
+	}
+	if c == b || c == InvalidPage {
+		t.Fatalf("alloc returned %d (existing page %d)", c, b)
+	}
+	// The list was abandoned: the next alloc extends again, no wedge.
+	if _, err := d.AllocPage(); err != nil {
+		t.Fatalf("second alloc after abandonment: %v", err)
+	}
+}
+
+// TestAllocRejectsNonFreeHead: a stale meta page may point the free list at
+// a page that was since reallocated (its type is no longer free). Popping
+// it would hand out a live page — the list must be abandoned instead.
+func TestAllocRejectsNonFreeHead(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "d.kdb")
+	d, err := OpenDisk(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := d.AllocPage()
+	if err := d.FreePage(a); err != nil {
+		t.Fatal(err)
+	}
+	// Overwrite the free head with a valid heap page (checksum fine, wrong
+	// type) — the reallocated-elsewhere case.
+	var p Page
+	p.Init(pageTypeHeap)
+	p.Insert([]byte("live data"))
+	if err := d.WritePage(a, &p); err != nil {
+		t.Fatal(err)
+	}
+	c, err := d.AllocPage()
+	if err != nil {
+		t.Fatalf("alloc with non-free head: %v", err)
+	}
+	if c == a {
+		t.Fatalf("alloc handed out live page %d", c)
+	}
+}
+
+// TestRestoreTornPages covers the physical-redo pass: torn pages and
+// never-written (zero or short) pages are overwritten from their logged
+// images; intact pages are left alone even when an image exists.
+func TestRestoreTornPages(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "d.kdb")
+	d, err := OpenDisk(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func(tag byte) *Page {
+		var p Page
+		p.Init(pageTypeHeap)
+		p.Insert(bytes.Repeat([]byte{tag}, 100))
+		p.Seal()
+		return &p
+	}
+	p1, _ := d.AllocPage()
+	p2, _ := d.AllocPage()
+	if err := d.WritePage(p1, mk(0x11)); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.WritePage(p2, mk(0x22)); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Tear p2 in place; leave p1 intact.
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt(bytes.Repeat([]byte{0xFF}, PageSize/2), int64(p2)*PageSize); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	img1 := mk(0x33) // stale image for the intact page: must NOT be applied
+	img2 := mk(0x22)
+	beyond := uint64(p2) + 3 // image for a page past EOF: short read, restored
+	img3 := mk(0x44)
+	images := map[uint64][]byte{
+		uint64(p1): append([]byte(nil), img1.Bytes()...),
+		uint64(p2): append([]byte(nil), img2.Bytes()...),
+		beyond:     append([]byte(nil), img3.Bytes()...),
+	}
+	restored, err := RestoreTornPages(path, images)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored != 2 {
+		t.Fatalf("restored %d pages, want 2 (torn + beyond-EOF)", restored)
+	}
+
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	page := func(id uint64) []byte { return raw[id*PageSize : (id+1)*PageSize] }
+	if !bytes.Equal(page(uint64(p1)), sealed(mk(0x11))) {
+		t.Fatal("intact page was clobbered by its stale image")
+	}
+	if !bytes.Equal(page(uint64(p2)), sealed(img2)) {
+		t.Fatal("torn page was not restored from its image")
+	}
+	if !bytes.Equal(page(beyond), sealed(img3)) {
+		t.Fatal("beyond-EOF page was not restored from its image")
+	}
+
+	// The repaired file opens and reads back.
+	d2, err := OpenDisk(path)
+	if err != nil {
+		t.Fatalf("reopen after restore: %v", err)
+	}
+	defer d2.Close()
+	var back Page
+	if err := d2.ReadPage(p2, &back); err != nil {
+		t.Fatalf("read restored page: %v", err)
+	}
+	got, err := back.Read(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, bytes.Repeat([]byte{0x22}, 100)) {
+		t.Fatal("restored page content wrong")
+	}
+}
+
+func sealed(p *Page) []byte {
+	p.Seal()
+	return p.buf[:]
+}
+
+// TestRestoreTornPagesNoImages: the no-op fast path must not even touch
+// the file (recovery without physical records).
+func TestRestoreTornPagesNoImages(t *testing.T) {
+	restored, err := RestoreTornPages(filepath.Join(t.TempDir(), "absent.kdb"), nil)
+	if err != nil || restored != 0 {
+		t.Fatalf("restored=%d err=%v, want 0, nil", restored, err)
+	}
+}

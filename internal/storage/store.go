@@ -20,7 +20,7 @@ import (
 // concurrent readers share the lock and serialize only against writers
 // (segment DDL, directory updates).
 type Store struct {
-	disk *DiskManager
+	disk Disk
 	pool *BufferPool
 
 	mu    sync.RWMutex
@@ -46,6 +46,9 @@ type Options struct {
 	// means DefaultPoolShards; it is clamped to PoolPages and rounded down
 	// to a power of two.
 	PoolShards int
+	// WrapDisk, when set, wraps the disk manager before the store builds on
+	// it — the seam the fault-injection layer uses to script I/O failures.
+	WrapDisk func(Disk) Disk
 }
 
 // Open opens (or creates) the object store at path and rebuilds the object
@@ -58,9 +61,13 @@ func Open(path string, opts Options) (*Store, error) {
 	if opts.PoolShards == 0 {
 		opts.PoolShards = DefaultPoolShards
 	}
-	disk, err := OpenDisk(path)
+	dm, err := OpenDisk(path)
 	if err != nil {
 		return nil, err
+	}
+	var disk Disk = dm
+	if opts.WrapDisk != nil {
+		disk = opts.WrapDisk(disk)
 	}
 	s := &Store{
 		disk:  disk,
@@ -92,8 +99,9 @@ func (s *Store) Close() error {
 // Pool exposes the buffer pool (the engine stores system blobs through it).
 func (s *Store) Pool() *BufferPool { return s.pool }
 
-// Disk exposes the disk manager.
-func (s *Store) Disk() *DiskManager { return s.disk }
+// Disk exposes the disk layer (the production disk manager, or the fault
+// wrapper around it under test).
+func (s *Store) Disk() Disk { return s.disk }
 
 // CreateSegment ensures a heap segment exists for the class.
 func (s *Store) CreateSegment(class model.ClassID) error {
@@ -371,18 +379,37 @@ func (s *Store) loadSegments() error {
 // fails its checksum is cut out of the chain and freed, its records left
 // to logical WAL replay above this layer.
 func (s *Store) rebuildDirectory() error {
-	for class, h := range s.heaps {
-		// Walk to the true tail, amputating at the first torn page.
+	// Deterministic class order: recovery I/O must replay identically for
+	// the crash harness's schedule reproduction.
+	classes := make([]model.ClassID, 0, len(s.heaps))
+	for c := range s.heaps {
+		classes = append(classes, c)
+	}
+	sortClassIDs(classes)
+	for _, class := range classes {
+		h := s.heaps[class]
+		// Walk to the true tail, amputating at the first page that is torn
+		// OR not a heap page. The type check matters as much as the
+		// checksum: a page freed and reused since the chain link was
+		// persisted comes back checksum-valid with someone else's content
+		// (a stale free-list seal whose next link aims at, say, a live
+		// catalog page), and following it would adopt — and later
+		// quarantine-mutate — pages this class does not own.
 		last := h.First
 		prev := InvalidPage
 		for id := h.First; id != InvalidPage; {
 			p, err := s.pool.Fetch(id)
-			if errors.Is(err, ErrBadChecksum) {
+			bad := errors.Is(err, ErrBadChecksum)
+			if err == nil && p.Type() != pageTypeHeap {
+				s.pool.Unpin(id, false)
+				bad = true
+			}
+			if bad {
 				if err := s.amputate(h, prev, id); err != nil {
 					return err
 				}
 				if prev == InvalidPage {
-					last = h.First // first page was torn and reformatted
+					last = h.First // head was reformatted in place
 				} else {
 					last = prev
 				}
@@ -397,7 +424,7 @@ func (s *Store) rebuildDirectory() error {
 			id = next
 		}
 		h.Last = last
-		err := h.Scan(func(rid RID, data []byte) bool {
+		err := h.RecoverScan(func(rid RID, data []byte) bool {
 			raw, n := binary.Uvarint(data)
 			if n <= 0 {
 				return true // torn record: skip, WAL replay restores it
@@ -419,15 +446,26 @@ func (s *Store) rebuildDirectory() error {
 	return nil
 }
 
-// amputate removes a torn page from a heap chain: the predecessor's link
-// is cut, and the torn page is reformatted (when it heads the chain) or
-// returned to the free list. The records it held are restored by logical
-// WAL replay above this layer — the crash-consistency contract documented
-// on the package.
-func (s *Store) amputate(h *Heap, prev, torn PageID) error {
+// amputate removes a torn or foreign-typed page from a heap chain: the
+// predecessor's link is cut, or the page is reformatted in place when it
+// heads the chain. The records it held are restored by logical WAL replay
+// above this layer — the crash-consistency contract documented on the
+// package.
+//
+// The amputated page is deliberately NOT returned to the free list. Its
+// provenance is unknowable here: it may already be on the free list (the
+// chain link to it being the stale pointer), or it may be owned by another
+// structure that reused it — freeing it would enter it twice and a later
+// AllocPage would hand one page to two owners. Leaking it costs a page
+// until a segment rewrite; double allocation corrupts committed data.
+func (s *Store) amputate(h *Heap, prev, bad PageID) error {
 	if prev == InvalidPage {
-		// The chain head itself is torn: reformat it in place as an empty
-		// heap page.
+		// The chain head itself is bad. The segment table durably names it
+		// as this class's page — the alloc that handed it over updated the
+		// metadata before the table was written — so reformatting it in
+		// place is safe. Go through the pool: the walk may have left a
+		// cached frame with the stale content.
+		s.pool.Drop(h.First)
 		var p Page
 		p.Init(pageTypeHeap)
 		return s.disk.WritePage(h.First, &p)
@@ -438,7 +476,8 @@ func (s *Store) amputate(h *Heap, prev, torn PageID) error {
 	}
 	pp.SetNext(InvalidPage)
 	s.pool.Unpin(prev, true)
-	return s.disk.FreePage(torn)
+	s.pool.Drop(bad)
+	return nil
 }
 
 // reader mirrors the latching cursor in internal/schema for local decoding.

@@ -10,7 +10,13 @@
 //     or post-checkpoint log;
 //   - the log tail may be torn by a crash: frames carry checksums, and the
 //     first bad frame ends recovery (everything after it was never
-//     acknowledged as committed, because commit syncs).
+//     acknowledged as committed, because commit syncs);
+//   - in-place page writes are preceded by a full-page-image record
+//     (RecPageImage) made durable before the page write itself
+//     (WAL-before-data), so a write torn by a crash can be physically
+//     restored before logical replay runs — without the image, amputating a
+//     torn page would also lose pre-checkpoint records that are no longer
+//     in the log.
 package wal
 
 import (
@@ -35,8 +41,9 @@ const (
 	RecBegin RecType = iota + 1
 	RecCommit
 	RecAbort
-	RecPut    // object upsert: Before = prior image (nil on insert), After = new image
-	RecDelete // object delete: Before = prior image
+	RecPut       // object upsert: Before = prior image (nil on insert), After = new image
+	RecDelete    // object delete: Before = prior image
+	RecPageImage // physical full-page image: OID = page id, After = page bytes
 )
 
 // Record is one logical log record.
@@ -49,13 +56,26 @@ type Record struct {
 	After  []byte
 }
 
+// File is the surface the log needs from its backing file. *os.File is the
+// production implementation; the fault-injection layer (internal/fault)
+// wraps it to script short writes, fsync failures and crashes.
+type File interface {
+	io.Reader
+	io.Writer
+	io.Seeker
+	Sync() error
+	Truncate(size int64) error
+	Stat() (os.FileInfo, error)
+	Close() error
+}
+
 // WAL is an append-only log file. Appends are buffered; Sync flushes and
 // fsyncs. SyncGroup is the group-commit path: concurrent committers
 // enqueue and a single fsync makes a whole batch durable.
 type WAL struct {
 	mu      sync.Mutex
 	path    string
-	file    *os.File
+	file    File
 	w       *bufio.Writer
 	nextLSN uint64
 
@@ -79,9 +99,20 @@ var errTorn = errors.New("wal: torn frame")
 // positions the log for appending. The returned records are everything
 // durably logged since the last checkpoint, in LSN order.
 func Open(path string) (*WAL, []Record, error) {
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	return OpenWith(path, nil)
+}
+
+// OpenWith is Open with a hook wrapping the backing file — the seam the
+// fault-injection harness uses to script I/O failures. A nil wrap opens the
+// plain file.
+func OpenWith(path string, wrap func(File) File) (*WAL, []Record, error) {
+	osf, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
 		return nil, nil, fmt.Errorf("wal: open %s: %w", path, err)
+	}
+	var f File = osf
+	if wrap != nil {
+		f = wrap(f)
 	}
 	recs, validLen, err := scan(f)
 	if err != nil {
@@ -272,10 +303,26 @@ func decodeRecord(buf []byte) (Record, error) {
 	return rec, nil
 }
 
+// PageImages extracts, for each page id, the last full-page image logged
+// in the recovered record stream (LSN order). The map feeds
+// storage.RestoreTornPages before the store opens.
+func PageImages(recs []Record) map[uint64][]byte {
+	var m map[uint64][]byte
+	for _, r := range recs {
+		if r.Type == RecPageImage {
+			if m == nil {
+				m = make(map[uint64][]byte)
+			}
+			m[uint64(r.OID)] = r.After
+		}
+	}
+	return m
+}
+
 // scan reads records from the start of the file until EOF or the first
 // torn frame, returning the records and the byte length of the valid
 // prefix.
-func scan(f *os.File) ([]Record, int64, error) {
+func scan(f File) ([]Record, int64, error) {
 	if _, err := f.Seek(0, io.SeekStart); err != nil {
 		return nil, 0, err
 	}
