@@ -4,7 +4,7 @@ GO ?= go
 # pre-merge gate sweeps wider). Override: make crash CRASH_SCHEDULES=500
 CRASH_SCHEDULES ?= 120
 
-.PHONY: build test vet fmtcheck race bench crash verify
+.PHONY: build test vet fmtcheck race bench crash metrics-lint verify
 
 build:
 	$(GO) build ./...
@@ -25,6 +25,12 @@ race:
 bench:
 	$(GO) test -bench=. -benchmem -run '^$$' .
 
+# Static check of obs metric registrations: every name must follow the
+# layer_subsystem_name convention and no name may be registered twice
+# (internal/obs/metricslint walks the source with go/parser).
+metrics-lint:
+	$(GO) run ./internal/obs/metricslint .
+
 # The crash-recovery matrix under the race detector: every schedule
 # crashes the engine at a distinct I/O op and verifies both recovery
 # invariants after reopening (crash_test.go, internal/fault).
@@ -33,4 +39,4 @@ crash:
 
 # The full pre-merge gate: compile, static checks, formatting drift, the
 # whole test suite under the race detector, and a wide crash sweep.
-verify: build vet fmtcheck race crash
+verify: build vet fmtcheck metrics-lint race crash

@@ -5,12 +5,13 @@
 //
 // Usage:
 //
-//	kimbench [-quick] [-only E3]
+//	kimbench [-quick] [-only E3] [-recovery out.json] [-metrics out.json] [-http addr]
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"path/filepath"
 	"sort"
@@ -21,6 +22,7 @@ import (
 	"oodb"
 	"oodb/internal/bench"
 	"oodb/internal/model"
+	"oodb/internal/obs"
 	"oodb/internal/relational"
 )
 
@@ -28,12 +30,25 @@ var (
 	quick    = flag.Bool("quick", false, "smaller scales, fewer repetitions")
 	only     = flag.String("only", "", "run only the named experiment (e.g. E3)")
 	recovery = flag.String("recovery", "", "measure recovery time vs WAL size, write the JSON report to this path, and exit")
+	metrics  = flag.String("metrics", "", "run the obs workload, write the metric snapshot report to this path, and exit")
+	httpAddr = flag.String("http", "", "serve /metrics and /debug/pprof on this address while running (e.g. localhost:6060)")
 )
 
 func main() {
 	flag.Parse()
+	if *httpAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*httpAddr, obs.NewMux(obs.Default())); err != nil {
+				fmt.Fprintln(os.Stderr, "kimbench: -http:", err)
+			}
+		}()
+	}
 	if *recovery != "" {
 		runRecoveryBench(*recovery)
+		return
+	}
+	if *metrics != "" {
+		runMetricsBench(*metrics)
 		return
 	}
 	experiments := []struct {

@@ -1,0 +1,147 @@
+package main
+
+// The -metrics mode: run a fixed mixed workload with the obs subsystem on,
+// then write the derived health figures plus the full metric snapshot as a
+// JSON report (tracked in the repo as BENCH_metrics.json). The workload has
+// three phases chosen to light up each layer's metrics:
+//
+//  1. hierarchy build + heap-scanned hierarchy queries — parallel scan
+//     fan-out, rows examined/matched, buffer traffic;
+//  2. the same queries through a class-hierarchy index — index probes and
+//     probe depth;
+//  3. durable concurrent commits (fsync on) — WAL fsync latency and group-
+//     commit batch size.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"oodb"
+	"oodb/internal/bench"
+	"oodb/internal/obs"
+)
+
+type metricsReport struct {
+	Experiment  string `json:"experiment"`
+	Description string `json:"description"`
+
+	// Derived headline figures (the acceptance set), pulled out of the
+	// snapshot so a reader does not have to do histogram math.
+	BufferHitRatio    float64 `json:"buffer_hit_ratio"`
+	FsyncP50Ns        uint64  `json:"fsync_p50_ns"`
+	FsyncP99Ns        uint64  `json:"fsync_p99_ns"`
+	GroupCommitMean   float64 `json:"group_commit_mean_batch"`
+	ScanFanoutMean    float64 `json:"scan_fanout_mean_width"`
+	ScanFanoutP50     uint64  `json:"scan_fanout_p50_width"`
+	DurableCommits    int     `json:"durable_commits"`
+	DurableCommitRate float64 `json:"durable_commits_per_sec"`
+
+	ExplainAnalyze string `json:"explain_analyze_sample"`
+
+	Snapshot obs.Snapshot `json:"snapshot"`
+}
+
+// runMetricsBench drives the workload and writes the report to outPath.
+func runMetricsBench(outPath string) {
+	oodb.SetMetricsEnabled(true)
+
+	// Phase 1+2: hierarchy scans then indexed probes. The hierarchy is
+	// built with a roomy pool, then reopened with a pool well below the
+	// working set so the buffer hit ratio is informative rather than a
+	// flat 1.0 (every page born in the pool counts as a hit forever).
+	sdir, err := os.MkdirTemp("", "kimbench-metrics-scan")
+	check(err)
+	perClass := scale(500, 100)
+	queries := scale(200, 50)
+	db, err := oodb.Open(sdir, oodb.Options{NoSync: true, PoolPages: 8192})
+	check(err)
+	h, err := bench.BuildHierarchy(db, 4, 3, perClass, 1000, 1)
+	check(err)
+	check(db.Close())
+	db, err = oodb.Open(sdir, oodb.Options{NoSync: true, PoolPages: 16})
+	check(err)
+	done := func() { db.Close(); os.RemoveAll(sdir) }
+	for i := 0; i < queries; i++ {
+		_, err := db.Query(fmt.Sprintf(`SELECT * FROM H0 WHERE val = %d`, i%1000))
+		check(err)
+	}
+	check(h.IndexCH(db))
+	for i := 0; i < queries; i++ {
+		_, err := db.Query(fmt.Sprintf(`SELECT * FROM H0 WHERE val = %d`, i%1000))
+		check(err)
+	}
+	explain, err := db.ExplainAnalyze(`SELECT * FROM H0 WHERE val < 25`)
+	check(err)
+	hits, misses := db.Engine().Store.PoolStats()
+	done()
+
+	// Phase 3: durable concurrent commits on a separate database with
+	// fsync on, so the WAL latency and group-commit histograms see real
+	// syncs.
+	const workers = 8
+	opsPer := scale(100, 25)
+	dir, err := os.MkdirTemp("", "kimbench-metrics")
+	check(err)
+	defer os.RemoveAll(dir)
+	ddb, err := oodb.Open(dir, oodb.Options{})
+	check(err)
+	_, err = ddb.DefineClass("P", nil, oodb.Attr{Name: "n", Domain: "Integer"})
+	check(err)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < opsPer; i++ {
+				check(ddb.Do(func(tx *oodb.Tx) error {
+					_, err := tx.Insert("P", oodb.Attrs{"n": oodb.Int(int64(i))})
+					return err
+				}))
+			}
+		}(w)
+	}
+	wg.Wait()
+	commitElapsed := time.Since(start)
+	ddb.Close()
+
+	snap := obs.TakeSnapshot()
+	fsync := snap.Histograms["wal_fsync_latency_ns"]
+	batch := snap.Histograms["wal_group_commit_batch"]
+	fanout := snap.Histograms["query_scan_fanout_width"]
+	commits := workers * opsPer
+	report := metricsReport{
+		Experiment:  "metrics",
+		Description: "obs snapshot after hierarchy scans, indexed probes and durable concurrent commits",
+
+		BufferHitRatio:    ratio(hits, hits+misses),
+		FsyncP50Ns:        fsync.P50,
+		FsyncP99Ns:        fsync.P99,
+		GroupCommitMean:   batch.Mean,
+		ScanFanoutMean:    fanout.Mean,
+		ScanFanoutP50:     fanout.P50,
+		DurableCommits:    commits,
+		DurableCommitRate: float64(commits) / commitElapsed.Seconds(),
+
+		ExplainAnalyze: explain,
+		Snapshot:       snap,
+	}
+	out, err := json.MarshalIndent(report, "", "  ")
+	check(err)
+	check(os.WriteFile(outPath, append(out, '\n'), 0o644))
+	fmt.Printf("metrics: buffer hit ratio %.3f, fsync p50 %v p99 %v, group-commit mean batch %.1f, scan fan-out mean %.1f\n",
+		report.BufferHitRatio,
+		time.Duration(report.FsyncP50Ns), time.Duration(report.FsyncP99Ns),
+		report.GroupCommitMean, report.ScanFanoutMean)
+	fmt.Printf("wrote %s\n", outPath)
+}
+
+func ratio(num, den uint64) float64 {
+	if den == 0 {
+		return 0
+	}
+	return float64(num) / float64(den)
+}

@@ -21,6 +21,8 @@
 //	.del @c:s                           delete an object
 //	.get @c:s                           show an object
 //	.explain SELECT ...                 show the query plan
+//	.analyze SELECT ...                 run the query, show the annotated plan
+//	.metrics                            dump the obs metric snapshot as JSON
 //	.checkpoint                         force a checkpoint
 //	.help / .quit
 //
@@ -30,21 +32,32 @@ package main
 
 import (
 	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"strconv"
 	"strings"
 
 	"oodb"
+	"oodb/internal/obs"
 )
 
 func main() {
 	dbdir := flag.String("db", "", "database directory (required)")
+	httpAddr := flag.String("http", "", "serve /metrics and /debug/pprof on this address (e.g. localhost:6060)")
 	flag.Parse()
 	if *dbdir == "" {
 		fmt.Fprintln(os.Stderr, "kimsh: -db directory required")
 		os.Exit(2)
+	}
+	if *httpAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*httpAddr, obs.NewMux(obs.Default())); err != nil {
+				fmt.Fprintln(os.Stderr, "kimsh: -http:", err)
+			}
+		}()
 	}
 	db, err := oodb.Open(*dbdir, oodb.Options{})
 	if err != nil {
@@ -81,7 +94,21 @@ func (sh *shell) exec(line string) error {
 	case strings.HasPrefix(strings.ToLower(line), "select"):
 		return sh.query(line)
 	case line == ".help":
-		fmt.Fprintln(sh.out, "queries: SELECT ... ; commands: .defclass .attr .index .indexes .classes .schema .insert .set .del .get .explain .snapshot .snapshots .schemadiff .checkpoint .quit")
+		fmt.Fprintln(sh.out, "queries: SELECT ... ; commands: .defclass .attr .index .indexes .classes .schema .insert .set .del .get .explain .analyze .metrics .snapshot .snapshots .schemadiff .checkpoint .quit")
+		return nil
+	case line == ".metrics":
+		out, err := json.MarshalIndent(sh.db.Metrics(), "", "  ")
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(sh.out, string(out))
+		return nil
+	case strings.HasPrefix(line, ".analyze "):
+		out, err := sh.db.ExplainAnalyze(strings.TrimSpace(strings.TrimPrefix(line, ".analyze")))
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(sh.out, out)
 		return nil
 	case line == ".classes":
 		for _, cl := range sh.db.Engine().Catalog.Classes() {

@@ -5,6 +5,7 @@ import (
 
 	"oodb/internal/model"
 	"oodb/internal/schema"
+	"oodb/internal/storage"
 )
 
 // DDL operations. Schema evolution is auto-committed: each operation takes
@@ -50,9 +51,21 @@ func (db *DB) DefineClass(name string, supers []model.ClassID, attrs ...schema.A
 
 // DropClass deletes every instance of the class, removes indexes rooted at
 // it, and drops it from the catalog (subclasses re-link per Banerjee).
+//
+// Destruction is ordered after durability: inside the DDL critical
+// section the segment is only *detached* (catalog, segment table and
+// directory stop naming it), and ddl's closing checkpoint makes that
+// removal durable. Only then are the segment's pages physically freed.
+// Freeing first — the old behavior — destroyed committed heap pages in
+// place before the checkpoint; a crash in that window reopened with a
+// catalog still naming the class but its pages free-sealed, losing
+// committed objects that predate the last checkpoint (no WAL redo exists
+// for them). A crash after the checkpoint but before the frees merely
+// leaks the pages, which the accountant (Store.AccountPages) counts.
 func (db *DB) DropClass(class model.ClassID) error {
-	return db.ddl([]model.ClassID{class}, func() error {
-		// Unindex the class's instances everywhere, then drop the segment.
+	var detached *storage.DetachedSegment
+	err := db.ddl([]model.ClassID{class}, func() error {
+		// Unindex the class's instances everywhere, then detach the segment.
 		err := db.Store.ScanClass(class, func(oid model.OID, data []byte) bool {
 			if obj, derr := model.DecodeObject(data); derr == nil {
 				_ = db.Indexes.OnDelete(obj)
@@ -62,9 +75,7 @@ func (db *DB) DropClass(class model.ClassID) error {
 		if err != nil {
 			return err
 		}
-		if err := db.Store.DropSegment(class); err != nil {
-			return err
-		}
+		detached = db.Store.DetachSegment(class)
 		// Indexes rooted at the dropped class are dropped with it.
 		for _, idx := range db.Indexes.All() {
 			if idx.Class == class {
@@ -74,6 +85,10 @@ func (db *DB) DropClass(class model.ClassID) error {
 		_, err = db.Catalog.DropClass(class)
 		return err
 	})
+	if err != nil {
+		return err
+	}
+	return db.Store.FreeDetached(detached)
 }
 
 // AddAttribute adds an attribute to a class. Existing instances are

@@ -13,6 +13,7 @@ import (
 	"path/filepath"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"oodb/internal/index"
 	"oodb/internal/model"
@@ -216,6 +217,8 @@ func (db *DB) Close() error {
 // (logical redo is idempotent), so skipping truncation costs only log
 // space.
 func (db *DB) Checkpoint() error {
+	t0 := time.Now()
+	defer func() { mCkptNs.Observe(uint64(time.Since(t0))) }()
 	pool := db.Store.Pool()
 	if err := pool.ReplaceBlob(storage.RootCatalog, schema.EncodeCatalog(db.Catalog)); err != nil {
 		return err
@@ -232,6 +235,7 @@ func (db *DB) Checkpoint() error {
 	db.ckptMu.Lock()
 	defer db.ckptMu.Unlock()
 	if db.activeTxns.Load() != 0 {
+		mCkptSkipped.Add(1)
 		return nil // keep the log: in-flight undo information lives there
 	}
 	return db.Log.Reset()

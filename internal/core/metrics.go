@@ -1,0 +1,11 @@
+package core
+
+import (
+	"oodb/internal/obs"
+)
+
+// Engine-level metrics (obs registry).
+var (
+	mCkptNs      = obs.RegisterHistogram("core_checkpoint_duration_ns")
+	mCkptSkipped = obs.RegisterCounter("core_checkpoint_truncation_skips")
+)

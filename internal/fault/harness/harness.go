@@ -60,6 +60,13 @@ type Model struct {
 	// not — the universe of objects that could legitimately surface after a
 	// recovery whose durability guarantees were voided (fsync lies).
 	Ever map[model.OID]bool
+	// History records every full attribute state each OID ever reached on
+	// the heap, in write order — including states written by transactions
+	// that later aborted or whose commit never acknowledged, because under
+	// a lying fsync a crash can revert pages to any of them (an undo or a
+	// redo may have hit the lie). CheckLied verifies the CONTENT of every
+	// visible object against this set, not just its reachability.
+	History map[model.OID][]map[string]model.Value
 	// Indexes holds acknowledged-present index names mapped to the
 	// attribute they index; acknowledged drops remove entries.
 	Indexes map[string]IndexSpec
@@ -86,6 +93,7 @@ func NewModel() *Model {
 	return &Model{
 		Objects: make(map[model.OID]map[string]model.Value),
 		Ever:    make(map[model.OID]bool),
+		History: make(map[model.OID][]map[string]model.Value),
 		Indexes: make(map[string]IndexSpec),
 		Maybe:   make(map[string]IndexSpec),
 	}
@@ -278,6 +286,29 @@ func (w *workload) txnStep() *RunResult {
 	tx := db.Begin()
 	eff := &TxnEffect{}
 	live := m.sortedOIDs()
+	// work tracks the heap state each OID reaches inside this transaction;
+	// every write is recorded into m.History immediately — not on ack —
+	// because even an aborted or unacknowledged state can resurface after a
+	// crash behind a lying fsync.
+	work := make(map[model.OID]map[string]model.Value)
+	record := func(oid model.OID, attrs map[string]model.Value) {
+		st, ok := work[oid]
+		if !ok {
+			st = make(map[string]model.Value, len(attrs))
+			for k, v := range m.Objects[oid] {
+				st[k] = v
+			}
+		}
+		for k, v := range attrs {
+			st[k] = v
+		}
+		work[oid] = st
+		snap := make(map[string]model.Value, len(st))
+		for k, v := range st {
+			snap[k] = v
+		}
+		m.History[oid] = append(m.History[oid], snap)
+	}
 	nops := 1 + r.intn(4)
 	for i := 0; i < nops; i++ {
 		switch r.intn(10) {
@@ -304,6 +335,7 @@ func (w *workload) txnStep() *RunResult {
 				return w.died(err, nil)
 			}
 			m.Ever[oid] = true
+			record(oid, attrs)
 			eff.put(oid, attrs)
 			live = append(live, oid)
 		case 4, 5, 6: // update
@@ -318,6 +350,7 @@ func (w *workload) txnStep() *RunResult {
 			if err := tx.Update(oid, attrs); err != nil {
 				return w.died(err, nil)
 			}
+			record(oid, attrs)
 			eff.put(oid, attrs)
 		default: // delete
 			if len(live) == 0 {
@@ -465,7 +498,11 @@ func Check(dir string, m *Model, indet *TxnEffect) error {
 //
 // What recovery must still deliver: it never wedges or panics. The reopen
 // either fails with a clean error (even the catalog may be gone) or yields
-// a readable state containing only objects the workload ever wrote.
+// a readable state in which every visible object (a) was written by the
+// workload and (b) reads back as SOME state the workload actually put it
+// in — a crash behind a lying fsync may revert an object to any version it
+// ever held (committed, aborted-then-lost-undo, or unacknowledged), but it
+// must never fabricate content that was never written.
 func CheckLied(dir string, m *Model) error {
 	db, err := core.Open(dir, core.Options{})
 	if err != nil {
@@ -488,12 +525,36 @@ func CheckLied(dir string, m *Model) error {
 			if !m.Ever[oid] {
 				return fmt.Errorf("lie recovery: object %s visible but never written by the workload", oid)
 			}
-			if _, err := db.FetchObject(oid); err != nil {
+			obj, err := db.FetchObject(oid)
+			if err != nil {
 				return fmt.Errorf("lie recovery: visible object %s unreadable: %w", oid, err)
+			}
+			states := m.History[oid]
+			matched := false
+			for _, st := range states {
+				if stateMatches(db, obj, st) {
+					matched = true
+					break
+				}
+			}
+			if !matched {
+				return fmt.Errorf("lie recovery: object %s content matches none of its %d recorded states", oid, len(states))
 			}
 		}
 	}
 	return nil
+}
+
+// stateMatches reports whether obj reads back equal to one recorded
+// historical state on every attribute that state set.
+func stateMatches(db *core.DB, obj *model.Object, st map[string]model.Value) bool {
+	for name, want := range st {
+		got, err := db.AttrValue(obj, name)
+		if err != nil || model.Compare(got, want) != 0 {
+			return false
+		}
+	}
+	return true
 }
 
 func cloneObjects(objs map[model.OID]map[string]model.Value) map[model.OID]map[string]model.Value {

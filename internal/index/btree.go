@@ -96,6 +96,7 @@ func (l *leaf) insert(key []byte, oid model.OID, t *Tree) ([]byte, node) {
 	l.keys = l.keys[:mid:mid]
 	l.posts = l.posts[:mid:mid]
 	l.next = right
+	mLeafSplits.Add(1)
 	return right.keys[0], right
 }
 
@@ -122,19 +123,25 @@ func (in *inner) insert(key []byte, oid model.OID, t *Tree) ([]byte, node) {
 	}
 	in.keys = in.keys[:mid:mid]
 	in.children = in.children[: mid+1 : mid+1]
+	mInnerSplit.Add(1)
 	return sepUp, r
 }
 
-// findLeaf descends to the leaf that would contain key.
+// findLeaf descends to the leaf that would contain key, recording the
+// probe depth (levels visited, leaf included).
 func (t *Tree) findLeaf(key []byte) *leaf {
 	n := t.root
+	depth := uint64(1)
 	for {
 		switch v := n.(type) {
 		case *leaf:
+			mProbeDepth.Observe(depth)
+			mProbes.Add(1)
 			return v
 		case *inner:
 			i := sort.Search(len(v.keys), func(i int) bool { return bytes.Compare(key, v.keys[i]) < 0 })
 			n = v.children[i]
+			depth++
 		}
 	}
 }

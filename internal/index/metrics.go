@@ -1,0 +1,13 @@
+package index
+
+import (
+	"oodb/internal/obs"
+)
+
+// Index metrics (obs registry).
+var (
+	mProbeDepth = obs.RegisterHistogram("index_probe_depth_levels")
+	mProbes     = obs.RegisterCounter("index_probe_lookups_total")
+	mLeafSplits = obs.RegisterCounter("index_node_splits_leaf")
+	mInnerSplit = obs.RegisterCounter("index_node_splits_inner")
+)

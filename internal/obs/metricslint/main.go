@@ -1,0 +1,135 @@
+// Command metricslint statically checks every obs.Register* call site in
+// the repository: the metric name must be a string literal following the
+// layer_subsystem_name convention (at least three lowercase segments
+// joined by underscores), and no name may be registered twice anywhere in
+// the tree. Run from the module root (`make metrics-lint`, part of
+// `make verify`); exits non-zero with one line per violation.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+var nameRE = regexp.MustCompile(`^[a-z][a-z0-9]*(_[a-z0-9]+){2,}$`)
+
+// registerFuncs are the registration entry points whose first argument is
+// a metric name.
+var registerFuncs = map[string]bool{
+	"RegisterCounter":   true,
+	"RegisterGauge":     true,
+	"RegisterHistogram": true,
+}
+
+type site struct {
+	pos  token.Position
+	name string
+}
+
+func main() {
+	root := "."
+	if len(os.Args) > 1 {
+		root = os.Args[1]
+	}
+	var sites []site
+	var problems []string
+	fset := token.NewFileSet()
+
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if name == "testdata" || strings.HasPrefix(name, ".") && path != root {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") {
+			return nil
+		}
+		file, err := parser.ParseFile(fset, path, nil, parser.SkipObjectResolution)
+		if err != nil {
+			problems = append(problems, fmt.Sprintf("%s: parse error: %v", path, err))
+			return nil
+		}
+		// The obs package itself (and this linter) define and test the
+		// registration API; only consumers are linted.
+		if file.Name.Name == "obs" || file.Name.Name == "main" && strings.Contains(path, "metricslint") {
+			return nil
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || !registerFuncs[sel.Sel.Name] {
+				return true
+			}
+			// Match both obs.RegisterX and registry.RegisterX.
+			if len(call.Args) == 0 {
+				return true
+			}
+			pos := fset.Position(call.Pos())
+			lit, ok := call.Args[0].(*ast.BasicLit)
+			if !ok || lit.Kind != token.STRING {
+				problems = append(problems, fmt.Sprintf(
+					"%s: %s: metric name must be a string literal (lintable at build time)", pos, sel.Sel.Name))
+				return true
+			}
+			name, err := strconv.Unquote(lit.Value)
+			if err != nil {
+				problems = append(problems, fmt.Sprintf("%s: unquote %s: %v", pos, lit.Value, err))
+				return true
+			}
+			if !nameRE.MatchString(name) {
+				problems = append(problems, fmt.Sprintf(
+					"%s: metric %q violates layer_subsystem_name (≥3 lowercase segments)", pos, name))
+			}
+			sites = append(sites, site{pos: pos, name: name})
+			return true
+		})
+		return nil
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "metricslint: %v\n", err)
+		os.Exit(2)
+	}
+
+	seen := make(map[string]token.Position)
+	sort.Slice(sites, func(i, j int) bool {
+		if sites[i].pos.Filename != sites[j].pos.Filename {
+			return sites[i].pos.Filename < sites[j].pos.Filename
+		}
+		return sites[i].pos.Offset < sites[j].pos.Offset
+	})
+	for _, s := range sites {
+		if prev, dup := seen[s.name]; dup {
+			problems = append(problems, fmt.Sprintf(
+				"%s: metric %q already registered at %s", s.pos, s.name, prev))
+			continue
+		}
+		seen[s.name] = s.pos
+	}
+
+	if len(problems) > 0 {
+		sort.Strings(problems)
+		for _, p := range problems {
+			fmt.Fprintln(os.Stderr, p)
+		}
+		fmt.Fprintf(os.Stderr, "metricslint: %d problem(s)\n", len(problems))
+		os.Exit(1)
+	}
+	fmt.Printf("metricslint: %d registration site(s) clean\n", len(sites))
+}

@@ -1,0 +1,361 @@
+// Package obs is kimdb's zero-dependency observability core: a
+// process-wide registry of atomic, lock-striped counters, gauges and
+// power-of-two-bucket histograms cheap enough for the page-fetch path,
+// plus lightweight span tracing (span.go) used by the query executor for
+// EXPLAIN ANALYZE.
+//
+// Design constraints (see DESIGN.md §Observability):
+//
+//   - A disabled metric costs one atomic load. An enabled counter costs
+//     one atomic load plus one striped atomic add; an enabled histogram
+//     costs one load plus three adds. No locks, no allocation, no map
+//     lookups on the hot path: metrics are registered once as package
+//     variables and updated through the returned pointer.
+//   - Counters are striped across padded cells (one cache line each) so
+//     concurrent writers on different cores do not ping-pong a line.
+//   - Names follow the layer_subsystem_name convention — at least three
+//     lowercase segments joined by underscores — enforced statically by
+//     internal/obs/metricslint (the `make metrics-lint` step) and at
+//     registration time by a panic.
+package obs
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"regexp"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"unsafe"
+)
+
+// enabled is the global hot-path switch. Metrics default to on: the whole
+// point of the striped design is that leaving them on is affordable.
+var enabled atomic.Bool
+
+func init() { enabled.Store(true) }
+
+// SetEnabled turns metric collection on or off process-wide. Disabled
+// metrics cost a single atomic load per call site (benchmarked by
+// BenchmarkObsOverhead in internal/storage).
+func SetEnabled(on bool) { enabled.Store(on) }
+
+// Enabled reports whether metric collection is on.
+func Enabled() bool { return enabled.Load() }
+
+// numCells is the stripe width of a counter. Power of two.
+const numCells = 8
+
+// cell is one counter stripe, padded to a cache line.
+type cell struct {
+	v atomic.Uint64
+	_ [56]byte
+}
+
+// stripeIdx picks a stripe for the calling goroutine. Goroutine stacks
+// live at least a page apart, so the address of a local, shifted past the
+// in-frame bits, is a cheap goroutine-stable hash. Collisions only cost
+// sharing a cell — correctness never depends on the distribution.
+func stripeIdx() int {
+	var b byte
+	return int(uintptr(unsafe.Pointer(&b))>>10) & (numCells - 1)
+}
+
+// Counter is a monotonically increasing, lock-striped counter.
+type Counter struct {
+	name  string
+	cells [numCells]cell
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n uint64) {
+	if !enabled.Load() {
+		return
+	}
+	c.cells[stripeIdx()].v.Add(n)
+}
+
+// Value sums the stripes. Not a consistent snapshot under concurrent
+// writers, like any set of independently read atomics; the error is at
+// most the writes in flight during the read.
+func (c *Counter) Value() uint64 {
+	var sum uint64
+	for i := range c.cells {
+		sum += c.cells[i].v.Load()
+	}
+	return sum
+}
+
+// Name returns the registered metric name.
+func (c *Counter) Name() string { return c.name }
+
+// Gauge is a settable instantaneous value.
+type Gauge struct {
+	name string
+	v    atomic.Int64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) {
+	if !enabled.Load() {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Add adjusts the gauge by n (may be negative).
+func (g *Gauge) Add(n int64) {
+	if !enabled.Load() {
+		return
+	}
+	g.v.Add(n)
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Name returns the registered metric name.
+func (g *Gauge) Name() string { return g.name }
+
+// Histogram is a fixed-shape histogram with power-of-two buckets: bucket
+// i counts observations v with bits.Len64(v) == i, i.e. bucket 0 holds 0
+// and bucket i≥1 holds [2^(i-1), 2^i). Observing is three atomic adds;
+// there is nothing to configure and nothing to allocate.
+type Histogram struct {
+	name    string
+	buckets [65]atomic.Uint64 // bits.Len64 ∈ [0,64]
+	sum     atomic.Uint64
+	count   atomic.Uint64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v uint64) {
+	if !enabled.Load() {
+		return
+	}
+	h.buckets[bits.Len64(v)].Add(1)
+	h.sum.Add(v)
+	h.count.Add(1)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() uint64 { return h.sum.Load() }
+
+// Mean returns the arithmetic mean of observations (0 if none).
+func (h *Histogram) Mean() float64 {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return float64(h.sum.Load()) / float64(n)
+}
+
+// Quantile estimates the q-quantile (0 < q ≤ 1) as the upper bound of the
+// bucket containing that rank. The estimate is exact to within one power
+// of two — the resolution the bucket shape buys.
+func (h *Histogram) Quantile(q float64) uint64 {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := uint64(math.Ceil(q * float64(total)))
+	if rank == 0 {
+		rank = 1
+	}
+	var cum uint64
+	for i := range h.buckets {
+		cum += h.buckets[i].Load()
+		if cum >= rank {
+			return bucketUpper(i)
+		}
+	}
+	return bucketUpper(64)
+}
+
+// bucketUpper is the largest value bucket i can hold.
+func bucketUpper(i int) uint64 {
+	if i == 0 {
+		return 0
+	}
+	if i >= 64 {
+		return math.MaxUint64
+	}
+	return (uint64(1) << i) - 1
+}
+
+// Name returns the registered metric name.
+func (h *Histogram) Name() string { return h.name }
+
+// Registry holds named metrics. Registration happens at package-init time
+// through the returned typed pointers; the maps are never touched on a
+// hot path.
+type Registry struct {
+	mu         sync.RWMutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*Histogram),
+	}
+}
+
+// defaultRegistry is the process-wide registry behind the package-level
+// Register* functions.
+var defaultRegistry = NewRegistry()
+
+// Default returns the process-wide registry.
+func Default() *Registry { return defaultRegistry }
+
+// nameRE is the layer_subsystem_name convention: at least three lowercase
+// alphanumeric segments joined by single underscores.
+var nameRE = regexp.MustCompile(`^[a-z][a-z0-9]*(_[a-z0-9]+){2,}$`)
+
+// checkName panics on a malformed or duplicate name. Registration runs at
+// package init, so a violation is a programming error surfaced at first
+// test run (and statically by metricslint before that).
+func (r *Registry) checkName(name string) {
+	if !nameRE.MatchString(name) {
+		panic(fmt.Sprintf("obs: metric %q violates the layer_subsystem_name convention", name))
+	}
+	if _, ok := r.counters[name]; ok {
+		panic(fmt.Sprintf("obs: duplicate metric registration %q", name))
+	}
+	if _, ok := r.gauges[name]; ok {
+		panic(fmt.Sprintf("obs: duplicate metric registration %q", name))
+	}
+	if _, ok := r.histograms[name]; ok {
+		panic(fmt.Sprintf("obs: duplicate metric registration %q", name))
+	}
+}
+
+// RegisterCounter registers a counter in the registry.
+func (r *Registry) RegisterCounter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.checkName(name)
+	c := &Counter{name: name}
+	r.counters[name] = c
+	return c
+}
+
+// RegisterGauge registers a gauge in the registry.
+func (r *Registry) RegisterGauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.checkName(name)
+	g := &Gauge{name: name}
+	r.gauges[name] = g
+	return g
+}
+
+// RegisterHistogram registers a histogram in the registry.
+func (r *Registry) RegisterHistogram(name string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.checkName(name)
+	h := &Histogram{name: name}
+	r.histograms[name] = h
+	return h
+}
+
+// RegisterCounter registers a counter in the default registry.
+func RegisterCounter(name string) *Counter { return defaultRegistry.RegisterCounter(name) }
+
+// RegisterGauge registers a gauge in the default registry.
+func RegisterGauge(name string) *Gauge { return defaultRegistry.RegisterGauge(name) }
+
+// RegisterHistogram registers a histogram in the default registry.
+func RegisterHistogram(name string) *Histogram { return defaultRegistry.RegisterHistogram(name) }
+
+// Bucket is one non-empty histogram bucket in a snapshot: N observations
+// with value ≤ Le (and greater than the previous bucket's Le).
+type Bucket struct {
+	Le uint64 `json:"le"`
+	N  uint64 `json:"n"`
+}
+
+// HistogramSnapshot is the frozen state of one histogram.
+type HistogramSnapshot struct {
+	Count   uint64   `json:"count"`
+	Sum     uint64   `json:"sum"`
+	Mean    float64  `json:"mean"`
+	P50     uint64   `json:"p50"`
+	P90     uint64   `json:"p90"`
+	P99     uint64   `json:"p99"`
+	Buckets []Bucket `json:"buckets,omitempty"`
+}
+
+// Snapshot is a frozen view of every registered metric, typed and
+// JSON-serializable. Map iteration order is irrelevant; rendered forms
+// sort by name.
+type Snapshot struct {
+	Counters   map[string]uint64            `json:"counters"`
+	Gauges     map[string]int64             `json:"gauges"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+}
+
+// Snapshot freezes the registry. Each metric is read atomically; the set
+// as a whole is as consistent as independently read atomics can be.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	s := Snapshot{
+		Counters:   make(map[string]uint64, len(r.counters)),
+		Gauges:     make(map[string]int64, len(r.gauges)),
+		Histograms: make(map[string]HistogramSnapshot, len(r.histograms)),
+	}
+	for name, c := range r.counters {
+		s.Counters[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = g.Value()
+	}
+	for name, h := range r.histograms {
+		hs := HistogramSnapshot{
+			Count: h.Count(),
+			Sum:   h.Sum(),
+			Mean:  h.Mean(),
+			P50:   h.Quantile(0.50),
+			P90:   h.Quantile(0.90),
+			P99:   h.Quantile(0.99),
+		}
+		for i := range h.buckets {
+			if n := h.buckets[i].Load(); n > 0 {
+				hs.Buckets = append(hs.Buckets, Bucket{Le: bucketUpper(i), N: n})
+			}
+		}
+		s.Histograms[name] = hs
+	}
+	return s
+}
+
+// TakeSnapshot freezes the default registry.
+func TakeSnapshot() Snapshot { return defaultRegistry.Snapshot() }
+
+// Names returns every registered metric name, sorted.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	names := make([]string, 0, len(r.counters)+len(r.gauges)+len(r.histograms))
+	for n := range r.counters {
+		names = append(names, n)
+	}
+	for n := range r.gauges {
+		names = append(names, n)
+	}
+	for n := range r.histograms {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

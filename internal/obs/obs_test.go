@@ -1,0 +1,218 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterConcurrent(t *testing.T) {
+	r := NewRegistry()
+	c := r.RegisterCounter("test_counter_adds")
+	const workers, each = 8, 10000
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < each; j++ {
+				c.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != workers*each {
+		t.Fatalf("counter = %d, want %d", got, workers*each)
+	}
+}
+
+func TestDisabledMetricsAreInert(t *testing.T) {
+	r := NewRegistry()
+	c := r.RegisterCounter("test_disabled_counter")
+	g := r.RegisterGauge("test_disabled_gauge")
+	h := r.RegisterHistogram("test_disabled_hist")
+	SetEnabled(false)
+	defer SetEnabled(true)
+	c.Add(5)
+	g.Set(9)
+	h.Observe(100)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 {
+		t.Fatalf("disabled metrics recorded: c=%d g=%d h=%d", c.Value(), g.Value(), h.Count())
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	r := NewRegistry()
+	h := r.RegisterHistogram("test_hist_quantiles")
+	// 99 observations of 100 (bucket upper bound 127), one of 100000.
+	for i := 0; i < 99; i++ {
+		h.Observe(100)
+	}
+	h.Observe(100000)
+	if h.Count() != 100 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if got := h.Quantile(0.50); got != 127 {
+		t.Fatalf("p50 = %d, want 127", got)
+	}
+	p99 := h.Quantile(0.99)
+	if p99 != 127 {
+		t.Fatalf("p99 = %d, want 127 (rank 99 of 100 is still the low bucket)", p99)
+	}
+	p100 := h.Quantile(1.0)
+	if p100 < 100000 {
+		t.Fatalf("p100 = %d, want ≥ 100000", p100)
+	}
+	if mean := h.Mean(); mean < 1000 || mean > 1200 {
+		t.Fatalf("mean = %f, want ≈ 1099", mean)
+	}
+}
+
+func TestHistogramBucketEdges(t *testing.T) {
+	r := NewRegistry()
+	h := r.RegisterHistogram("test_hist_edges")
+	h.Observe(0)
+	if got := h.Quantile(1.0); got != 0 {
+		t.Fatalf("quantile of single zero = %d, want 0", got)
+	}
+	h.Observe(1)
+	h.Observe(2)
+	h.Observe(3)
+	if got := h.Quantile(1.0); got != 3 {
+		t.Fatalf("max quantile = %d, want 3", got)
+	}
+}
+
+func TestRegistryRejectsBadNames(t *testing.T) {
+	cases := []string{"twosegs_only", "Upper_case_name", "has space_x_y", "", "a__b_c"}
+	for _, name := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("name %q: expected panic", name)
+				}
+			}()
+			NewRegistry().RegisterCounter(name)
+		}()
+	}
+}
+
+func TestRegistryRejectsDuplicates(t *testing.T) {
+	r := NewRegistry()
+	r.RegisterCounter("dup_metric_name")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on duplicate registration")
+		}
+	}()
+	r.RegisterHistogram("dup_metric_name") // cross-kind duplicates rejected too
+}
+
+func TestSnapshotAndHandler(t *testing.T) {
+	r := NewRegistry()
+	c := r.RegisterCounter("snap_counter_one")
+	g := r.RegisterGauge("snap_gauge_one")
+	h := r.RegisterHistogram("snap_hist_one")
+	c.Add(7)
+	g.Set(-3)
+	h.Observe(10)
+	h.Observe(20)
+
+	s := r.Snapshot()
+	if s.Counters["snap_counter_one"] != 7 {
+		t.Fatalf("counter snapshot = %d", s.Counters["snap_counter_one"])
+	}
+	if s.Gauges["snap_gauge_one"] != -3 {
+		t.Fatalf("gauge snapshot = %d", s.Gauges["snap_gauge_one"])
+	}
+	hs := s.Histograms["snap_hist_one"]
+	if hs.Count != 2 || hs.Sum != 30 || hs.Mean != 15 {
+		t.Fatalf("hist snapshot = %+v", hs)
+	}
+
+	rec := httptest.NewRecorder()
+	Handler(r).ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	var decoded Snapshot
+	if err := json.Unmarshal(rec.Body.Bytes(), &decoded); err != nil {
+		t.Fatalf("handler JSON: %v", err)
+	}
+	if decoded.Counters["snap_counter_one"] != 7 {
+		t.Fatalf("handler counter = %d", decoded.Counters["snap_counter_one"])
+	}
+
+	names := r.Names()
+	if len(names) != 3 || names[0] != "snap_counter_one" {
+		t.Fatalf("names = %v", names)
+	}
+}
+
+func TestSpanTree(t *testing.T) {
+	root := StartSpan("query")
+	root.Add("rows", 10)
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := root.Child("scan")
+			c.Add("rows_scanned", 25)
+			c.End()
+		}()
+	}
+	wg.Wait()
+	root.End()
+
+	if root.Count("rows") != 10 {
+		t.Fatalf("root counter = %d", root.Count("rows"))
+	}
+	kids := root.Children()
+	if len(kids) != 4 {
+		t.Fatalf("children = %d, want 4", len(kids))
+	}
+	for _, k := range kids {
+		if k.Parent() != root {
+			t.Fatal("child parent link broken")
+		}
+		if k.Count("rows_scanned") != 25 {
+			t.Fatalf("child counter = %d", k.Count("rows_scanned"))
+		}
+	}
+	out := root.Render()
+	if !strings.Contains(out, "query rows=10") || strings.Count(out, "scan rows_scanned=25") != 4 {
+		t.Fatalf("render:\n%s", out)
+	}
+	if root.Duration() <= 0 {
+		t.Fatal("duration not recorded")
+	}
+}
+
+func TestNilSpanIsSafe(t *testing.T) {
+	var s *Span
+	c := s.Child("x")
+	if c != nil {
+		t.Fatal("nil span Child must return nil")
+	}
+	s.Add("k", 1)
+	s.Set("k", 2)
+	s.End()
+	if s.Render() != "" || s.Duration() != 0 || s.Count("k") != 0 || s.Name() != "" || s.Parent() != nil || s.Children() != nil {
+		t.Fatal("nil span leaked state")
+	}
+}
+
+func TestSpanDurationBeforeEnd(t *testing.T) {
+	s := StartSpan("live")
+	time.Sleep(time.Millisecond)
+	if s.Duration() <= 0 {
+		t.Fatal("live span duration should be positive")
+	}
+	s.End()
+	d := s.Duration()
+	time.Sleep(time.Millisecond)
+	if s.Duration() != d {
+		t.Fatal("ended span duration must be frozen")
+	}
+}

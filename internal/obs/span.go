@@ -1,0 +1,180 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Span is one timed node in an execution trace: it has a parent link,
+// child spans, a start/stop pair and a set of named per-span counters.
+// The query executor builds a span tree per traced query and renders it
+// as the EXPLAIN ANALYZE annotation.
+//
+// Every method is safe to call on a nil *Span and does nothing — the
+// executor threads a span through unconditionally and passes nil when the
+// query is not being traced, so the untraced path pays only nil checks.
+// A span's children may be created and finished from concurrent
+// goroutines (the parallel hierarchy scan does exactly that); the
+// counters and child list are guarded by the span's mutex.
+type Span struct {
+	name  string
+	start time.Time
+
+	mu       sync.Mutex
+	dur      time.Duration
+	ended    bool
+	parent   *Span
+	children []*Span
+	counts   map[string]int64
+}
+
+// StartSpan begins a new root span.
+func StartSpan(name string) *Span {
+	return &Span{name: name, start: time.Now()}
+}
+
+// Child begins a sub-span. Returns nil if s is nil.
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	c := &Span{name: name, start: time.Now(), parent: s}
+	s.mu.Lock()
+	s.children = append(s.children, c)
+	s.mu.Unlock()
+	return c
+}
+
+// End stops the span's clock. Subsequent Ends are no-ops.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if !s.ended {
+		s.ended = true
+		s.dur = time.Since(s.start)
+	}
+	s.mu.Unlock()
+}
+
+// Add increments the named per-span counter by n.
+func (s *Span) Add(key string, n int64) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.counts == nil {
+		s.counts = make(map[string]int64)
+	}
+	s.counts[key] += n
+	s.mu.Unlock()
+}
+
+// Set stores n as the named per-span counter.
+func (s *Span) Set(key string, n int64) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.counts == nil {
+		s.counts = make(map[string]int64)
+	}
+	s.counts[key] = n
+	s.mu.Unlock()
+}
+
+// Name returns the span's name ("" for nil).
+func (s *Span) Name() string {
+	if s == nil {
+		return ""
+	}
+	return s.name
+}
+
+// Parent returns the parent span (nil for a root or nil span).
+func (s *Span) Parent() *Span {
+	if s == nil {
+		return nil
+	}
+	return s.parent
+}
+
+// Duration returns the measured duration; if the span has not Ended, the
+// time elapsed so far.
+func (s *Span) Duration() time.Duration {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ended {
+		return s.dur
+	}
+	return time.Since(s.start)
+}
+
+// Count returns the value of a per-span counter (0 if unset or nil span).
+func (s *Span) Count(key string) int64 {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.counts[key]
+}
+
+// Children returns a copy of the child list in creation order.
+func (s *Span) Children() []*Span {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*Span, len(s.children))
+	copy(out, s.children)
+	return out
+}
+
+// Render formats the span tree as indented text, one line per span:
+//
+//	name key=value key=value [duration]
+//	  child ...
+//
+// Counter keys sort lexicographically so the output is stable.
+func (s *Span) Render() string {
+	if s == nil {
+		return ""
+	}
+	var b strings.Builder
+	s.render(&b, 0)
+	return b.String()
+}
+
+func (s *Span) render(b *strings.Builder, depth int) {
+	s.mu.Lock()
+	dur := s.dur
+	if !s.ended {
+		dur = time.Since(s.start)
+	}
+	keys := make([]string, 0, len(s.counts))
+	for k := range s.counts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	b.WriteString(strings.Repeat("  ", depth))
+	b.WriteString(s.name)
+	for _, k := range keys {
+		fmt.Fprintf(b, " %s=%d", k, s.counts[k])
+	}
+	fmt.Fprintf(b, " [%s]\n", dur.Round(time.Microsecond))
+	children := make([]*Span, len(s.children))
+	copy(children, s.children)
+	s.mu.Unlock()
+	for _, c := range children {
+		c.render(b, depth+1)
+	}
+}

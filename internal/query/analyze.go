@@ -1,0 +1,53 @@
+package query
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"oodb/internal/core"
+	"oodb/internal/obs"
+)
+
+// ExplainAnalyze parses, plans and EXECUTES src inside tx, returning the
+// plan annotated with per-stage execution statistics: per-class rows
+// scanned and matched, index probe counts, parallel fan-out width, sort /
+// aggregate / projection timings, and the buffer pool hits and misses the
+// query incurred.
+//
+// The buffer figures come from the process-wide pool counters sampled
+// before and after execution, so concurrent activity on other connections
+// can inflate them; on an otherwise quiet database they are exact.
+func (e *Engine) ExplainAnalyze(tx *core.Tx, src string) (string, error) {
+	q, err := Parse(src)
+	if err != nil {
+		return "", err
+	}
+	p, err := e.PlanQuery(q)
+	if err != nil {
+		return "", err
+	}
+	hits0, misses0 := e.db.Store.PoolStats()
+	span := obs.StartSpan("query")
+	t0 := time.Now()
+	res, err := e.execute(tx, p, span)
+	elapsed := time.Since(t0)
+	span.End()
+	if err != nil {
+		return "", err
+	}
+	hits1, misses1 := e.db.Store.PoolStats()
+	dh, dm := hits1-hits0, misses1-misses0
+
+	var b strings.Builder
+	b.WriteString(p.String())
+	b.WriteByte('\n')
+	fmt.Fprintf(&b, "rows=%d time=%s\n", len(res.Rows), elapsed.Round(time.Microsecond))
+	var ratio float64
+	if dh+dm > 0 {
+		ratio = float64(dh) / float64(dh+dm)
+	}
+	fmt.Fprintf(&b, "buffer: hits=%d misses=%d hit_ratio=%.2f\n", dh, dm, ratio)
+	b.WriteString(span.Render())
+	return b.String(), nil
+}

@@ -1,0 +1,66 @@
+package query
+
+import (
+	"strings"
+	"testing"
+
+	"oodb/internal/model"
+)
+
+func TestExplainAnalyzeHierarchyScan(t *testing.T) {
+	f := newFigure1(t)
+	tx := f.db.Begin()
+	defer tx.Commit()
+	out, err := f.eng.ExplainAnalyze(tx, `SELECT * FROM Vehicle WHERE weight > 6000`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The annotation carries the plan line, the result size, the buffer
+	// figures and a per-class scan breakdown over the whole hierarchy.
+	for _, w := range []string{
+		"scope=Vehicle(4 classes)",
+		"rows=4",
+		"buffer: hits=",
+		"query",
+		"rows_scanned=",
+		"rows_matched=",
+	} {
+		if !strings.Contains(out, w) {
+			t.Fatalf("ExplainAnalyze output missing %q:\n%s", w, out)
+		}
+	}
+	// Every scope class appears as a scan child span.
+	for _, class := range []string{"Vehicle", "Automobile", "Truck", "DomesticAutomobile"} {
+		if !strings.Contains(out, "scan "+class) {
+			t.Fatalf("ExplainAnalyze output missing scan span for %s:\n%s", class, out)
+		}
+	}
+}
+
+func TestExplainAnalyzeIndexProbe(t *testing.T) {
+	f := newFigure1(t)
+	if err := f.db.CreateIndex("vw", mustClass(t, f, "Vehicle"), []string{"weight"}, true); err != nil {
+		t.Fatal(err)
+	}
+	tx := f.db.Begin()
+	defer tx.Commit()
+	out, err := f.eng.ExplainAnalyze(tx, `SELECT * FROM Vehicle WHERE weight = 9000`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "probe vw") {
+		t.Fatalf("ExplainAnalyze output missing index probe span:\n%s", out)
+	}
+	if !strings.Contains(out, "rows=1") {
+		t.Fatalf("ExplainAnalyze output missing rows=1:\n%s", out)
+	}
+}
+
+func mustClass(t *testing.T, f *figure1, name string) model.ClassID {
+	t.Helper()
+	cl, err := f.db.Catalog.ClassByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cl.ID
+}

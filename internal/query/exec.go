@@ -9,6 +9,7 @@ import (
 
 	"oodb/internal/core"
 	"oodb/internal/model"
+	"oodb/internal/obs"
 )
 
 // Row is one result object with its projected values.
@@ -53,6 +54,15 @@ func (e *Engine) Explain(src string) (string, error) {
 // Execute runs a compiled plan inside tx. The scope classes are locked
 // shared for the duration of the transaction (strict 2PL).
 func (e *Engine) Execute(tx *core.Tx, p *Plan) (*Result, error) {
+	return e.execute(tx, p, nil)
+}
+
+// execute is Execute with an optional trace span: ExplainAnalyze passes a
+// root span and every stage hangs per-stage child spans (with row and
+// probe counters) off it; the normal path passes nil, which every span
+// method treats as a no-op.
+func (e *Engine) execute(tx *core.Tx, p *Plan, span *obs.Span) (*Result, error) {
+	mQueriesTotal.Add(1)
 	if err := tx.LockClassScan(p.Scope); err != nil {
 		return nil, err
 	}
@@ -61,13 +71,13 @@ func (e *Engine) Execute(tx *core.Tx, p *Plan) (*Result, error) {
 	switch p.kind {
 	case accessScan:
 		var err error
-		rows, err = e.scanRows(tx, p)
+		rows, err = e.scanRows(tx, p, span)
 		if err != nil {
 			return nil, err
 		}
 	default:
 		var err error
-		rows, err = e.probeRows(p)
+		rows, err = e.probeRows(p, span)
 		if err != nil {
 			return nil, err
 		}
@@ -75,10 +85,13 @@ func (e *Engine) Execute(tx *core.Tx, p *Plan) (*Result, error) {
 
 	// ORDER BY.
 	if p.Query.OrderBy != nil {
+		sortSpan := span.Child("sort")
+		sortSpan.Set("rows_in", int64(len(rows)))
 		keys := make([]model.Value, len(rows))
 		for i := range rows {
 			v, err := e.evalPath(rows[i].Object, p.Query.OrderBy.Steps)
 			if err != nil {
+				sortSpan.End()
 				return nil, err
 			}
 			keys[i] = v
@@ -100,6 +113,7 @@ func (e *Engine) Execute(tx *core.Tx, p *Plan) (*Result, error) {
 			sorted[i] = rows[j]
 		}
 		rows = sorted
+		sortSpan.End()
 	}
 	if p.Query.Limit > 0 && len(rows) > p.Query.Limit {
 		rows = rows[:p.Query.Limit]
@@ -107,8 +121,16 @@ func (e *Engine) Execute(tx *core.Tx, p *Plan) (*Result, error) {
 
 	// Aggregates collapse the result to a single row.
 	if len(p.Query.Aggregates) > 0 {
-		return e.aggregate(p, rows)
+		aggSpan := span.Child("aggregate")
+		aggSpan.Set("rows_in", int64(len(rows)))
+		res, err := e.aggregate(p, rows)
+		aggSpan.End()
+		return res, err
 	}
+
+	projSpan := span.Child("project")
+	projSpan.Set("rows_out", int64(len(rows)))
+	defer projSpan.End()
 
 	// Projection. One backing array serves every row's Values slice: the
 	// result set is assembled and consumed together, so per-row slices
@@ -166,23 +188,32 @@ func (e *Engine) matches(p *Plan, obj *model.Object) (bool, error) {
 // per-class scans, and the scope's S locks are already held, so the scans
 // share nothing but the storage layer. Per-class results are concatenated
 // in scope order, which makes the output identical to a sequential pass.
-func (e *Engine) scanRows(tx *core.Tx, p *Plan) ([]Row, error) {
+func (e *Engine) scanRows(tx *core.Tx, p *Plan, span *obs.Span) ([]Row, error) {
 	limit := earlyLimit(p)
 	if e.SerialScan || len(p.Scope) == 1 {
 		var rows []Row
 		for _, class := range p.Scope {
+			cs := span.Child("scan " + e.className(class))
+			var scanned, matched uint64
 			var ierr error
 			err := tx.ScanLocked(class, func(obj *model.Object) bool {
+				scanned++
 				ok, merr := e.matches(p, obj)
 				if merr != nil {
 					ierr = merr
 					return false
 				}
 				if ok {
+					matched++
 					rows = append(rows, Row{OID: obj.OID, Object: obj})
 				}
 				return limit == 0 || len(rows) < limit
 			})
+			mRowsScanned.Add(scanned)
+			mRowsMatched.Add(matched)
+			cs.Set("rows_scanned", int64(scanned))
+			cs.Set("rows_matched", int64(matched))
+			cs.End()
 			if err != nil {
 				return nil, err
 			}
@@ -190,12 +221,16 @@ func (e *Engine) scanRows(tx *core.Tx, p *Plan) ([]Row, error) {
 				return nil, ierr
 			}
 			if limit > 0 && len(rows) >= limit {
+				mEarlyExits.Add(1)
+				span.Set("limit_early_exit", 1)
 				break
 			}
 		}
 		return rows, nil
 	}
 
+	mFanoutWidth.Observe(uint64(len(p.Scope)))
+	span.Set("fanout_width", int64(len(p.Scope)))
 	perClass := make([][]Row, len(p.Scope))
 	errs := make([]error, len(p.Scope))
 	// full is the smallest scope index whose class alone satisfied the
@@ -214,18 +249,23 @@ func (e *Engine) scanRows(tx *core.Tx, p *Plan) ([]Row, error) {
 			if int64(i) > full.Load() {
 				return
 			}
+			cs := span.Child("scan " + e.className(class))
+			defer cs.End()
+			var scanned, matched uint64
 			var mine []Row
 			var ierr error
 			errs[i] = tx.ScanLocked(class, func(obj *model.Object) bool {
 				if int64(i) > full.Load() {
 					return false
 				}
+				scanned++
 				ok, merr := e.matches(p, obj)
 				if merr != nil {
 					ierr = merr
 					return false
 				}
 				if ok {
+					matched++
 					mine = append(mine, Row{OID: obj.OID, Object: obj})
 					if limit > 0 && len(mine) >= limit {
 						for {
@@ -234,11 +274,16 @@ func (e *Engine) scanRows(tx *core.Tx, p *Plan) ([]Row, error) {
 								break
 							}
 						}
+						mEarlyExits.Add(1)
 						return false
 					}
 				}
 				return true
 			})
+			mRowsScanned.Add(scanned)
+			mRowsMatched.Add(matched)
+			cs.Set("rows_scanned", int64(scanned))
+			cs.Set("rows_matched", int64(matched))
 			if errs[i] == nil {
 				errs[i] = ierr
 			}
@@ -265,7 +310,7 @@ func (e *Engine) scanRows(tx *core.Tx, p *Plan) ([]Row, error) {
 // BY the probe stops as soon as enough rows matched, instead of
 // materializing every candidate OID and truncating afterwards (the same
 // early exit the heap-scan path has).
-func (e *Engine) probeRows(p *Plan) ([]Row, error) {
+func (e *Engine) probeRows(p *Plan, span *obs.Span) ([]Row, error) {
 	scopeSet := make(map[model.ClassID]bool, len(p.Scope))
 	for _, c := range p.Scope {
 		scopeSet[c] = true
@@ -274,33 +319,53 @@ func (e *Engine) probeRows(p *Plan) ([]Row, error) {
 	var rows []Row
 	seen := make(map[model.OID]bool)
 	for _, idx := range p.indexes {
+		ps := span.Child("probe " + idx.Name)
+		mIndexProbes.Add(1)
 		var oids []model.OID
 		if !p.probe.IsNull() {
 			oids = idx.Lookup(p.probe, scopeSet)
 		} else {
 			oids = idx.Range(p.lo, p.hi, p.hiInc, scopeSet)
 		}
+		var examined, matched uint64
 		for _, oid := range oids {
 			if seen[oid] {
 				continue
 			}
 			seen[oid] = true
+			examined++
 			obj, err := e.db.FetchObject(oid)
 			if err != nil {
 				continue // unindexed race or dangling entry: skip
 			}
 			ok, err := e.matches(p, obj)
 			if err != nil {
+				ps.Set("rows_examined", int64(examined))
+				ps.Set("rows_matched", int64(matched))
+				ps.End()
 				return nil, err
 			}
 			if !ok {
 				continue
 			}
+			matched++
 			rows = append(rows, Row{OID: obj.OID, Object: obj})
 			if limit > 0 && len(rows) >= limit {
+				mRowsScanned.Add(examined)
+				mRowsMatched.Add(matched)
+				mEarlyExits.Add(1)
+				ps.Set("rows_examined", int64(examined))
+				ps.Set("rows_matched", int64(matched))
+				ps.End()
+				span.Set("limit_early_exit", 1)
 				return rows, nil
 			}
 		}
+		mRowsScanned.Add(examined)
+		mRowsMatched.Add(matched)
+		ps.Set("rows_examined", int64(examined))
+		ps.Set("rows_matched", int64(matched))
+		ps.End()
 	}
 	return rows, nil
 }

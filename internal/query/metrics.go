@@ -1,0 +1,16 @@
+package query
+
+import (
+	"oodb/internal/obs"
+)
+
+// Query-executor metrics (obs registry). Row counts are accumulated
+// locally per scan/probe and added once, not per row.
+var (
+	mRowsScanned  = obs.RegisterCounter("query_scan_rows_examined")
+	mRowsMatched  = obs.RegisterCounter("query_scan_rows_matched")
+	mIndexProbes  = obs.RegisterCounter("query_probe_index_lookups")
+	mEarlyExits   = obs.RegisterCounter("query_limit_early_exits")
+	mFanoutWidth  = obs.RegisterHistogram("query_scan_fanout_width")
+	mQueriesTotal = obs.RegisterCounter("query_exec_statements_total")
+)

@@ -172,6 +172,7 @@ func (d *DiskManager) AllocPage() (PageID, error) {
 			// A torn or clobbered free-list head would otherwise wedge every
 			// allocation forever. Abandon the list — its pages leak, which
 			// only costs space — and fall through to extending the file.
+			mFreeListAbandoned.Add(1)
 			binary.BigEndian.PutUint64(d.meta.buf[metaOffFree:], uint64(InvalidPage))
 			if merr := d.writeMetaLocked(); merr != nil {
 				return InvalidPage, merr
@@ -181,6 +182,7 @@ func (d *DiskManager) AllocPage() (PageID, error) {
 			if err := d.writeMetaLocked(); err != nil {
 				return InvalidPage, err
 			}
+			mFreeListReused.Add(1)
 			return head, nil
 		}
 	}
@@ -211,6 +213,7 @@ func (d *DiskManager) FreePage(id PageID) error {
 		return err
 	}
 	binary.BigEndian.PutUint64(d.meta.buf[metaOffFree:], uint64(id))
+	mFreeListFreed.Add(1)
 	return d.writeMetaLocked()
 }
 

@@ -263,6 +263,7 @@ func (h *Heap) delete(rid RID) error {
 // which no type check can distinguish.
 func (h *Heap) freeIfOverflow(rid RID) error {
 	if h.pool.Recovering() {
+		mOverflowLeaked.Add(1)
 		return nil
 	}
 	p, err := h.pool.Fetch(rid.Page)
@@ -285,11 +286,13 @@ func (h *Heap) freeIfOverflow(rid RID) error {
 		head = PageID(hd)
 	}
 	h.pool.Unpin(rid.Page, false)
+	freed := head != InvalidPage
 	for head != InvalidPage {
 		op, err := h.pool.Fetch(head)
 		if err != nil {
 			// Unreadable chain page: stop and leak the rest. Freeing pages
 			// we cannot verify risks freeing someone else's page.
+			mOverflowLeaked.Add(1)
 			return nil
 		}
 		if op.Type() != pageTypeOverflow {
@@ -299,6 +302,7 @@ func (h *Heap) freeIfOverflow(rid RID) error {
 			// already on the free list — into the free list and a later
 			// alloc would hand it to two owners. Stop; leak the chain.
 			h.pool.Unpin(head, false)
+			mOverflowLeaked.Add(1)
 			return nil
 		}
 		next := op.Next()
@@ -308,6 +312,9 @@ func (h *Heap) freeIfOverflow(rid RID) error {
 			return err
 		}
 		head = next
+	}
+	if freed {
+		mOverflowFrees.Add(1)
 	}
 	return nil
 }
@@ -343,6 +350,7 @@ func (h *Heap) writeOverflow(data []byte) (PageID, error) {
 		prev = id
 		off += chunk
 	}
+	mOverflowWrites.Add(1)
 	return head, nil
 }
 
@@ -482,6 +490,7 @@ func (h *Heap) quarantine(rid RID) error {
 	if err != nil {
 		return fmt.Errorf("storage: quarantine %s: %w", rid, err)
 	}
+	mRecQuarantined.Add(1)
 	return nil
 }
 

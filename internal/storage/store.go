@@ -121,12 +121,33 @@ func (s *Store) CreateSegment(class model.ClassID) error {
 	return nil
 }
 
-// DropSegment deletes a class's segment and every object in it.
-func (s *Store) DropSegment(class model.ClassID) error {
+// DetachedSegment is a segment logically removed from the store — no
+// longer named by the heap map, directory or the next encodeSegTable —
+// whose pages are still allocated on disk. The detach/free split lets DDL
+// order destruction after durability: DropClass detaches inside its
+// critical section, checkpoints (so the catalog and segment table durably
+// stop naming the class), and only then frees the pages. A crash between
+// the checkpoint and the frees merely leaks pages (counted by the
+// accountant, AccountPages); freeing before the checkpoint — the old
+// single-call DropSegment behavior — destroyed committed heap pages in
+// place while the durable metadata still named them, and a crash in that
+// window lost data that predated the last checkpoint and so had no WAL
+// redo to restore it.
+type DetachedSegment struct {
+	heap *Heap
+}
+
+// DetachSegment logically removes a class's segment: the heap mapping,
+// sequence counter and directory entries are deleted, so the next
+// Checkpoint persists a segment table without the class. The segment's
+// pages are untouched; free them with FreeDetached once the metadata that
+// stopped naming them is durable. Returns nil if the class has no
+// segment.
+func (s *Store) DetachSegment(class model.ClassID) *DetachedSegment {
 	s.mu.Lock()
+	defer s.mu.Unlock()
 	h, ok := s.heaps[class]
 	if !ok {
-		s.mu.Unlock()
 		return nil
 	}
 	delete(s.heaps, class)
@@ -136,7 +157,19 @@ func (s *Store) DropSegment(class model.ClassID) error {
 			delete(s.dir, oid)
 		}
 	}
-	s.mu.Unlock()
+	return &DetachedSegment{heap: h}
+}
+
+// FreeDetached physically frees a detached segment: every record's
+// overflow chain, then the heap chain pages. All frees go through the
+// pool's FreePage, which forces the log before the free-list seal
+// destroys page content in place (WAL-before-data). Calling with nil is a
+// no-op.
+func (s *Store) FreeDetached(d *DetachedSegment) error {
+	if d == nil {
+		return nil
+	}
+	h := d.heap
 	// Free overflow chains record by record, then the heap pages.
 	if err := h.Scan(func(rid RID, _ []byte) bool {
 		_ = h.Delete(rid)
@@ -152,12 +185,19 @@ func (s *Store) DropSegment(class model.ClassID) error {
 		next := p.Next()
 		s.pool.Unpin(id, false)
 		s.pool.Drop(id)
-		if err := s.disk.FreePage(id); err != nil {
+		if err := s.pool.FreePage(id); err != nil {
 			return err
 		}
 		id = next
 	}
 	return nil
+}
+
+// DropSegment deletes a class's segment and every object in it: a detach
+// followed immediately by the physical frees. DDL paths that must order
+// the frees after a checkpoint call the two halves separately.
+func (s *Store) DropSegment(class model.ClassID) error {
+	return s.FreeDetached(s.DetachSegment(class))
 }
 
 // NewOID mints the next OID for the class. The segment must exist.
@@ -468,6 +508,7 @@ func (s *Store) amputate(h *Heap, prev, bad PageID) error {
 		s.pool.Drop(h.First)
 		var p Page
 		p.Init(pageTypeHeap)
+		mRecAmputated.Add(1)
 		return s.disk.WritePage(h.First, &p)
 	}
 	pp, err := s.pool.Fetch(prev)
@@ -477,6 +518,7 @@ func (s *Store) amputate(h *Heap, prev, bad PageID) error {
 	pp.SetNext(InvalidPage)
 	s.pool.Unpin(prev, true)
 	s.pool.Drop(bad)
+	mRecAmputated.Add(1)
 	return nil
 }
 

@@ -1,0 +1,28 @@
+package wal
+
+import (
+	"time"
+
+	"oodb/internal/obs"
+)
+
+// Process-wide WAL metrics (obs registry). The per-WAL Syncs counter the
+// benchmarks read stays on the struct; these aggregate across instances
+// and add the latency/batch shape the counters cannot carry.
+var (
+	mAppendBytes = obs.RegisterCounter("wal_append_bytes_total")
+	mAppendRecs  = obs.RegisterCounter("wal_append_records_total")
+	mFsyncNs     = obs.RegisterHistogram("wal_fsync_latency_ns")
+	mBatchSize   = obs.RegisterHistogram("wal_group_commit_batch")
+)
+
+// syncTimed wraps the backing file's fsync with the latency histogram.
+func (w *WAL) syncTimed() error {
+	if !obs.Enabled() {
+		return w.file.Sync()
+	}
+	t0 := time.Now()
+	err := w.file.Sync()
+	mFsyncNs.Observe(uint64(time.Since(t0)))
+	return err
+}

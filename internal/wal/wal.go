@@ -163,6 +163,8 @@ func (w *WAL) Append(rec Record) (uint64, error) {
 	if _, err := w.w.Write(frame); err != nil {
 		return 0, err
 	}
+	mAppendBytes.Add(uint64(len(frame)) + 8)
+	mAppendRecs.Add(1)
 	return rec.LSN, nil
 }
 
@@ -178,7 +180,7 @@ func (w *WAL) Sync() error {
 		return err
 	}
 	w.Syncs.Add(1)
-	return w.file.Sync()
+	return w.syncTimed()
 }
 
 // SyncGroup makes all records appended so far durable, sharing the fsync
@@ -211,6 +213,7 @@ func (w *WAL) gcLoop() {
 			return
 		}
 		w.gcMu.Unlock()
+		mBatchSize.Observe(uint64(len(batch)))
 		err := w.Sync()
 		for _, ch := range batch {
 			ch <- err

@@ -1,0 +1,16 @@
+package workspace
+
+import (
+	"oodb/internal/obs"
+)
+
+// Process-wide workspace metrics (obs registry). The per-instance
+// Fetches/Hits counters the benchmarks read stay plain fields — a
+// workspace is single-threaded by design — while these aggregate across
+// workspaces for the snapshot.
+var (
+	mSwizzleHits = obs.RegisterCounter("workspace_swizzle_pointer_hits")
+	mCacheHits   = obs.RegisterCounter("workspace_cache_descriptor_hits")
+	mLazyFetches = obs.RegisterCounter("workspace_fetch_lazy_loads")
+	mWriteBacks  = obs.RegisterCounter("workspace_save_write_backs")
+)

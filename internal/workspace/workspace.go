@@ -60,6 +60,7 @@ func New(db *core.DB) *Workspace {
 func (ws *Workspace) Fetch(oid model.OID) (*Descriptor, error) {
 	if d, ok := ws.cache[oid]; ok {
 		ws.Hits++
+		mCacheHits.Add(1)
 		return d, nil
 	}
 	obj, err := ws.db.FetchObject(oid)
@@ -67,6 +68,7 @@ func (ws *Workspace) Fetch(oid model.OID) (*Descriptor, error) {
 		return nil, err
 	}
 	ws.Fetches++
+	mLazyFetches.Add(1)
 	d := &Descriptor{ws: ws, obj: obj, swizzled: make(map[model.AttrID]*Descriptor)}
 	ws.cache[oid] = d
 	return d, nil
@@ -145,6 +147,7 @@ func (ws *Workspace) Save() error {
 	if err != nil {
 		return err
 	}
+	mWriteBacks.Add(uint64(len(dirty)))
 	for _, d := range dirty {
 		d.dirty = false
 	}
@@ -196,6 +199,7 @@ func (d *Descriptor) Deref(name string) (*Descriptor, error) {
 	}
 	if target, ok := d.swizzled[a.ID]; ok {
 		d.ws.Hits++
+		mSwizzleHits.Add(1)
 		return target, nil
 	}
 	v := d.obj.Get(a.ID)

@@ -37,6 +37,7 @@ import (
 	"oodb/internal/core"
 	"oodb/internal/federation"
 	"oodb/internal/model"
+	"oodb/internal/obs"
 	"oodb/internal/query"
 	"oodb/internal/rules"
 	"oodb/internal/schema"
@@ -368,6 +369,27 @@ func (db *DB) QueryTx(tx *Tx, src string) (*Result, error) {
 
 // Explain returns the access plan chosen for a query.
 func (db *DB) Explain(src string) (string, error) { return db.q.Explain(src) }
+
+// ExplainAnalyze runs the query in its own read-only transaction and
+// returns the plan annotated with execution statistics: per-class rows
+// scanned, index probes, buffer pool hits/misses, parallel fan-out, and
+// per-stage timings (see internal/obs spans and DESIGN.md §Observability).
+func (db *DB) ExplainAnalyze(src string) (string, error) {
+	tx := db.Begin()
+	defer tx.Commit()
+	return db.q.ExplainAnalyze(tx, src)
+}
+
+// Metrics returns a point-in-time snapshot of every process-wide metric
+// registered with the observability registry (counters, gauges and latency
+// histograms across the storage, WAL, query, index and workspace layers).
+// The snapshot marshals to JSON; it is what the -http metrics endpoint
+// serves.
+func (db *DB) Metrics() obs.Snapshot { return obs.TakeSnapshot() }
+
+// SetMetricsEnabled toggles metric collection process-wide (default on).
+// Disabled metrics cost one atomic load per update site.
+func SetMetricsEnabled(on bool) { obs.SetEnabled(on) }
 
 // QueryEngine exposes the query engine for tuning knobs (e.g. SerialScan,
 // the concurrency-ablation switch) and plan-level integration.

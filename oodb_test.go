@@ -164,6 +164,40 @@ func TestIndexAndExplainThroughFacade(t *testing.T) {
 	}
 }
 
+func TestExplainAnalyzeAndMetricsThroughFacade(t *testing.T) {
+	db, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	db.DefineClass("A", nil, Attr{Name: "n", Domain: "Integer"})
+	db.DefineClass("B", []string{"A"})
+	db.Do(func(tx *Tx) error {
+		for i := 0; i < 5; i++ {
+			if _, err := tx.Insert("A", Attrs{"n": Int(int64(i))}); err != nil {
+				return err
+			}
+			if _, err := tx.Insert("B", Attrs{"n": Int(int64(i))}); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	out, err := db.ExplainAnalyze(`SELECT * FROM A WHERE n >= 2`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []string{"rows=6", "scan A", "scan B", "rows_scanned=", "buffer: hits="} {
+		if !strings.Contains(out, w) {
+			t.Fatalf("ExplainAnalyze output missing %q:\n%s", w, out)
+		}
+	}
+	snap := db.Metrics()
+	if snap.Counters["query_exec_statements_total"] == 0 {
+		t.Fatalf("metrics snapshot shows no executed statements: %v", snap.Counters)
+	}
+}
+
 func TestFeatureLayersThroughFacade(t *testing.T) {
 	db, err := Open(t.TempDir(), Options{})
 	if err != nil {
