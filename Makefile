@@ -4,7 +4,7 @@ GO ?= go
 # pre-merge gate sweeps wider). Override: make crash CRASH_SCHEDULES=500
 CRASH_SCHEDULES ?= 120
 
-.PHONY: build test vet fmtcheck race bench crash metrics-lint verify
+.PHONY: build test vet fmtcheck race bench crash maint metrics-lint verify
 
 build:
 	$(GO) build ./...
@@ -37,6 +37,14 @@ metrics-lint:
 crash:
 	CRASH_SCHEDULES=$(CRASH_SCHEDULES) $(GO) test -race -count=1 -run 'TestCrash' .
 
+# The maintenance subsystem under the race detector: compactor, leak
+# reclaimer, statistics collector and the planner's selectivity model
+# (internal/maint, internal/stats, plus the compaction crash matrix).
+maint:
+	$(GO) test -race -count=1 ./internal/maint/ ./internal/stats/
+	CRASH_SCHEDULES=$(CRASH_SCHEDULES) $(GO) test -race -count=1 -run 'TestCrashDuringCompaction|TestCrashCheckpointRootSwap' .
+
 # The full pre-merge gate: compile, static checks, formatting drift, the
-# whole test suite under the race detector, and a wide crash sweep.
-verify: build vet fmtcheck metrics-lint race crash
+# whole test suite under the race detector, a wide crash sweep, and the
+# maintenance matrix.
+verify: build vet fmtcheck metrics-lint race crash maint

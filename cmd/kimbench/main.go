@@ -30,6 +30,7 @@ var (
 	quick    = flag.Bool("quick", false, "smaller scales, fewer repetitions")
 	only     = flag.String("only", "", "run only the named experiment (e.g. E3)")
 	recovery = flag.String("recovery", "", "measure recovery time vs WAL size, write the JSON report to this path, and exit")
+	compact  = flag.String("compact", "", "measure scan latency before/after online compaction, write the JSON report to this path, and exit")
 	metrics  = flag.String("metrics", "", "run the obs workload, write the metric snapshot report to this path, and exit")
 	httpAddr = flag.String("http", "", "serve /metrics and /debug/pprof on this address while running (e.g. localhost:6060)")
 )
@@ -45,6 +46,10 @@ func main() {
 	}
 	if *recovery != "" {
 		runRecoveryBench(*recovery)
+		return
+	}
+	if *compact != "" {
+		runCompactionBench(*compact)
 		return
 	}
 	if *metrics != "" {

@@ -22,6 +22,8 @@
 //	.get @c:s                           show an object
 //	.explain SELECT ...                 show the query plan
 //	.analyze SELECT ...                 run the query, show the annotated plan
+//	.compact [Class]                    compact segments (all, or one class)
+//	.stats [Class]                      collect and show planner statistics
 //	.metrics                            dump the obs metric snapshot as JSON
 //	.checkpoint                         force a checkpoint
 //	.help / .quit
@@ -41,6 +43,7 @@ import (
 	"strings"
 
 	"oodb"
+	"oodb/internal/maint"
 	"oodb/internal/obs"
 )
 
@@ -66,7 +69,7 @@ func main() {
 	}
 	defer db.Close()
 
-	sh := &shell{db: db, out: os.Stdout}
+	sh := &shell{db: db, out: os.Stdout, mnt: db.Maintenance(maint.Options{})}
 	sc := bufio.NewScanner(os.Stdin)
 	fmt.Print("kimdb> ")
 	for sc.Scan() {
@@ -87,6 +90,7 @@ func main() {
 type shell struct {
 	db  *oodb.DB
 	out *os.File
+	mnt *maint.Manager
 }
 
 func (sh *shell) exec(line string) error {
@@ -94,7 +98,7 @@ func (sh *shell) exec(line string) error {
 	case strings.HasPrefix(strings.ToLower(line), "select"):
 		return sh.query(line)
 	case line == ".help":
-		fmt.Fprintln(sh.out, "queries: SELECT ... ; commands: .defclass .attr .index .indexes .classes .schema .insert .set .del .get .explain .analyze .metrics .snapshot .snapshots .schemadiff .checkpoint .quit")
+		fmt.Fprintln(sh.out, "queries: SELECT ... ; commands: .defclass .attr .index .indexes .classes .schema .insert .set .del .get .explain .analyze .compact .stats .metrics .snapshot .snapshots .schemadiff .checkpoint .quit")
 		return nil
 	case line == ".metrics":
 		out, err := json.MarshalIndent(sh.db.Metrics(), "", "  ")
@@ -252,9 +256,86 @@ func (sh *shell) exec(line string) error {
 		}
 		fmt.Fprintln(sh.out, " ", plan)
 		return nil
+	case ".compact":
+		return sh.compact(fields[1:])
+	case ".stats":
+		return sh.stats(fields[1:])
 	default:
 		return fmt.Errorf("unknown command %q (try .help)", fields[0])
 	}
+}
+
+// compact rewrites one class's segment (or every segment) online and
+// reports the space recovered.
+func (sh *shell) compact(args []string) error {
+	report := func(name string, before, after int) {
+		fmt.Fprintf(sh.out, "  %s: %d pages -> %d pages\n", name, before, after)
+	}
+	if len(args) == 1 {
+		cl, err := sh.db.ClassByName(args[0])
+		if err != nil {
+			return err
+		}
+		res, err := sh.mnt.CompactClass(cl.ID)
+		if err != nil {
+			return err
+		}
+		report(cl.Name, res.PagesBefore, res.PagesAfter)
+		return sh.db.Checkpoint()
+	}
+	results, err := sh.mnt.CompactAll()
+	if err != nil {
+		return err
+	}
+	cat := sh.db.Engine().Catalog
+	for _, cl := range cat.Classes() {
+		if res, ok := results[cl.ID]; ok {
+			report(cl.Name, res.PagesBefore, res.PagesAfter)
+		}
+	}
+	return nil
+}
+
+// stats collects (or refreshes) planner statistics and prints them.
+func (sh *shell) stats(args []string) error {
+	cat := sh.db.Engine().Catalog
+	classes := cat.Classes()
+	if len(args) == 1 {
+		cl, err := sh.db.ClassByName(args[0])
+		if err != nil {
+			return err
+		}
+		if _, err := sh.mnt.AnalyzeClass(cl.ID); err != nil {
+			return err
+		}
+		if err := sh.db.Checkpoint(); err != nil {
+			return err
+		}
+		classes = []*oodb.Class{cl}
+	} else if _, err := sh.mnt.AnalyzeAll(); err != nil {
+		return err
+	}
+	reg := sh.db.Engine().Stats
+	for _, cl := range classes {
+		cs := reg.Get(cl.ID)
+		if cs == nil {
+			continue
+		}
+		fmt.Fprintf(sh.out, "  %s: cardinality=%d avg_size=%.1fB\n", cl.Name, cs.Cardinality, cs.AvgSize())
+		attrs, err := cat.EffectiveAttrs(cl.ID)
+		if err != nil {
+			return err
+		}
+		for _, a := range attrs {
+			as := cs.Attr(a.ID)
+			if as == nil {
+				continue
+			}
+			fmt.Fprintf(sh.out, "    %s: count=%d distinct=%d min=%s max=%s\n",
+				a.Name, as.Count, as.Distinct, as.Min, as.Max)
+		}
+	}
+	return nil
 }
 
 func (sh *shell) query(src string) error {

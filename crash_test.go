@@ -547,10 +547,11 @@ func verifyDropCrash(t *testing.T, dir string, sched fault.Schedule, keep, doome
 	// row must be fully intact — this is the regression net for the old
 	// DropSegment behavior, which freed the heap pages BEFORE the DDL
 	// checkpoint was durable and so lost rows the durable metadata still
-	// named. Once the catalog has dropped the class, its rows are either
-	// unreachable or (when the crash fell between the catalog and
-	// segment-table blob swaps inside the checkpoint) readable orphans; both
-	// are acceptable — orphaned pages are leaked, never reused while named.
+	// named. Once the catalog has dropped the class, its rows must be gone
+	// entirely: the checkpoint swaps catalog and segment table under a
+	// single metadata write (BufferPool.SwapBlobs), so the old window where
+	// a crash between the two blob swaps left readable orphans no longer
+	// exists.
 	if _, err := db.Catalog.ClassByName("Doomed"); err == nil {
 		for i, oid := range doomed {
 			obj, err := db.FetchObject(oid)
@@ -569,15 +570,11 @@ func verifyDropCrash(t *testing.T, dir string, sched fault.Schedule, keep, doome
 			}
 		}
 	} else {
-		orphans := 0
 		for _, oid := range doomed {
 			if _, err := db.FetchObject(oid); err == nil {
-				orphans++
+				db.Close()
+				t.Fatalf("schedule {%v}: class Doomed dropped but row %s still readable (catalog and segment table must swap atomically)", sched, oid)
 			}
-		}
-		if orphans > 0 && orphans != len(doomed) {
-			db.Close()
-			t.Fatalf("schedule {%v}: class Doomed dropped with %d of %d rows orphaned (stale segment must be whole or gone)", sched, orphans, len(doomed))
 		}
 	}
 	if err := db.Close(); err != nil {
@@ -587,6 +584,408 @@ func verifyDropCrash(t *testing.T, dir string, sched fault.Schedule, keep, doome
 	// segment's pages by design; make the count visible.
 	if acct := accountPages(t, dir); acct.Leaked > 0 {
 		t.Logf("schedule {%v}: drop crash leaked %d of %d pages (deliberate: freed only after the checkpoint)", sched, acct.Leaked, acct.Total)
+	}
+	runtime.GC()
+}
+
+// compactWorkload is the deterministic workload behind
+// TestCrashDuringCompaction: one class filled with committed rows (some
+// spilling to overflow chains), two thirds deleted to fragment the
+// segment, a checkpoint, then an online compaction. Returns the OIDs that
+// must survive and the ones that must stay deleted.
+func compactWorkload(dir string, inj *fault.Injector) (kept, deleted []model.OID, err error) {
+	inj.SetPhase("open")
+	db, err := core.Open(dir, core.Options{
+		PoolPages: 64,
+		WrapDisk:  fault.WrapDisk(inj, dir+"/data.kdb"),
+		WrapWAL:   fault.WrapWAL(inj),
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	inj.SetPhase("setup")
+	cl, err := db.DefineClass("C", nil,
+		schema.AttrSpec{Name: "n", Domain: schema.ClassInteger, Default: model.Int(0)},
+		schema.AttrSpec{Name: "s", Domain: schema.ClassString, Default: model.String("")})
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := db.CreateIndex("c_n", cl.ID, []string{"n"}, false); err != nil {
+		return nil, nil, err
+	}
+	big := make([]byte, 6000)
+	for i := range big {
+		big[i] = byte('a' + i%26)
+	}
+	var all []model.OID
+	err = db.Do(func(tx *core.Tx) error {
+		for i := 0; i < 18; i++ {
+			s := fmt.Sprintf("row%d", i)
+			if i%4 == 0 {
+				s += string(big) // overflow chain: must survive the rewrite
+			}
+			oid, err := tx.InsertClass(cl.ID, map[string]model.Value{
+				"n": model.Int(int64(i)), "s": model.String(s)})
+			if err != nil {
+				return err
+			}
+			all = append(all, oid)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	inj.SetPhase("shred")
+	err = db.Do(func(tx *core.Tx) error {
+		for i, oid := range all {
+			if i%3 == 0 {
+				continue // survivor
+			}
+			if err := tx.Delete(oid); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	for i, oid := range all {
+		if i%3 == 0 {
+			kept = append(kept, oid)
+		} else {
+			deleted = append(deleted, oid)
+		}
+	}
+	inj.SetPhase("checkpoint")
+	if err := db.Checkpoint(); err != nil {
+		return kept, deleted, err
+	}
+	inj.SetPhase("compact")
+	if _, err := db.CompactClass(cl.ID, nil); err != nil {
+		return kept, deleted, err
+	}
+	inj.SetPhase("close")
+	return kept, deleted, db.Close()
+}
+
+// TestCrashDuringCompaction crashes at every I/O op inside the online
+// compaction window — the WAL marker, the fresh-chain writes, the segment
+// table swap inside the DDL checkpoint, and the old-chain frees — and
+// verifies the rewrite's crash contract: no committed row is ever lost, no
+// deleted row resurfaces, and no page is freed twice (the fresh chain
+// before the checkpoint and the old chain after it may leak, which the
+// reclaimer then drives to zero).
+func TestCrashDuringCompaction(t *testing.T) {
+	cdir := t.TempDir()
+	cinj := fault.NewCensus(matrixSeed)
+	kept, deleted, err := compactWorkload(cdir, cinj)
+	if err != nil {
+		t.Fatalf("census compact workload failed: %v", err)
+	}
+	var window []fault.Point
+	for _, p := range cinj.Census() {
+		if p.Phase == "compact" {
+			window = append(window, p)
+		}
+	}
+	if len(window) < 5 {
+		t.Fatalf("compact window exposes only %d I/O ops; the test is vacuous", len(window))
+	}
+	step := 1
+	if len(window) > 60 {
+		step = len(window) / 60
+	}
+	for i := 0; i < len(window); i += step {
+		p := window[i]
+		sched := fault.Schedule{
+			Seed:    matrixSeed*1_000_000 + int64(p.Index),
+			CrashAt: p.Index,
+			Style:   fault.Style(i % 2), // clean, torn
+		}
+		name := fmt.Sprintf("op%04d_%s_%s", p.Index, p.Op, sched.Style)
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			dir := t.TempDir()
+			inj := fault.NewInjector(sched)
+			_, _, err := compactWorkload(dir, inj)
+			if err == nil && !inj.Crashed() {
+				t.Fatalf("schedule {%v}: crash never fired", sched)
+			}
+			verifyCompactCrash(t, dir, sched, kept, deleted)
+		})
+	}
+}
+
+func verifyCompactCrash(t *testing.T, dir string, sched fault.Schedule, kept, deleted []model.OID) {
+	t.Helper()
+	db, err := core.Open(dir, core.Options{})
+	if err != nil {
+		t.Fatalf("recovery reopen after {%v}: %v", sched, err)
+	}
+	checkRows := func(label string) {
+		for _, oid := range kept {
+			i := int(oid.Seq() - 1) // OIDs were minted in insertion order
+			obj, err := db.FetchObject(oid)
+			if err != nil {
+				db.Close()
+				t.Fatalf("schedule {%v}: %s: committed row %s lost across compaction crash: %v", sched, label, oid, err)
+			}
+			v, _ := db.AttrValue(obj, "n")
+			if got, _ := v.AsInt(); got != int64(i) {
+				db.Close()
+				t.Fatalf("schedule {%v}: %s: row %s: n=%d want %d", sched, label, oid, got, i)
+			}
+			sv, _ := db.AttrValue(obj, "s")
+			want := fmt.Sprintf("row%d", i)
+			if s, _ := sv.AsString(); len(s) < len(want) || s[:len(want)] != want {
+				db.Close()
+				t.Fatalf("schedule {%v}: %s: row %s: s=%.20q want prefix %q", sched, label, oid, s, want)
+			}
+		}
+		for _, oid := range deleted {
+			if _, err := db.FetchObject(oid); err == nil {
+				db.Close()
+				t.Fatalf("schedule {%v}: %s: deleted row %s resurrected by compaction crash", sched, label, oid)
+			}
+		}
+	}
+	checkRows("after recovery")
+
+	// Double-free detector: if any live page was freed (or one page handed
+	// to two owners), new allocations will clobber it. Write fresh rows —
+	// overflow-sized, to grab several pages — checkpoint, and re-verify.
+	cl, err := db.Catalog.ClassByName("C")
+	if err != nil {
+		db.Close()
+		t.Fatalf("schedule {%v}: class C missing after recovery: %v", sched, err)
+	}
+	big := make([]byte, 6000)
+	for i := range big {
+		big[i] = byte('z' - i%26)
+	}
+	var fresh []model.OID
+	err = db.Do(func(tx *core.Tx) error {
+		for i := 0; i < 8; i++ {
+			oid, err := tx.InsertClass(cl.ID, map[string]model.Value{
+				"n": model.Int(int64(1000 + i)), "s": model.String(string(big))})
+			if err != nil {
+				return err
+			}
+			fresh = append(fresh, oid)
+		}
+		return nil
+	})
+	if err != nil {
+		db.Close()
+		t.Fatalf("schedule {%v}: insert exercise after recovery: %v", sched, err)
+	}
+	if err := db.Checkpoint(); err != nil {
+		db.Close()
+		t.Fatalf("schedule {%v}: checkpoint after insert exercise: %v", sched, err)
+	}
+	checkRows("after insert exercise")
+
+	// The reclaimer sweeps whatever chain the crash leaked (fresh pages
+	// before the checkpoint, old pages after) without touching live data.
+	if _, err := db.ReclaimLeaked(); err != nil {
+		db.Close()
+		t.Fatalf("schedule {%v}: reclaim after recovery: %v", sched, err)
+	}
+	acct, err := db.Store.AccountPages()
+	if err != nil {
+		db.Close()
+		t.Fatalf("schedule {%v}: account after reclaim: %v", sched, err)
+	}
+	if acct.Leaked != 0 {
+		db.Close()
+		t.Fatalf("schedule {%v}: %d pages still leaked after reclaim: %v", sched, acct.Leaked, acct.LeakedPages)
+	}
+	checkRows("after reclaim")
+	for _, oid := range fresh {
+		if _, err := db.FetchObject(oid); err != nil {
+			db.Close()
+			t.Fatalf("schedule {%v}: exercise row %s lost after reclaim: %v", sched, oid, err)
+		}
+	}
+	if err := db.Close(); err != nil {
+		t.Fatalf("schedule {%v}: close after verification: %v", sched, err)
+	}
+	runtime.GC()
+}
+
+// ckptWorkload is the deterministic workload behind
+// TestCrashCheckpointRootSwap: committed data across two classes and an
+// index, then two explicit checkpoints — each of which rewrites all four
+// system blobs (catalog, segment table, index table, statistics) and
+// publishes them with the single atomic root swap (DiskManager.SetRoots).
+func ckptWorkload(dir string, inj *fault.Injector) (rowsA, rowsB []model.OID, err error) {
+	inj.SetPhase("open")
+	db, err := core.Open(dir, core.Options{
+		PoolPages: 64,
+		WrapDisk:  fault.WrapDisk(inj, dir+"/data.kdb"),
+		WrapWAL:   fault.WrapWAL(inj),
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	inj.SetPhase("setup")
+	attrs := []schema.AttrSpec{
+		{Name: "n", Domain: schema.ClassInteger, Default: model.Int(0)},
+		{Name: "s", Domain: schema.ClassString, Default: model.String("")},
+	}
+	clA, err := db.DefineClass("A", nil, attrs...)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := db.CreateIndex("a_n", clA.ID, []string{"n"}, false); err != nil {
+		return nil, nil, err
+	}
+	big := make([]byte, 6000)
+	for i := range big {
+		big[i] = byte('a' + i%26)
+	}
+	insert := func(cl model.ClassID, base int) ([]model.OID, error) {
+		var out []model.OID
+		err := db.Do(func(tx *core.Tx) error {
+			for i := 0; i < 10; i++ {
+				s := fmt.Sprintf("row%d", base+i)
+				if i%4 == 0 {
+					s += string(big)
+				}
+				oid, err := tx.InsertClass(cl, map[string]model.Value{
+					"n": model.Int(int64(base + i)), "s": model.String(s)})
+				if err != nil {
+					return err
+				}
+				out = append(out, oid)
+			}
+			return nil
+		})
+		return out, err
+	}
+	if rowsA, err = insert(clA.ID, 0); err != nil {
+		return nil, nil, err
+	}
+	inj.SetPhase("rootswap1")
+	if err := db.Checkpoint(); err != nil {
+		return rowsA, nil, err
+	}
+	inj.SetPhase("grow")
+	clB, err := db.DefineClass("B", nil, attrs...)
+	if err != nil {
+		return rowsA, nil, err
+	}
+	if rowsB, err = insert(clB.ID, 100); err != nil {
+		return rowsA, nil, err
+	}
+	inj.SetPhase("rootswap2")
+	if err := db.Checkpoint(); err != nil {
+		return rowsA, rowsB, err
+	}
+	inj.SetPhase("close")
+	return rowsA, rowsB, db.Close()
+}
+
+// TestCrashCheckpointRootSwap crashes at every I/O op inside the two
+// checkpoint windows and verifies the metadata swap is all-or-nothing:
+// after recovery the four system roots name a mutually consistent state —
+// every committed row readable with its index intact, no segment owned by
+// a class the catalog does not know. Before SetRoots collapsed the
+// checkpoint into one metadata write, a crash between the per-root writes
+// could publish a new catalog against an old segment table (or vice
+// versa); this is the census-enumerated net over that window.
+func TestCrashCheckpointRootSwap(t *testing.T) {
+	cdir := t.TempDir()
+	cinj := fault.NewCensus(matrixSeed)
+	rowsA, rowsB, err := ckptWorkload(cdir, cinj)
+	if err != nil {
+		t.Fatalf("census checkpoint workload failed: %v", err)
+	}
+	var window []fault.Point
+	for _, p := range cinj.Census() {
+		if p.Phase == "rootswap1" || p.Phase == "rootswap2" {
+			window = append(window, p)
+		}
+	}
+	if len(window) < 5 {
+		t.Fatalf("checkpoint windows expose only %d I/O ops; the test is vacuous", len(window))
+	}
+	step := 1
+	if len(window) > 60 {
+		step = len(window) / 60
+	}
+	for i := 0; i < len(window); i += step {
+		p := window[i]
+		sched := fault.Schedule{
+			Seed:    matrixSeed*1_000_000 + int64(p.Index),
+			CrashAt: p.Index,
+			Style:   fault.Style(i % 2), // clean, torn
+		}
+		name := fmt.Sprintf("op%04d_%s_%s_%s", p.Index, p.Op, p.Phase, sched.Style)
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			dir := t.TempDir()
+			inj := fault.NewInjector(sched)
+			_, _, err := ckptWorkload(dir, inj)
+			if err == nil && !inj.Crashed() {
+				t.Fatalf("schedule {%v}: crash never fired", sched)
+			}
+			verifyRootSwapCrash(t, dir, sched, rowsA, rowsB)
+		})
+	}
+}
+
+func verifyRootSwapCrash(t *testing.T, dir string, sched fault.Schedule, rowsA, rowsB []model.OID) {
+	t.Helper()
+	db, err := core.Open(dir, core.Options{})
+	if err != nil {
+		t.Fatalf("recovery reopen after {%v}: %v", sched, err)
+	}
+	defer db.Close()
+	checkClass := func(name string, rows []model.OID, base int) {
+		for i, oid := range rows {
+			obj, err := db.FetchObject(oid)
+			if err != nil {
+				t.Fatalf("schedule {%v}: class %s row %s lost across checkpoint crash: %v", sched, name, oid, err)
+			}
+			v, _ := db.AttrValue(obj, "n")
+			if got, _ := v.AsInt(); got != int64(base+i) {
+				t.Fatalf("schedule {%v}: class %s row %s: n=%d want %d", sched, name, oid, got, base+i)
+			}
+		}
+	}
+	// Class A and its index predate both checkpoint windows: always intact.
+	checkClass("A", rowsA, 0)
+	idx, err := db.Indexes.Get("a_n")
+	if err != nil {
+		t.Fatalf("schedule {%v}: index a_n missing after recovery: %v", sched, err)
+	}
+	for i, oid := range rowsA {
+		found := false
+		for _, hit := range idx.Lookup(model.Int(int64(i)), nil) {
+			if hit == oid {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("schedule {%v}: index a_n lost entry %d -> %s", sched, i, oid)
+		}
+	}
+	// Class B exists only in runs that got past its DefineClass; when the
+	// catalog names it, every committed row must be readable.
+	if _, err := db.Catalog.ClassByName("B"); err == nil {
+		checkClass("B", rowsB, 100)
+	}
+	// Cross-root consistency: every segment the durable segment table names
+	// belongs to a class the durable catalog knows. A torn multi-root swap
+	// is exactly what would break this.
+	for _, classID := range db.Store.Classes() {
+		if _, err := db.Catalog.Class(classID); err != nil {
+			t.Fatalf("schedule {%v}: segment for class %d has no catalog entry (roots swapped non-atomically)", sched, classID)
+		}
 	}
 	runtime.GC()
 }

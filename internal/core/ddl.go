@@ -82,6 +82,7 @@ func (db *DB) DropClass(class model.ClassID) error {
 				_ = db.Indexes.Drop(idx.Name)
 			}
 		}
+		db.Stats.Remove(class)
 		_, err = db.Catalog.DropClass(class)
 		return err
 	})

@@ -18,6 +18,7 @@ import (
 	"oodb/internal/index"
 	"oodb/internal/model"
 	"oodb/internal/schema"
+	"oodb/internal/stats"
 	"oodb/internal/storage"
 	"oodb/internal/txn"
 	"oodb/internal/wal"
@@ -50,6 +51,12 @@ type DB struct {
 	Log     *wal.WAL
 	Locks   *txn.LockManager
 	Indexes *index.Manager
+	// Stats holds the planner statistics collected by the maintenance
+	// subsystem (internal/maint): per-class cardinality and per-attribute
+	// distinct/min/max summaries, persisted under the metadata's stats root
+	// at every checkpoint. Advisory only — an empty registry just means the
+	// planner keeps its heuristic ranking.
+	Stats *stats.Registry
 
 	opts       Options
 	nextTxn    atomic.Uint64
@@ -133,11 +140,24 @@ func Open(dir string, opts Options) (*DB, error) {
 		}
 	}
 
+	// Restore planner statistics from the stats root. Tolerant: stats are
+	// advisory, so a missing or undecodable blob (e.g. written by an older
+	// format) degrades to an empty registry, never a failed open.
+	reg := stats.NewRegistry()
+	if head := store.Disk().GetRoot(storage.RootStats); head != storage.InvalidPage {
+		if blob, err := store.Pool().ReadBlob(head); err == nil {
+			if dec, err := stats.DecodeRegistry(blob); err == nil {
+				reg = dec
+			}
+		}
+	}
+
 	db := &DB{
 		Catalog: cat,
 		Store:   store,
 		Log:     log,
 		Locks:   txn.NewLockManager(),
+		Stats:   reg,
 		opts:    opts,
 	}
 	db.Indexes = index.NewManager(cat, db)
@@ -209,24 +229,38 @@ func (db *DB) Close() error {
 }
 
 // Checkpoint makes the on-disk state self-contained: catalog, index
-// definitions and segment table are persisted, every dirty page is
-// flushed, and — when no transactions are in flight — the WAL is
-// truncated. With active transactions the truncation is skipped: their
-// undo information must survive, because the flush may have written their
-// uncommitted page state. The flushed prefix is still safe to replay
+// definitions, segment table and planner statistics are persisted, every
+// dirty page is flushed, and — when no transactions are in flight — the
+// WAL is truncated. With active transactions the truncation is skipped:
+// their undo information must survive, because the flush may have written
+// their uncommitted page state. The flushed prefix is still safe to replay
 // (logical redo is idempotent), so skipping truncation costs only log
 // space.
+//
+// All four system blobs move under a single metadata write (SwapBlobs): a
+// crash during the checkpoint leaves either every root pointing at the old
+// blobs or every root pointing at the new ones, never a mix — the
+// metadata-swap window that three sequential ReplaceBlob calls used to
+// leave open (catalog new, segment table old ⇒ a recreated class scanning
+// a freed segment) is gone.
 func (db *DB) Checkpoint() error {
 	t0 := time.Now()
 	defer func() { mCkptNs.Observe(uint64(time.Since(t0))) }()
 	pool := db.Store.Pool()
-	if err := pool.ReplaceBlob(storage.RootCatalog, schema.EncodeCatalog(db.Catalog)); err != nil {
+	// Flush data pages BEFORE the root swap: the new segment table may name
+	// freshly written chains (a compaction's rewritten heap), and publishing
+	// a root over pages still dirty in the pool would lose committed rows on
+	// a crash between the swap and the flush.
+	if err := pool.FlushAll(); err != nil {
 		return err
 	}
-	if err := pool.ReplaceBlob(storage.RootIndexTable, index.EncodeDefs(db.Indexes)); err != nil {
-		return err
-	}
-	if err := db.Store.Checkpoint(); err != nil {
+	err := pool.SwapBlobs(map[storage.MetaRoot][]byte{
+		storage.RootCatalog:    schema.EncodeCatalog(db.Catalog),
+		storage.RootIndexTable: index.EncodeDefs(db.Indexes),
+		storage.RootSegTable:   db.Store.EncodeSegTable(),
+		storage.RootStats:      db.Stats.Encode(),
+	})
+	if err != nil {
 		return err
 	}
 	// Truncate under the begin fence: after taking the write side, the

@@ -1,0 +1,115 @@
+package core
+
+import (
+	"errors"
+
+	"oodb/internal/model"
+	"oodb/internal/storage"
+	"oodb/internal/wal"
+)
+
+// Engine-level maintenance operations: online segment compaction and leaked
+// page reclamation. The policy that decides *when* to run them lives in
+// internal/maint; this file supplies the crash-safe mechanisms, built on
+// the same detach→checkpoint→free protocol as DropClass.
+
+// ErrBusy reports that a maintenance operation refused to run because
+// transactions were in flight. Retry when the system quiesces.
+var ErrBusy = errors.New("core: maintenance blocked by transactions in flight")
+
+// CompactClass rewrites the class's heap segment online: live records are
+// copied in physical order into a fresh, densely packed segment (dropping
+// dead slots and any stale duplicates a past crash left behind), the
+// segment table is atomically repointed, and only after the checkpoint
+// makes the new segment durable are the old pages freed.
+//
+// Crash safety mirrors DropClass: a RecCompaction marker is logged first
+// (replay-inert — compaction never changes logical content, so recovery
+// has nothing to redo), the swap happens inside the DDL critical section,
+// and ddl's closing checkpoint persists the new segment table. A crash
+// before the checkpoint leaks the fresh segment's pages; a crash after it
+// but before the frees leaks the old segment's pages. Either way no
+// committed row is lost and no page is freed twice — the accountant
+// (Store.AccountPages) counts the leak and ReclaimLeaked recovers it.
+//
+// visit, when non-nil, observes every surviving record during the copy —
+// the hook the maintenance subsystem uses to collect statistics in the
+// same sweep. Indexes need no maintenance: they map values to OIDs and
+// compaction only changes RIDs.
+func (db *DB) CompactClass(class model.ClassID, visit func(oid model.OID, data []byte)) (*storage.CompactResult, error) {
+	var (
+		detached *storage.DetachedSegment
+		result   *storage.CompactResult
+	)
+	err := db.ddl([]model.ClassID{class}, func() error {
+		if _, err := db.Log.Append(wal.Record{Type: wal.RecCompaction, OID: model.OID(class)}); err != nil {
+			return err
+		}
+		var err error
+		detached, result, err = db.Store.RewriteSegment(class, visit)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := db.Store.FreeDetached(detached); err != nil {
+		return result, err
+	}
+	return result, nil
+}
+
+// AnalyzeClass scans the class and returns the bytes-and-count callback
+// feed without rewriting anything — the on-demand statistics sweep for
+// segments healthy enough to skip compaction. The scan runs outside any
+// lock (the storage layer's lock-free reader discipline), so concurrent
+// writers may or may not be observed; statistics are advisory and tolerate
+// that.
+func (db *DB) AnalyzeClass(class model.ClassID, visit func(oid model.OID, data []byte)) error {
+	if db.closed.Load() {
+		return ErrClosed
+	}
+	return db.Store.ScanClass(class, func(oid model.OID, data []byte) bool {
+		visit(oid, data)
+		return true
+	})
+}
+
+// ReclaimLeaked frees every page the accountant classifies as leaked —
+// the debris of crashes inside the detach→checkpoint→free window — and
+// returns how many were freed.
+//
+// Ordering is load-bearing. The checkpoint runs first, making the current
+// catalog, segment table and system blobs durable, so the accountant's
+// reachability walk reflects exactly the durable state; it must happen
+// before taking the begin fence because Checkpoint acquires ckptMu itself.
+// Then, under the fence, the active-transaction count is exact: if any
+// transaction is in flight the reclaim refuses (ErrBusy) rather than free
+// pages whose WAL images could be replayed after a crash. With the count
+// at zero the preceding checkpoint has truncated the log, so no stale
+// page image can resurrect a freed page's old content.
+func (db *DB) ReclaimLeaked() (int, error) {
+	if db.closed.Load() {
+		return 0, ErrClosed
+	}
+	db.ddlMu.Lock()
+	defer db.ddlMu.Unlock()
+	if err := db.Checkpoint(); err != nil {
+		return 0, err
+	}
+	db.ckptMu.Lock()
+	defer db.ckptMu.Unlock()
+	if db.activeTxns.Load() != 0 {
+		return 0, ErrBusy
+	}
+	return db.Store.ReclaimLeaked()
+}
+
+// SegmentInfo reports the physical shape of a class's segment — the
+// fragmentation signal the maintenance policy triggers compaction on.
+// Returns nil if the class has no materialized segment.
+func (db *DB) SegmentInfo(class model.ClassID) (*storage.SegmentInfo, error) {
+	if db.closed.Load() {
+		return nil, ErrClosed
+	}
+	return db.Store.SegmentInfo(class)
+}

@@ -7,6 +7,7 @@ import (
 
 	"oodb/internal/model"
 	"oodb/internal/schema"
+	"oodb/internal/storage"
 )
 
 // TestTornPageRecovered injects a torn write (a corrupted heap page) and
@@ -168,10 +169,14 @@ func TestOpenStillFailsOnUnreadableMeta(t *testing.T) {
 	db.Close()
 	path := filepath.Join(dir, "data.kdb")
 	f, _ := os.OpenFile(path, os.O_WRONLY, 0o644)
-	f.WriteAt(make([]byte, 256), 0)
+	// Destroy both duplexed metadata slots: losing one is survivable by
+	// design (the twin takes over), losing both is real corruption.
+	for slot := int64(0); slot < storage.MetaSlots; slot++ {
+		f.WriteAt(make([]byte, 256), slot*storage.PageSize)
+	}
 	f.Close()
 	if _, err := Open(dir, Options{}); err == nil {
-		t.Fatal("Open accepted a destroyed metadata page")
+		t.Fatal("Open accepted a database with no valid metadata slot")
 	}
 }
 

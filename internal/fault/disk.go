@@ -1,6 +1,7 @@
 package fault
 
 import (
+	"bytes"
 	"math/rand"
 	"os"
 	"sort"
@@ -17,19 +18,25 @@ import (
 // by the schedule's seeded RNG, applied to the real file so a plain reopen
 // observes exactly what a power cut could have left.
 //
-// Writes the disk manager performs internally without going through the
-// page seam — the metadata page (roots, free list) and file extension —
-// are treated as durable at write time. That narrows the simulation to the
-// data pages the WAL protocol is responsible for; metadata durability would
-// need its own journaling and is noted as an open item.
+// The duplexed metadata slots (pages 0 and 1 of a format-2 file) get the
+// same treatment: the wrapper snapshots both slots at every honest fsync,
+// and at crash time a slot that changed since then independently survives
+// or reverts — and the newest changed slot may additionally tear, which is
+// precisely the failure the A/B design absorbs (the torn slot's twin holds
+// the state one metadata write earlier). The metadata is therefore no
+// longer modeled durable-at-write. The one write still treated as durable
+// is the zero page the disk manager appends when extending the file; its
+// loss is indistinguishable from the file simply being shorter.
 type Disk struct {
 	inj     *Injector
 	under   storage.Disk
 	raw     *os.File
 	initErr error
 
-	mu       sync.Mutex
-	unsynced map[storage.PageID][]byte // pre-write durable image; nil = absent
+	mu         sync.Mutex
+	unsynced   map[storage.PageID][]byte // pre-write durable image; nil = absent
+	metaDuplex bool
+	metaBefore [storage.MetaSlots][]byte // slot content at last honest fsync
 }
 
 // WrapDisk returns an Options.WrapDisk hook that injects faults through inj
@@ -39,8 +46,29 @@ func WrapDisk(inj *Injector, path string) func(storage.Disk) storage.Disk {
 	return func(under storage.Disk) storage.Disk {
 		d := &Disk{inj: inj, under: under, unsynced: make(map[storage.PageID][]byte)}
 		d.raw, d.initErr = os.OpenFile(path, os.O_RDWR, 0o644)
+		if d.initErr == nil {
+			d.metaDuplex = under.FirstDataPage() >= storage.MetaSlots
+			d.snapshotMeta()
+		}
 		inj.OnCrash(d.applyCrash)
 		return d
+	}
+}
+
+// snapshotMeta records the metadata slots' current file content as their
+// durable baseline. Called at wrap time and after every honest fsync;
+// caller holds d.mu (or is single-threaded at wrap time).
+func (d *Disk) snapshotMeta() {
+	if !d.metaDuplex {
+		return
+	}
+	for slot := 0; slot < storage.MetaSlots; slot++ {
+		buf := make([]byte, storage.PageSize)
+		if _, err := d.raw.ReadAt(buf, int64(slot)*storage.PageSize); err != nil {
+			d.metaBefore[slot] = nil
+			continue
+		}
+		d.metaBefore[slot] = buf
 	}
 }
 
@@ -138,6 +166,7 @@ func (d *Disk) Sync() error {
 	}
 	d.mu.Lock()
 	d.unsynced = make(map[storage.PageID][]byte)
+	d.snapshotMeta()
 	d.mu.Unlock()
 	return nil
 }
@@ -161,7 +190,26 @@ func (d *Disk) SetRoot(r storage.MetaRoot, id storage.PageID) error {
 	}
 }
 
+// SetRoots is one metadata write no matter how many roots it carries, so
+// it costs one injectable op — the single-root-swap checkpoint relies on
+// the whole batch having exactly one crash point.
+func (d *Disk) SetRoots(roots map[storage.MetaRoot]storage.PageID) error {
+	if d.initErr != nil {
+		return d.initErr
+	}
+	switch d.inj.begin(OpDiskRoot) {
+	case decError:
+		return ErrInjected
+	case decOK:
+		return d.under.SetRoots(roots)
+	default:
+		return ErrCrashed
+	}
+}
+
 func (d *Disk) NumPages() storage.PageID { return d.under.NumPages() }
+
+func (d *Disk) FirstDataPage() storage.PageID { return d.under.FirstDataPage() }
 
 func (d *Disk) Close() error {
 	if d.raw != nil {
@@ -189,8 +237,9 @@ func (d *Disk) captureBefore(id storage.PageID) {
 
 // applyCrash rewrites the real file to one state a power cut could have
 // produced: every page written since the last honest fsync independently
-// survives, reverts, or tears. Deterministic: pages are visited in sorted
-// order and all randomness comes from the schedule RNG.
+// survives, reverts, or tears, and the duplexed metadata slots get the
+// same treatment (see applyMetaCrash). Deterministic: pages are visited in
+// sorted order and all randomness comes from the schedule RNG.
 func (d *Disk) applyCrash(rng *rand.Rand) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
@@ -227,6 +276,67 @@ func (d *Disk) applyCrash(rng *rand.Rand) {
 			d.raw.WriteAt(cur, off)
 		}
 	}
+	d.applyMetaCrash(rng)
 	d.unsynced = make(map[storage.PageID][]byte)
+	d.snapshotMeta()
 	d.raw.Sync()
+}
+
+// applyMetaCrash simulates lost and torn metadata writes on a duplexed
+// file. Every slot that changed since the last honest fsync independently
+// survives or reverts to its fsync-time content; the slot carrying the
+// newest epoch may additionally tear (half new, half old — almost surely
+// failing its checksum), which models the one write that can be in flight
+// when the power cuts. At most one slot tears, so a valid slot always
+// survives: either the twin's last write (one metadata write earlier) or
+// the fsync-point state — both transitions the metadata protocol is
+// designed to lose safely (the free list leaks or abandons; roots only
+// move with a sync barrier before the old chains are freed).
+func (d *Disk) applyMetaCrash(rng *rand.Rand) {
+	if !d.metaDuplex {
+		return
+	}
+	type slotState struct {
+		cur     []byte
+		changed bool
+		epoch   uint64
+	}
+	var slots [storage.MetaSlots]slotState
+	newest, newestEpoch := -1, uint64(0)
+	for i := 0; i < storage.MetaSlots; i++ {
+		cur := make([]byte, storage.PageSize)
+		if _, err := d.raw.ReadAt(cur, int64(i)*storage.PageSize); err != nil {
+			continue
+		}
+		slots[i].cur = cur
+		slots[i].changed = d.metaBefore[i] != nil && !bytes.Equal(cur, d.metaBefore[i])
+		if _, epoch, ok := storage.MetaSlotInfo(cur); ok {
+			slots[i].epoch = epoch
+			if newest < 0 || epoch > newestEpoch {
+				newest, newestEpoch = i, epoch
+			}
+		}
+	}
+	for i := 0; i < storage.MetaSlots; i++ {
+		if !slots[i].changed {
+			continue
+		}
+		off := int64(i) * storage.PageSize
+		fates := 2
+		if i == newest {
+			fates = 3
+		}
+		switch rng.Intn(fates) {
+		case 0:
+			// The metadata write made it to the platter.
+		case 1:
+			// Lost: the slot reverts to its content at the last fsync.
+			d.raw.WriteAt(d.metaBefore[i], off)
+		case 2:
+			// Torn mid-write (newest slot only).
+			torn := append([]byte(nil), slots[i].cur...)
+			copy(torn[storage.PageSize/2:], d.metaBefore[i][storage.PageSize/2:])
+			d.raw.WriteAt(torn, off)
+		}
+	}
 }

@@ -1,0 +1,294 @@
+// Package maint is kimdb's online maintenance subsystem: a background
+// manager that watches the storage accountant's fragmentation and leak
+// signals, compacts heap segments live (reclustering each class's objects
+// into densely packed pages), reclaims pages leaked by crashes inside the
+// detach→checkpoint→free window, and collects the per-class statistics the
+// query planner's selectivity model consumes (internal/stats →
+// internal/query). Kim §5 calls out performance as the open front for
+// OODBs; a database that runs for months needs its physical layout and its
+// optimizer statistics maintained while it serves traffic — this package
+// is that janitor.
+//
+// All mechanisms live in internal/core (CompactClass, ReclaimLeaked,
+// AnalyzeClass) and inherit the crash-safety protocol proven by the fault
+// harness; this package supplies only policy, scheduling and metrics.
+package maint
+
+import (
+	"sync"
+	"time"
+
+	"oodb/internal/core"
+	"oodb/internal/model"
+	"oodb/internal/stats"
+	"oodb/internal/storage"
+)
+
+// Options tunes the maintenance policy. Zero values select defaults.
+type Options struct {
+	// Interval between background sweeps (default 30s).
+	Interval time.Duration
+	// LeakThreshold is the leaked-page count at which a sweep runs the
+	// reclaimer (default 1: any leak is reclaimed).
+	LeakThreshold uint64
+	// MinOccupancy triggers compaction when a segment's live-byte occupancy
+	// falls below it (default 0.5).
+	MinOccupancy float64
+	// MinPages exempts segments smaller than this from compaction — a
+	// near-empty two-page segment is not worth a rewrite (default 4).
+	MinPages int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Interval == 0 {
+		o.Interval = 30 * time.Second
+	}
+	if o.LeakThreshold == 0 {
+		o.LeakThreshold = 1
+	}
+	if o.MinOccupancy == 0 {
+		o.MinOccupancy = 0.5
+	}
+	if o.MinPages == 0 {
+		o.MinPages = 4
+	}
+	return o
+}
+
+// Manager runs maintenance for one database. All entry points are safe for
+// concurrent use; sweeps are serialized against each other.
+type Manager struct {
+	db   *core.DB
+	opts Options
+
+	mu      sync.Mutex // serializes sweeps and Start/Stop state
+	started bool
+	stop    chan struct{}
+	done    chan struct{}
+}
+
+// New returns a manager over db. The background loop does not run until
+// Start; every operation is also available on demand.
+func New(db *core.DB, opts Options) *Manager {
+	return &Manager{db: db, opts: opts.withDefaults()}
+}
+
+// SweepReport summarizes one maintenance sweep.
+type SweepReport struct {
+	Compacted  int  // segments rewritten
+	PagesFreed int  // pages released by compaction (before minus after)
+	Reclaimed  int  // leaked pages freed by the reclaimer
+	Analyzed   int  // classes whose statistics were refreshed
+	Busy       bool // some step yielded to in-flight transactions
+}
+
+// Start launches the background sweep loop.
+func (m *Manager) Start() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.started {
+		return
+	}
+	m.started = true
+	m.stop = make(chan struct{})
+	m.done = make(chan struct{})
+	go m.loop(m.stop, m.done)
+}
+
+// Stop halts the background loop and waits for an in-flight sweep to
+// finish. Safe to call multiple times or without Start.
+func (m *Manager) Stop() {
+	m.mu.Lock()
+	if !m.started {
+		m.mu.Unlock()
+		return
+	}
+	m.started = false
+	stop, done := m.stop, m.done
+	m.mu.Unlock()
+	close(stop)
+	<-done
+}
+
+func (m *Manager) loop(stop <-chan struct{}, done chan<- struct{}) {
+	defer close(done)
+	t := time.NewTicker(m.opts.Interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+			// Best-effort: a failed sweep (e.g. the database closed under
+			// us) leaves the data intact and the next tick retries.
+			_, _ = m.RunOnce()
+		}
+	}
+}
+
+// RunOnce performs one full sweep: account pages, reclaim leaks past the
+// threshold, compact every fragmented segment (collecting statistics in
+// the same pass), and persist what changed.
+func (m *Manager) RunOnce() (SweepReport, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	mSweepRuns.Add(1)
+	t0 := time.Now()
+	defer func() { mSweepNs.Observe(uint64(time.Since(t0))) }()
+
+	var rep SweepReport
+	acct, err := m.db.Store.AccountPages()
+	if err != nil {
+		return rep, err
+	}
+	if acct.Leaked >= m.opts.LeakThreshold {
+		n, err := m.db.ReclaimLeaked()
+		switch {
+		case err == core.ErrBusy:
+			rep.Busy = true
+			mSweepBusy.Add(1)
+		case err != nil:
+			return rep, err
+		default:
+			rep.Reclaimed = n
+			mReclaimPages.Add(uint64(n))
+		}
+	}
+	for _, cl := range m.db.Catalog.Classes() {
+		info, err := m.db.SegmentInfo(cl.ID)
+		if err != nil {
+			return rep, err
+		}
+		if info == nil || info.Pages < m.opts.MinPages || info.Occupancy >= m.opts.MinOccupancy {
+			continue
+		}
+		res, err := m.compact(cl.ID)
+		if err != nil {
+			return rep, err
+		}
+		rep.Compacted++
+		rep.Analyzed++
+		if res.PagesBefore > res.PagesAfter {
+			rep.PagesFreed += res.PagesBefore - res.PagesAfter
+		}
+	}
+	if rep.Analyzed > 0 {
+		// Compaction's DDL checkpoint ran before the statistics landed in
+		// the registry; persist them now so a crash keeps the fresh model.
+		if err := m.db.Checkpoint(); err != nil {
+			return rep, err
+		}
+	}
+	return rep, nil
+}
+
+// CompactClass rewrites one class's segment on demand, refreshing its
+// statistics in the same sweep.
+func (m *Manager) CompactClass(class model.ClassID) (*storage.CompactResult, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.compact(class)
+}
+
+func (m *Manager) compact(class model.ClassID) (*storage.CompactResult, error) {
+	t0 := time.Now()
+	col := stats.NewCollector(class)
+	res, err := m.db.CompactClass(class, func(oid model.OID, data []byte) {
+		if obj, derr := model.DecodeObject(data); derr == nil {
+			col.Observe(obj, len(data))
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	m.db.Stats.Put(col.Finalize())
+	mCompactRuns.Add(1)
+	mStatsAnalyzed.Add(1)
+	mCompactObjects.Add(uint64(res.LiveRecords))
+	if res.PagesBefore > res.PagesAfter {
+		mCompactPagesFreed.Add(uint64(res.PagesBefore - res.PagesAfter))
+	}
+	mCompactNs.Observe(uint64(time.Since(t0)))
+	return res, nil
+}
+
+// CompactAll rewrites every class segment (the kimsh `.compact` command
+// with no argument) and returns per-class results keyed by class id.
+func (m *Manager) CompactAll() (map[model.ClassID]*storage.CompactResult, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[model.ClassID]*storage.CompactResult)
+	for _, cl := range m.db.Catalog.Classes() {
+		info, err := m.db.SegmentInfo(cl.ID)
+		if err != nil {
+			return out, err
+		}
+		if info == nil {
+			continue
+		}
+		res, err := m.compact(cl.ID)
+		if err != nil {
+			return out, err
+		}
+		out[cl.ID] = res
+	}
+	if len(out) > 0 {
+		if err := m.db.Checkpoint(); err != nil {
+			return out, err
+		}
+	}
+	return out, nil
+}
+
+// AnalyzeClass refreshes one class's statistics without rewriting its
+// segment — the cheap path for healthy segments.
+func (m *Manager) AnalyzeClass(class model.ClassID) (*stats.ClassStats, error) {
+	col := stats.NewCollector(class)
+	err := m.db.AnalyzeClass(class, func(oid model.OID, data []byte) {
+		if obj, derr := model.DecodeObject(data); derr == nil {
+			col.Observe(obj, len(data))
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	cs := col.Finalize()
+	m.db.Stats.Put(cs)
+	mStatsAnalyzed.Add(1)
+	return cs, nil
+}
+
+// AnalyzeAll refreshes statistics for every class with a segment and
+// persists the registry. Returns the number of classes analyzed.
+func (m *Manager) AnalyzeAll() (int, error) {
+	n := 0
+	for _, cl := range m.db.Catalog.Classes() {
+		info, err := m.db.SegmentInfo(cl.ID)
+		if err != nil {
+			return n, err
+		}
+		if info == nil {
+			continue
+		}
+		if _, err := m.AnalyzeClass(cl.ID); err != nil {
+			return n, err
+		}
+		n++
+	}
+	if n > 0 {
+		if err := m.db.Checkpoint(); err != nil {
+			return n, err
+		}
+	}
+	return n, nil
+}
+
+// ReclaimLeaked frees leaked pages on demand (ErrBusy when transactions
+// are in flight).
+func (m *Manager) ReclaimLeaked() (int, error) {
+	n, err := m.db.ReclaimLeaked()
+	if err == nil {
+		mReclaimPages.Add(uint64(n))
+	}
+	return n, err
+}

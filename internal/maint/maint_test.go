@@ -1,0 +1,405 @@
+package maint
+
+import (
+	"bytes"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"oodb/internal/core"
+	"oodb/internal/model"
+	"oodb/internal/obs"
+	"oodb/internal/schema"
+	"oodb/internal/storage"
+)
+
+// openDB opens a fresh database with one class P{n Integer, pad String}.
+func openDB(t *testing.T) (*core.DB, *schema.Class, string) {
+	t.Helper()
+	dir := t.TempDir()
+	db, err := core.Open(dir, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	cl, err := db.DefineClass("P", nil,
+		schema.AttrSpec{Name: "n", Domain: schema.ClassInteger},
+		schema.AttrSpec{Name: "pad", Domain: schema.ClassString})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db, cl, dir
+}
+
+// fragment inserts n padded objects into cl and deletes all but every
+// keepEvery-th, leaving the segment long and mostly dead. Returns the
+// surviving OIDs.
+func fragment(t *testing.T, db *core.DB, cl *schema.Class, n, keepEvery int) []model.OID {
+	t.Helper()
+	pad := strings.Repeat("x", 200)
+	oids := make([]model.OID, n)
+	if err := db.Do(func(tx *core.Tx) error {
+		for i := range oids {
+			oid, err := tx.InsertClass(cl.ID, map[string]model.Value{
+				"n": model.Int(int64(i)), "pad": model.String(pad)})
+			if err != nil {
+				return err
+			}
+			oids[i] = oid
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var kept []model.OID
+	if err := db.Do(func(tx *core.Tx) error {
+		for i, oid := range oids {
+			if i%keepEvery == 0 {
+				kept = append(kept, oid)
+				continue
+			}
+			if err := tx.Delete(oid); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return kept
+}
+
+// leakPages manufactures durable garbage the way a crash inside the
+// detach→checkpoint→free window does: a segment the durable metadata no
+// longer names, never freed.
+func leakPages(t *testing.T, db *core.DB) {
+	t.Helper()
+	const orphan = model.ClassID(4001)
+	if err := db.Store.CreateSegment(orphan); err != nil {
+		t.Fatal(err)
+	}
+	big := strings.Repeat("L", 3*storage.PageSize)
+	for i := 0; i < 4; i++ {
+		oid, err := db.Store.NewOID(orphan)
+		if err != nil {
+			t.Fatal(err)
+		}
+		o := model.NewObject(oid)
+		o.Set(1, model.String(big))
+		if err := db.Store.Put(oid, model.EncodeObject(o)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if db.Store.DetachSegment(orphan) == nil {
+		t.Fatal("detach returned nil")
+	}
+	if err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSweepReclaimsAndCompacts is the subsystem's acceptance test: after a
+// leak workload plus heavy fragmentation, one sweep reclaims every leaked
+// page (driving storage_account_leaked_pages to zero), compacts the
+// fragmented segment, and leaves every surviving object readable.
+func TestSweepReclaimsAndCompacts(t *testing.T) {
+	db, cl, _ := openDB(t)
+	kept := fragment(t, db, cl, 2000, 10)
+	leakPages(t, db)
+
+	acct, err := db.Store.AccountPages()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acct.Leaked == 0 {
+		t.Fatal("leak workload produced no leaked pages")
+	}
+	if g := obs.TakeSnapshot().Gauges["storage_account_leaked_pages"]; g == 0 {
+		t.Fatal("leak gauge not raised before the sweep")
+	}
+	infoBefore, err := db.SegmentInfo(cl.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	m := New(db, Options{})
+	rep, err := m.RunOnce()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Busy {
+		t.Fatal("sweep reported busy on an idle database")
+	}
+	if uint64(rep.Reclaimed) != acct.Leaked {
+		t.Fatalf("sweep reclaimed %d pages, want %d", rep.Reclaimed, acct.Leaked)
+	}
+	if rep.Compacted == 0 || rep.PagesFreed == 0 {
+		t.Fatalf("sweep did not compact the fragmented segment: %+v", rep)
+	}
+	if g := obs.TakeSnapshot().Gauges["storage_account_leaked_pages"]; g != 0 {
+		t.Fatalf("storage_account_leaked_pages = %d after sweep, want 0", g)
+	}
+	after, err := db.Store.AccountPages()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Leaked != 0 {
+		t.Fatalf("%d pages still leaked after sweep (ids %v)", after.Leaked, after.LeakedPages)
+	}
+	infoAfter, err := db.SegmentInfo(cl.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if infoAfter.Pages >= infoBefore.Pages {
+		t.Fatalf("segment not compacted: %d -> %d pages", infoBefore.Pages, infoAfter.Pages)
+	}
+	for _, oid := range kept {
+		if _, err := db.FetchObject(oid); err != nil {
+			t.Fatalf("object %s unreadable after sweep: %v", oid, err)
+		}
+	}
+	// The sweep analyzed the class in the same pass.
+	cs := db.Stats.Get(cl.ID)
+	if cs == nil || cs.Cardinality != uint64(len(kept)) {
+		t.Fatalf("stats after sweep = %+v, want cardinality %d", cs, len(kept))
+	}
+}
+
+// TestSweepTriggerPolicy verifies the sweep leaves alone what its policy
+// says to leave alone: dense segments and segments below the size floor.
+func TestSweepTriggerPolicy(t *testing.T) {
+	db, cl, _ := openDB(t)
+	// Dense: everything inserted, nothing deleted.
+	fragment(t, db, cl, 1000, 1)
+	m := New(db, Options{})
+	rep, err := m.RunOnce()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Compacted != 0 {
+		t.Fatalf("sweep compacted a dense segment: %+v", rep)
+	}
+
+	// Sparse but tiny: below MinPages.
+	db2, cl2, _ := openDB(t)
+	fragment(t, db2, cl2, 40, 40)
+	info, err := db2.SegmentInfo(cl2.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2 := New(db2, Options{MinPages: info.Pages + 1})
+	rep2, err := m2.RunOnce()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.Compacted != 0 {
+		t.Fatalf("sweep compacted a segment below the size floor: %+v", rep2)
+	}
+}
+
+// TestAnalyzeStatsValues pins the collector's numbers on a known dataset:
+// exact cardinality, per-attribute counts, exact distinct estimates below
+// the sketch size, and correct bounds.
+func TestAnalyzeStatsValues(t *testing.T) {
+	db, cl, _ := openDB(t)
+	// 120 objects; n cycles 0..29 (30 distinct), pad is one of 2 values.
+	const total, distinctN = 120, 30
+	if err := db.Do(func(tx *core.Tx) error {
+		for i := 0; i < total; i++ {
+			pad := "even"
+			if i%2 == 1 {
+				pad = "odd"
+			}
+			if _, err := tx.InsertClass(cl.ID, map[string]model.Value{
+				"n": model.Int(int64(i % distinctN)), "pad": model.String(pad)}); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	m := New(db, Options{})
+	cs, err := m.AnalyzeClass(cl.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs.Cardinality != total {
+		t.Fatalf("cardinality = %d, want %d", cs.Cardinality, total)
+	}
+	if cs.AvgSize() <= 0 {
+		t.Fatalf("avg size = %f", cs.AvgSize())
+	}
+	attrs, err := db.Catalog.EffectiveAttrs(cl.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]*schema.Attribute{}
+	for _, a := range attrs {
+		byName[a.Name] = a
+	}
+	an := cs.Attr(byName["n"].ID)
+	if an == nil || an.Count != total || an.Distinct != distinctN {
+		t.Fatalf("attr n stats = %+v, want count=%d distinct=%d", an, total, distinctN)
+	}
+	if model.Compare(an.Min, model.Int(0)) != 0 || model.Compare(an.Max, model.Int(distinctN-1)) != 0 {
+		t.Fatalf("attr n bounds = [%v, %v], want [0, %d]", an.Min, an.Max, distinctN-1)
+	}
+	ap := cs.Attr(byName["pad"].ID)
+	if ap == nil || ap.Count != total || ap.Distinct != 2 {
+		t.Fatalf("attr pad stats = %+v, want count=%d distinct=2", ap, total)
+	}
+
+	// The registry round-trips through its durable encoding: reopen and
+	// compare after AnalyzeAll persisted it.
+	if _, err := m.AnalyzeAll(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStatsSurviveReopen verifies analyzed statistics persist across a
+// clean close and reopen (the registry rides the checkpoint root swap).
+func TestStatsSurviveReopen(t *testing.T) {
+	db, cl, dir := openDB(t)
+	fragment(t, db, cl, 300, 3)
+	m := New(db, Options{})
+	if _, err := m.AnalyzeAll(); err != nil {
+		t.Fatal(err)
+	}
+	want := db.Stats.Get(cl.ID)
+	if want == nil {
+		t.Fatal("no stats after analyze")
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	db2, err := core.Open(dir, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	got := db2.Stats.Get(cl.ID)
+	if got == nil {
+		t.Fatal("stats lost across reopen")
+	}
+	if got.Cardinality != want.Cardinality || got.TotalBytes != want.TotalBytes {
+		t.Fatalf("reopened stats = %+v, want %+v", got, want)
+	}
+}
+
+// TestCompactionInvisible is the differential test: the logical database —
+// every OID and every attribute byte — is identical before and after a
+// compaction, across a reopen, overflow objects included.
+func TestCompactionInvisible(t *testing.T) {
+	db, cl, dir := openDB(t)
+	big := strings.Repeat("O", 3*storage.PageSize)
+	var oids []model.OID
+	if err := db.Do(func(tx *core.Tx) error {
+		for i := 0; i < 400; i++ {
+			pad := "small"
+			if i%25 == 0 {
+				pad = big
+			}
+			oid, err := tx.InsertClass(cl.ID, map[string]model.Value{
+				"n": model.Int(int64(i)), "pad": model.String(pad)})
+			if err != nil {
+				return err
+			}
+			oids = append(oids, oid)
+		}
+		for i, oid := range oids {
+			if i%3 == 0 {
+				if err := tx.Delete(oid); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	snapshot := func(d *core.DB) map[model.OID][]byte {
+		out := make(map[model.OID][]byte)
+		if err := d.Store.ScanClass(cl.ID, func(oid model.OID, data []byte) bool {
+			out[oid] = append([]byte(nil), data...)
+			return true
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	before := snapshot(db)
+
+	m := New(db, Options{})
+	if _, err := m.CompactClass(cl.ID); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	db2, err := core.Open(dir, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	after := snapshot(db2)
+
+	if len(before) != len(after) {
+		t.Fatalf("row count changed across compaction: %d -> %d", len(before), len(after))
+	}
+	keys := make([]model.OID, 0, len(before))
+	for oid := range before {
+		keys = append(keys, oid)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	for _, oid := range keys {
+		b, ok := after[oid]
+		if !ok {
+			t.Fatalf("object %s lost across compaction", oid)
+		}
+		if !bytes.Equal(before[oid], b) {
+			t.Fatalf("object %s bytes changed across compaction", oid)
+		}
+	}
+}
+
+// TestReclaimYieldsToTransactions verifies the reclaimer's begin fence:
+// with a transaction in flight the walk would misclassify its uncommitted
+// pages, so the manager must yield with ErrBusy instead of freeing them.
+func TestReclaimYieldsToTransactions(t *testing.T) {
+	db, cl, _ := openDB(t)
+	tx := db.Begin()
+	if _, err := tx.InsertClass(cl.ID, map[string]model.Value{"n": model.Int(1)}); err != nil {
+		t.Fatal(err)
+	}
+	m := New(db, Options{})
+	if _, err := m.ReclaimLeaked(); err != core.ErrBusy {
+		t.Fatalf("reclaim with a live transaction = %v, want ErrBusy", err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.ReclaimLeaked(); err != nil {
+		t.Fatalf("reclaim after commit: %v", err)
+	}
+}
+
+// TestStartStop exercises the background loop lifecycle.
+func TestStartStop(t *testing.T) {
+	db, _, _ := openDB(t)
+	m := New(db, Options{Interval: time.Millisecond})
+	m.Start()
+	m.Start() // idempotent
+	time.Sleep(20 * time.Millisecond)
+	m.Stop()
+	m.Stop() // idempotent
+	if n := obs.TakeSnapshot().Counters["maint_sweep_runs_total"]; n == 0 {
+		t.Fatal("background loop never swept")
+	}
+}

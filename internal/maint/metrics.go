@@ -1,0 +1,17 @@
+package maint
+
+import "oodb/internal/obs"
+
+// Maintenance metrics (obs registry). Sweep counters tell the operator the
+// loop is alive; compaction counters quantify what it recovered.
+var (
+	mSweepRuns         = obs.RegisterCounter("maint_sweep_runs_total")
+	mSweepBusy         = obs.RegisterCounter("maint_sweep_busy_yields")
+	mSweepNs           = obs.RegisterHistogram("maint_sweep_duration_ns")
+	mCompactRuns       = obs.RegisterCounter("maint_compact_segments_total")
+	mCompactPagesFreed = obs.RegisterCounter("maint_compact_pages_freed")
+	mCompactObjects    = obs.RegisterCounter("maint_compact_objects_moved")
+	mCompactNs         = obs.RegisterHistogram("maint_compact_duration_ns")
+	mReclaimPages      = obs.RegisterCounter("maint_reclaim_pages_freed")
+	mStatsAnalyzed     = obs.RegisterCounter("maint_stats_classes_analyzed")
+)

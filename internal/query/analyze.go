@@ -42,7 +42,13 @@ func (e *Engine) ExplainAnalyze(tx *core.Tx, src string) (string, error) {
 	var b strings.Builder
 	b.WriteString(p.String())
 	b.WriteByte('\n')
-	fmt.Fprintf(&b, "rows=%d time=%s\n", len(res.Rows), elapsed.Round(time.Microsecond))
+	if p.HasEst {
+		// Estimated next to actual: the at-a-glance check on whether the
+		// maintenance statistics still describe the data.
+		fmt.Fprintf(&b, "rows=%d est=%.1f time=%s\n", len(res.Rows), p.EstRows, elapsed.Round(time.Microsecond))
+	} else {
+		fmt.Fprintf(&b, "rows=%d time=%s\n", len(res.Rows), elapsed.Round(time.Microsecond))
+	}
 	var ratio float64
 	if dh+dm > 0 {
 		ratio = float64(dh) / float64(dh+dm)

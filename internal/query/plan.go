@@ -50,6 +50,11 @@ type Plan struct {
 	probe   model.Value    // equality key
 	lo, hi  model.Value    // range bounds (inclusive lo, hi per hiInc)
 	hiInc   bool
+
+	// EstRows is the statistics-based result cardinality estimate; HasEst
+	// reports whether statistics covered the whole scope (see selectivity.go).
+	EstRows float64
+	HasEst  bool
 }
 
 // String renders the plan for EXPLAIN output and the ablation tests.
@@ -67,6 +72,9 @@ func (p *Plan) String() string {
 		fmt.Fprintf(&sb, "access=index-union-eq(%d indexes)", len(p.indexes))
 	case accessUnionRng:
 		fmt.Fprintf(&sb, "access=index-union-range(%d indexes)", len(p.indexes))
+	}
+	if p.HasEst {
+		fmt.Fprintf(&sb, " est_rows=%.1f", p.EstRows)
 	}
 	if p.Query.Where != nil {
 		fmt.Fprintf(&sb, " residual=%s", p.Query.Where.exprString())
@@ -132,9 +140,11 @@ func (e *Engine) planQuery(q *Query, viewDepth int) (*Plan, error) {
 	}
 	p.kind = accessScan
 	if q.Where == nil || e.ForceScan {
+		e.annotatePlan(p)
 		return p, nil
 	}
 	e.chooseIndex(p)
+	e.annotatePlan(p)
 	return p, nil
 }
 
@@ -301,22 +311,22 @@ func (e *Engine) resolveAttrPath(class model.ClassID, path Path) ([]model.AttrID
 	return out, true
 }
 
-// chooseIndex picks the cheapest usable access path:
+// chooseIndex picks the cheapest usable access path. With statistics over
+// the whole scope (collected by internal/maint) the choice is cost-based:
+// each candidate index is charged its estimated posting count times a
+// random-fetch penalty, a heap scan is charged the scope cardinality, and
+// the cheapest wins — so an unselective predicate keeps the scan even when
+// an index exists. Without statistics the heuristic ranking applies:
 // equality beats range, one index beats a per-class union, and any index
-// beats a heap scan. This is the paper's requirement that the system — not
-// the application — chooses among access methods (§2.2).
+// beats a heap scan. Either way the system — not the application — chooses
+// among access methods (Kim §2.2).
 func (e *Engine) chooseIndex(p *Plan) {
 	type candidate struct {
 		kind    accessKind
 		indexes []*index.Index
 		s       sarg
-	}
-	var best *candidate
-	better := func(a, b *candidate) bool {
-		if b == nil {
-			return true
-		}
-		return a.kind < b.kind // accessIndexEq < accessIndexRng < unions ordering below
+		attr    model.AttrID // statistics attribute; valid when estOK
+		estOK   bool
 	}
 	rank := func(k accessKind) int {
 		switch k {
@@ -332,22 +342,20 @@ func (e *Engine) chooseIndex(p *Plan) {
 			return 4
 		}
 	}
-	_ = better
+	var cands []*candidate
 	for _, s := range extractSargs(p.Query.Where) {
 		attrPath, ok := e.resolveAttrPath(p.Target.ID, s.path)
 		if !ok {
 			continue
 		}
+		attr, estOK := sargAttr(attrPath)
 		// Single index covering the whole scope.
 		if idx := e.findCoveringIndex(p, attrPath); idx != nil {
 			kind := accessIndexEq
 			if s.op != OpEq {
 				kind = accessIndexRng
 			}
-			c := &candidate{kind: kind, indexes: []*index.Index{idx}, s: s}
-			if best == nil || rank(c.kind) < rank(best.kind) {
-				best = c
-			}
+			cands = append(cands, &candidate{kind: kind, indexes: []*index.Index{idx}, s: s, attr: attr, estOK: estOK})
 			continue
 		}
 		// Union of single-class indexes, one per scope class.
@@ -356,14 +364,44 @@ func (e *Engine) chooseIndex(p *Plan) {
 			if s.op != OpEq {
 				kind = accessUnionRng
 			}
-			c := &candidate{kind: kind, indexes: union, s: s}
+			cands = append(cands, &candidate{kind: kind, indexes: union, s: s, attr: attr, estOK: estOK})
+		}
+	}
+	if len(cands) == 0 {
+		return
+	}
+	var best *candidate
+	if est := e.newEstimator(p.Scope); est != nil {
+		allEst := true
+		for _, c := range cands {
+			if !c.estOK {
+				allEst = false
+				break
+			}
+		}
+		if allEst {
+			// Cost-based: cheapest candidate vs. the full scan.
+			rows := make([]float64, len(cands))
+			bi := 0
+			for i, c := range cands {
+				rows[i] = est.predicateRows([]estSarg{{s: c.s, attr: c.attr}})
+				if rows[i] < rows[bi] || (rows[i] == rows[bi] && rank(c.kind) < rank(cands[bi].kind)) {
+					bi = i
+				}
+			}
+			if rows[bi]*probeCostFactor >= est.totalCard() {
+				return // the predicate is not selective enough: scan wins
+			}
+			best = cands[bi]
+		}
+	}
+	if best == nil {
+		// Heuristic ranking (no or partial statistics).
+		for _, c := range cands {
 			if best == nil || rank(c.kind) < rank(best.kind) {
 				best = c
 			}
 		}
-	}
-	if best == nil {
-		return
 	}
 	p.kind = best.kind
 	p.indexes = best.indexes

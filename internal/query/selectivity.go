@@ -1,0 +1,210 @@
+package query
+
+import (
+	"sort"
+
+	"oodb/internal/model"
+	"oodb/internal/stats"
+)
+
+// Selectivity estimation: the bridge between the maintenance subsystem's
+// statistics (internal/stats, collected by internal/maint) and the
+// planner's access-path choice. Kim §2.2 requires that the system, not the
+// application, selects among access methods; statistics let that choice be
+// quantitative — an index probe is only cheaper than a scan when the
+// predicate is selective enough to amortize its random object fetches.
+//
+// Everything here is advisory and strictly additive: with no statistics
+// (or statistics covering only part of the scope) the planner's heuristic
+// ranking is byte-identical to what it was before this file existed.
+
+const (
+	// defaultRangeSelectivity is the textbook guess for a range predicate
+	// whose bounds cannot be interpolated against the attribute's min/max.
+	defaultRangeSelectivity = 1.0 / 3
+	// probeCostFactor weighs an index-probed row against a scanned row: a
+	// posting costs a random object fetch where a scan reads pages
+	// sequentially, so a probe must be this many times more selective than
+	// the full scan to win on cost.
+	probeCostFactor = 4.0
+)
+
+// estimator is a per-plan view of the statistics registry. It exists only
+// when every class in the plan scope has been analyzed: partial statistics
+// would bias the comparison between covered and uncovered classes, so the
+// planner falls back to its heuristic ranking instead.
+type estimator struct {
+	reg   *stats.Registry
+	scope []model.ClassID
+}
+
+// newEstimator returns an estimator for the scope, or nil if any scope
+// class lacks statistics.
+func (e *Engine) newEstimator(scope []model.ClassID) *estimator {
+	reg := e.db.Stats
+	if reg == nil {
+		return nil
+	}
+	for _, c := range scope {
+		if reg.Get(c) == nil {
+			return nil
+		}
+	}
+	return &estimator{reg: reg, scope: scope}
+}
+
+// totalCard is the estimated instance count over the whole scope.
+func (est *estimator) totalCard() float64 {
+	var n float64
+	for _, c := range est.scope {
+		n += float64(est.reg.Get(c).Cardinality)
+	}
+	return n
+}
+
+// sargAttr maps a resolved sarg path to the attribute its statistics live
+// under. Only single-step paths qualify: a multi-step path's terminal
+// distribution belongs to another class's instances and says nothing
+// per-scope-class.
+func sargAttr(attrPath []model.AttrID) (model.AttrID, bool) {
+	if len(attrPath) != 1 {
+		return 0, false
+	}
+	return attrPath[0], true
+}
+
+// classRows estimates how many instances of class c satisfy the sarg.
+// An attribute with no summary was never observed non-null, so a non-null
+// comparison matches nothing.
+func (est *estimator) classRows(c model.ClassID, s sarg, attr model.AttrID) float64 {
+	as := est.reg.Get(c).Attr(attr)
+	if as == nil || as.Count == 0 {
+		return 0
+	}
+	if s.op == OpEq {
+		d := float64(as.Distinct)
+		if d < 1 {
+			d = 1
+		}
+		return float64(as.Count) / d
+	}
+	return float64(as.Count) * rangeFraction(as, s)
+}
+
+// rangeFraction estimates what fraction of an attribute's observed values a
+// range sarg admits, by linear interpolation against the observed min/max
+// when both are numeric, and the default guess otherwise.
+func rangeFraction(as *stats.AttrStats, s sarg) float64 {
+	lo, okLo := as.Min.AsFloat()
+	hi, okHi := as.Max.AsFloat()
+	v, okV := s.lit.AsFloat()
+	if !okLo || !okHi || !okV {
+		return defaultRangeSelectivity
+	}
+	if hi <= lo {
+		// Degenerate domain: one observed value — the comparison either
+		// admits it or not.
+		if compareOp(s.op, as.Min, s.lit) {
+			return 1
+		}
+		return 0
+	}
+	var f float64
+	switch s.op {
+	case OpGt, OpGe:
+		f = (hi - v) / (hi - lo)
+	case OpLt, OpLe:
+		f = (v - lo) / (hi - lo)
+	default:
+		return defaultRangeSelectivity
+	}
+	if f < 0 {
+		return 0
+	}
+	if f > 1 {
+		return 1
+	}
+	return f
+}
+
+// estimableSargs resolves the predicate's sargs to the attributes their
+// statistics live under, dropping the inestimable ones.
+type estSarg struct {
+	s    sarg
+	attr model.AttrID
+}
+
+func (e *Engine) estimableSargs(p *Plan) []estSarg {
+	if p.Query.Where == nil {
+		return nil
+	}
+	var out []estSarg
+	for _, s := range extractSargs(p.Query.Where) {
+		attrPath, ok := e.resolveAttrPath(p.Target.ID, s.path)
+		if !ok {
+			continue
+		}
+		if attr, ok := sargAttr(attrPath); ok {
+			out = append(out, estSarg{s: s, attr: attr})
+		}
+	}
+	return out
+}
+
+// predicateRows estimates the plan's result cardinality: per scope class,
+// the estimable sargs' selectivities combine multiplicatively (the usual
+// independence assumption) and inestimable conjuncts contribute factor 1
+// (an overestimate, which is the safe direction for access-path choice).
+func (est *estimator) predicateRows(sargs []estSarg) float64 {
+	var total float64
+	for _, c := range est.scope {
+		card := float64(est.reg.Get(c).Cardinality)
+		rows := card
+		for _, es := range sargs {
+			if card == 0 {
+				rows = 0
+				break
+			}
+			rows *= est.classRows(c, es.s, es.attr) / card
+		}
+		total += rows
+	}
+	return total
+}
+
+// annotatePlan runs after access-path selection: it records the result
+// cardinality estimate on the plan (rendered by EXPLAIN next to actual
+// rows) and, for a heap scan that may exit early on LIMIT, reorders the
+// scope so the classes expected to contribute the most matches are scanned
+// first — the fan-out visits fewer classes before the limit fills.
+func (e *Engine) annotatePlan(p *Plan) {
+	est := e.newEstimator(p.Scope)
+	if est == nil {
+		return
+	}
+	sargs := e.estimableSargs(p)
+	p.EstRows = est.predicateRows(sargs)
+	p.HasEst = true
+	if p.kind != accessScan || len(p.Scope) < 2 || len(sargs) == 0 {
+		return
+	}
+	if p.Query.Limit == 0 || p.Query.OrderBy != nil {
+		return // every match is needed: scope order is irrelevant to cost
+	}
+	perClass := make(map[model.ClassID]float64, len(p.Scope))
+	for _, c := range p.Scope {
+		card := float64(est.reg.Get(c).Cardinality)
+		rows := card
+		for _, es := range sargs {
+			if card == 0 {
+				rows = 0
+				break
+			}
+			rows *= est.classRows(c, es.s, es.attr) / card
+		}
+		perClass[c] = rows
+	}
+	sort.SliceStable(p.Scope, func(i, j int) bool {
+		return perClass[p.Scope[i]] > perClass[p.Scope[j]]
+	})
+}

@@ -1,0 +1,212 @@
+// Package stats implements the statistics the maintenance subsystem
+// collects and the query planner consumes: per-class cardinality and
+// average object size, plus per-attribute observation counts, min/max
+// bounds and a distinct-count sketch. Kim's §5 names performance the open
+// front for OODBs; a planner can only trade an index probe against a
+// hierarchy scan if something measures how selective its predicates are —
+// this package is that something.
+//
+// Statistics are advisory: they steer cost decisions, never correctness.
+// Every structure here is deterministic (the distinct sketch hashes the
+// order-preserving key encoding with FNV-1a; no timestamps, no process
+// randomness), because the collectors run inside the crash harness's
+// deterministic I/O schedules.
+package stats
+
+import (
+	"hash/fnv"
+	"sort"
+
+	"oodb/internal/model"
+)
+
+// sketchK is the size of the KMV (k-minimum-values) distinct sketch: the k
+// smallest 64-bit value hashes are retained, and the k-th smallest
+// estimates the distinct count by how densely hashes fill the space.
+const sketchK = 256
+
+// kmv is a k-minimum-values sketch over 64-bit hashes. Below k distinct
+// hashes it is exact; above, the classic (k-1)/kth-minimum estimator.
+type kmv struct {
+	member map[uint64]struct{}
+	heap   []uint64 // max-heap of the k smallest hashes seen
+}
+
+func newKMV() *kmv {
+	return &kmv{member: make(map[uint64]struct{}, sketchK)}
+}
+
+func (s *kmv) add(h uint64) {
+	if _, ok := s.member[h]; ok {
+		return
+	}
+	if len(s.heap) < sketchK {
+		s.member[h] = struct{}{}
+		s.heap = append(s.heap, h)
+		s.up(len(s.heap) - 1)
+		return
+	}
+	if h >= s.heap[0] {
+		return // larger than the current k-th minimum: not kept
+	}
+	delete(s.member, s.heap[0])
+	s.member[h] = struct{}{}
+	s.heap[0] = h
+	s.down(0)
+}
+
+func (s *kmv) up(i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if s.heap[p] >= s.heap[i] {
+			return
+		}
+		s.heap[p], s.heap[i] = s.heap[i], s.heap[p]
+		i = p
+	}
+}
+
+func (s *kmv) down(i int) {
+	for {
+		l, r, big := 2*i+1, 2*i+2, i
+		if l < len(s.heap) && s.heap[l] > s.heap[big] {
+			big = l
+		}
+		if r < len(s.heap) && s.heap[r] > s.heap[big] {
+			big = r
+		}
+		if big == i {
+			return
+		}
+		s.heap[i], s.heap[big] = s.heap[big], s.heap[i]
+		i = big
+	}
+}
+
+// estimate returns the approximate distinct count.
+func (s *kmv) estimate() uint64 {
+	if len(s.heap) < sketchK {
+		return uint64(len(s.heap)) // exact below the sketch size
+	}
+	kth := s.heap[0] // the k-th smallest hash (heap max)
+	if kth == 0 {
+		return uint64(len(s.heap))
+	}
+	// (k-1) hashes landed uniformly below kth/2^64 of the space.
+	est := float64(sketchK-1) * (float64(1<<63) * 2 / float64(kth))
+	return uint64(est)
+}
+
+func hashValue(v model.Value) uint64 {
+	h := fnv.New64a()
+	h.Write(model.Key(v)) // order-preserving encoding: one canonical image per value
+	return h.Sum64()
+}
+
+// AttrStats summarizes the observed values of one attribute.
+type AttrStats struct {
+	Attr     model.AttrID
+	Count    uint64      // non-null observations
+	Distinct uint64      // estimated distinct values (exact below the sketch size)
+	Min, Max model.Value // bounds under model.Compare; Null when Count == 0
+}
+
+// ClassStats summarizes the instances of one class.
+type ClassStats struct {
+	Class       model.ClassID
+	Cardinality uint64 // live objects
+	TotalBytes  uint64 // sum of encoded object sizes
+	Attrs       map[model.AttrID]*AttrStats
+}
+
+// AvgSize returns the average encoded object size in bytes.
+func (c *ClassStats) AvgSize() float64 {
+	if c.Cardinality == 0 {
+		return 0
+	}
+	return float64(c.TotalBytes) / float64(c.Cardinality)
+}
+
+// Attr returns the attribute summary, or nil if the attribute was never
+// observed non-null.
+func (c *ClassStats) Attr(a model.AttrID) *AttrStats {
+	if c == nil {
+		return nil
+	}
+	return c.Attrs[a]
+}
+
+// SortedAttrs returns the attribute summaries in ascending AttrID order
+// (deterministic rendering and encoding).
+func (c *ClassStats) SortedAttrs() []*AttrStats {
+	out := make([]*AttrStats, 0, len(c.Attrs))
+	for _, a := range c.Attrs {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Attr < out[j].Attr })
+	return out
+}
+
+// Collector accumulates ClassStats over one sweep of a class — a
+// compaction rewrite or an on-demand analyze scan.
+type Collector struct {
+	cs       *ClassStats
+	sketches map[model.AttrID]*kmv
+}
+
+// NewCollector starts a collection for the class.
+func NewCollector(class model.ClassID) *Collector {
+	return &Collector{
+		cs:       &ClassStats{Class: class, Attrs: make(map[model.AttrID]*AttrStats)},
+		sketches: make(map[model.AttrID]*kmv),
+	}
+}
+
+// Observe feeds one object (and its encoded size) into the collection.
+// Set-valued attributes contribute each member to the distinct sketch —
+// the fan-out a CONTAINS predicate selects over — and their bounds span
+// the members.
+func (c *Collector) Observe(obj *model.Object, size int) {
+	c.cs.Cardinality++
+	c.cs.TotalBytes += uint64(size)
+	for _, av := range obj.AttrVals() {
+		if av.V.IsNull() {
+			continue
+		}
+		as := c.cs.Attrs[av.ID]
+		if as == nil {
+			as = &AttrStats{Attr: av.ID, Min: model.Null, Max: model.Null}
+			c.cs.Attrs[av.ID] = as
+			c.sketches[av.ID] = newKMV()
+		}
+		as.Count++
+		sk := c.sketches[av.ID]
+		if members, ok := av.V.AsSet(); ok {
+			for _, m := range members {
+				sk.add(hashValue(m))
+				as.observeBounds(m)
+			}
+			continue
+		}
+		sk.add(hashValue(av.V))
+		as.observeBounds(av.V)
+	}
+}
+
+func (a *AttrStats) observeBounds(v model.Value) {
+	if a.Min.IsNull() || model.Compare(v, a.Min) < 0 {
+		a.Min = v
+	}
+	if a.Max.IsNull() || model.Compare(v, a.Max) > 0 {
+		a.Max = v
+	}
+}
+
+// Finalize freezes the collection into a ClassStats (distinct estimates
+// resolved from the sketches). The collector must not be reused after.
+func (c *Collector) Finalize() *ClassStats {
+	for id, as := range c.cs.Attrs {
+		as.Distinct = c.sketches[id].estimate()
+	}
+	return c.cs
+}

@@ -1,0 +1,132 @@
+package stats
+
+import (
+	"fmt"
+	"testing"
+
+	"oodb/internal/model"
+)
+
+func TestKMVExactBelowK(t *testing.T) {
+	s := newKMV()
+	for i := 0; i < sketchK-1; i++ {
+		s.add(hashValue(model.Int(int64(i))))
+		s.add(hashValue(model.Int(int64(i)))) // duplicates must not count
+	}
+	if got := s.estimate(); got != sketchK-1 {
+		t.Fatalf("estimate below k = %d, want %d (exact)", got, sketchK-1)
+	}
+}
+
+func TestKMVEstimateAboveK(t *testing.T) {
+	s := newKMV()
+	const n = 50000
+	for i := 0; i < n; i++ {
+		s.add(hashValue(model.String(fmt.Sprintf("value-%d", i))))
+	}
+	got := float64(s.estimate())
+	if got < 0.8*n || got > 1.2*n {
+		t.Fatalf("estimate for %d distinct values = %.0f, want within 20%%", n, got)
+	}
+}
+
+func TestCollectorBoundsAndCounts(t *testing.T) {
+	c := NewCollector(7)
+	for i := 0; i < 10; i++ {
+		o := model.NewObject(model.MakeOID(7, uint64(i+1)))
+		o.Set(1, model.Int(int64(10-i))) // values 1..10
+		if i%2 == 0 {
+			o.Set(2, model.String("even"))
+		}
+		c.Observe(o, 100)
+	}
+	cs := c.Finalize()
+	if cs.Cardinality != 10 || cs.TotalBytes != 1000 {
+		t.Fatalf("cardinality=%d totalBytes=%d", cs.Cardinality, cs.TotalBytes)
+	}
+	if cs.AvgSize() != 100 {
+		t.Fatalf("avg size = %f, want 100", cs.AvgSize())
+	}
+	a1 := cs.Attr(1)
+	if a1 == nil || a1.Count != 10 || a1.Distinct != 10 {
+		t.Fatalf("attr 1 = %+v", a1)
+	}
+	if model.Compare(a1.Min, model.Int(1)) != 0 || model.Compare(a1.Max, model.Int(10)) != 0 {
+		t.Fatalf("attr 1 bounds = [%v, %v]", a1.Min, a1.Max)
+	}
+	a2 := cs.Attr(2)
+	if a2 == nil || a2.Count != 5 || a2.Distinct != 1 {
+		t.Fatalf("attr 2 = %+v", a2)
+	}
+	if cs.Attr(3) != nil {
+		t.Fatal("unobserved attribute has stats")
+	}
+}
+
+func TestRegistryRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	for class := model.ClassID(1); class <= 3; class++ {
+		c := NewCollector(class)
+		for i := 0; i < int(class)*20; i++ {
+			o := model.NewObject(model.MakeOID(class, uint64(i+1)))
+			o.Set(1, model.Int(int64(i)))
+			o.Set(2, model.String(fmt.Sprintf("s%d", i%4)))
+			c.Observe(o, 64+i)
+		}
+		r.Put(c.Finalize())
+	}
+	dec, err := DecodeRegistry(r.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Len() != r.Len() {
+		t.Fatalf("decoded %d classes, want %d", dec.Len(), r.Len())
+	}
+	for _, class := range r.Classes() {
+		want, got := r.Get(class), dec.Get(class)
+		if got == nil {
+			t.Fatalf("class %d lost in round trip", class)
+		}
+		if got.Cardinality != want.Cardinality || got.TotalBytes != want.TotalBytes {
+			t.Fatalf("class %d: got %+v, want %+v", class, got, want)
+		}
+		for _, wa := range want.SortedAttrs() {
+			ga := got.Attr(wa.Attr)
+			if ga == nil || ga.Count != wa.Count || ga.Distinct != wa.Distinct {
+				t.Fatalf("class %d attr %d: got %+v, want %+v", class, wa.Attr, ga, wa)
+			}
+			if model.Compare(ga.Min, wa.Min) != 0 || model.Compare(ga.Max, wa.Max) != 0 {
+				t.Fatalf("class %d attr %d bounds: got [%v,%v], want [%v,%v]",
+					class, wa.Attr, ga.Min, ga.Max, wa.Min, wa.Max)
+			}
+		}
+	}
+	// Determinism: the same registry encodes to the same bytes.
+	if string(r.Encode()) != string(r.Encode()) {
+		t.Fatal("encoding is not deterministic")
+	}
+
+	if _, err := DecodeRegistry([]byte("junk")); err == nil {
+		t.Fatal("decode accepted junk")
+	}
+	if _, err := DecodeRegistry(nil); err == nil {
+		t.Fatal("decode accepted a nil blob")
+	}
+	if dec, err := DecodeRegistry(NewRegistry().Encode()); err != nil || dec.Len() != 0 {
+		t.Fatalf("empty registry round trip = (%v, %v)", dec, err)
+	}
+}
+
+func TestRegistryRemove(t *testing.T) {
+	r := NewRegistry()
+	c := NewCollector(5)
+	c.Observe(model.NewObject(model.MakeOID(5, 1)), 10)
+	r.Put(c.Finalize())
+	if r.Get(5) == nil {
+		t.Fatal("put did not register")
+	}
+	r.Remove(5)
+	if r.Get(5) != nil {
+		t.Fatal("remove did not unregister")
+	}
+}

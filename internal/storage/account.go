@@ -13,7 +13,8 @@ import (
 // accountant makes that cost visible instead of letting it accumulate
 // silently.
 type PageAccount struct {
-	Total      uint64 // pages in the file, page 0 (metadata) included
+	Total      uint64 // pages in the file, metadata slot(s) included
+	Meta       uint64 // metadata slots at the head of the file
 	Heap       uint64
 	Overflow   uint64
 	Blob       uint64
@@ -23,12 +24,17 @@ type PageAccount struct {
 
 	// LeakedPages holds the first few leaked page ids for debugging.
 	LeakedPages []PageID
+
+	// all holds every leaked page id (uncapped) — the compactor's reclaim
+	// list (Store.ReclaimLeaked).
+	all []PageID
 }
 
 const maxLeakedReported = 64
 
 func (a *PageAccount) leak(id PageID) {
 	a.Leaked++
+	a.all = append(a.all, id)
 	if len(a.LeakedPages) < maxLeakedReported {
 		a.LeakedPages = append(a.LeakedPages, id)
 	}
@@ -103,8 +109,8 @@ func (s *Store) AccountPages() (*PageAccount, error) {
 		h.mu.RUnlock()
 	}
 
-	// System blob chains (catalog, segment table, index table).
-	for _, r := range []MetaRoot{RootCatalog, RootSegTable, RootIndexTable} {
+	// System blob chains (catalog, segment table, index table, statistics).
+	for _, r := range []MetaRoot{RootCatalog, RootSegTable, RootIndexTable, RootStats} {
 		for id := s.disk.GetRoot(r); id != InvalidPage && !reach[id]; {
 			p, err := s.pool.Fetch(id)
 			if err != nil {
@@ -124,9 +130,12 @@ func (s *Store) AccountPages() (*PageAccount, error) {
 	// Classify every page. Free-sealed pages are accounted free whether or
 	// not the free list still threads to them (an abandoned free list —
 	// see AllocPage — leaves them sealed and harmless); an allocated-typed
-	// page nothing reaches is a leak.
-	acct := &PageAccount{Total: uint64(s.disk.NumPages())}
-	for id := PageID(1); id < PageID(acct.Total); id++ {
+	// page nothing reaches is a leak. The metadata slots are classified by
+	// position, not content: a duplexed slot torn by a crash must read as
+	// Meta, never as a reclaimable leak.
+	firstData := s.disk.FirstDataPage()
+	acct := &PageAccount{Total: uint64(s.disk.NumPages()), Meta: uint64(firstData)}
+	for id := firstData; id < PageID(acct.Total); id++ {
 		p, err := s.pool.Fetch(id)
 		if err != nil {
 			acct.Unreadable++

@@ -122,7 +122,74 @@ func (bp *BufferPool) ReplaceBlob(root MetaRoot, data []byte) error {
 		return err
 	}
 	if old != InvalidPage {
+		// The flip must be durable before the old chain is destroyed. The
+		// metadata slots are no longer modeled durable-at-write: a crash can
+		// lose the root flip, and if the old chain's pages were already
+		// free-sealed the surviving (old) root would lead into reused pages
+		// and the store could not open.
+		if err := bp.disk.Sync(); err != nil {
+			return err
+		}
 		return bp.FreeBlob(old)
+	}
+	return nil
+}
+
+// swapRootOrder fixes the order in which SwapBlobs writes and frees chains.
+// The order is load-bearing for the crash harness: schedules are replayed
+// by global I/O op index, so the checkpoint's I/O sequence must be
+// identical across runs.
+var swapRootOrder = []MetaRoot{RootCatalog, RootSegTable, RootIndexTable, RootStats}
+
+// SwapBlobs replaces several system blobs as one atomic transition: every
+// new chain is written and made durable first, then all roots are flipped
+// with a single metadata write (SetRoots), the flip is synced, and only
+// then are the old chains freed. Compared with per-root ReplaceBlob calls
+// this closes the metadata-swap window the checkpoint used to have — a
+// crash between the catalog flip and the segment-table flip could reopen
+// with a segment whose class was gone from the catalog (readable orphan
+// rows). With one root write there is no between: a crash leaves either
+// every old root or every new one, and the not-yet-referenced (or
+// no-longer-freed) chains merely leak pages, which the accountant counts
+// and the compactor reclaims.
+func (bp *BufferPool) SwapBlobs(blobs map[MetaRoot][]byte) error {
+	roots := make(map[MetaRoot]PageID, len(blobs))
+	olds := make([]PageID, 0, len(blobs))
+	for _, r := range swapRootOrder {
+		data, ok := blobs[r]
+		if !ok {
+			continue
+		}
+		head, err := bp.WriteBlob(data)
+		if err != nil {
+			return err
+		}
+		if err := bp.FlushChain(head); err != nil {
+			return err
+		}
+		roots[r] = head
+		if old := bp.disk.GetRoot(r); old != InvalidPage {
+			olds = append(olds, old)
+		}
+	}
+	if len(roots) != len(blobs) {
+		return fmt.Errorf("storage: SwapBlobs: unknown meta root in request")
+	}
+	if len(roots) == 0 {
+		return nil
+	}
+	if err := bp.disk.SetRoots(roots); err != nil {
+		return err
+	}
+	// Same barrier as ReplaceBlob: the flip must be durable before any old
+	// chain page is destroyed in place.
+	if err := bp.disk.Sync(); err != nil {
+		return err
+	}
+	for _, old := range olds {
+		if err := bp.FreeBlob(old); err != nil {
+			return err
+		}
 	}
 	return nil
 }

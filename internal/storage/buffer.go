@@ -20,6 +20,9 @@ type DiskBackend interface {
 	Sync() error
 	GetRoot(r MetaRoot) PageID
 	SetRoot(r MetaRoot, id PageID) error
+	// SetRoots updates several roots with one metadata write — atomic
+	// under the crash model (see DiskManager.SetRoots).
+	SetRoots(roots map[MetaRoot]PageID) error
 }
 
 // PageLogger receives full-page images ahead of in-place page writes

@@ -1,0 +1,195 @@
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"oodb/internal/model"
+)
+
+// Online segment compaction. A class's heap accumulates dead space as
+// objects are updated, deleted and quarantined: pages sit half-empty in
+// allocation order interleaved with other classes' I/O, and overflow
+// chains orphaned by crashes leak entirely. RewriteSegment copies the live
+// records of one class into a fresh, contiguous chain of full pages and
+// swaps it in under the store mutex — the object-level contract (OIDs,
+// indexes, WAL replay) is untouched because kimdb addresses objects
+// logically: only the OID→RID directory changes.
+//
+// Crash safety is inherited from the DropClass protocol: the caller
+// (core.CompactClass) checkpoints after the swap so the segment table
+// durably names the new chain, and only then frees the detached old chain.
+// A crash before the checkpoint leaks the new pages (the durable segment
+// table still names the old chain, which is intact); a crash after it
+// leaks whatever old pages were not yet freed. Neither loses a committed
+// row, and no page is ever freed twice — the accountant's reclaim sweeps
+// the leak either way.
+
+// CompactResult reports what one segment rewrite did.
+type CompactResult struct {
+	Class       model.ClassID
+	LiveRecords int   // records copied into the new segment
+	LiveBytes   int64 // full (overflow-resolved) bytes copied
+	PagesBefore int   // heap chain length before (overflow pages excluded)
+	PagesAfter  int   // heap chain length after
+}
+
+// SegmentInfo is the occupancy snapshot the maintenance trigger policy
+// reads: how full a class's heap pages are with live, current records.
+type SegmentInfo struct {
+	Class       model.ClassID
+	Pages       int     // heap chain length (overflow pages excluded)
+	LiveRecords int     // live records whose RID the directory names
+	LiveBytes   int64   // heap-resident bytes of those records (stubs, not chains)
+	Occupancy   float64 // LiveBytes / (Pages × usable page payload), clamped to 1
+}
+
+// SegmentInfo computes the occupancy of a class's segment with one scan.
+// Returns nil (no error) if the class has no segment.
+func (s *Store) SegmentInfo(class model.ClassID) (*SegmentInfo, error) {
+	s.mu.RLock()
+	h, ok := s.heaps[class]
+	cur := make(map[model.OID]RID)
+	for oid, rid := range s.dir {
+		if oid.Class() == class {
+			cur[oid] = rid
+		}
+	}
+	s.mu.RUnlock()
+	if !ok {
+		return nil, nil
+	}
+	info := &SegmentInfo{Class: class}
+	err := h.Scan(func(rid RID, data []byte) bool {
+		oid, n := binary.Uvarint(data)
+		if n <= 0 {
+			return true
+		}
+		if r, ok := cur[model.OID(oid)]; !ok || r != rid {
+			return true // dead or shadowed copy: not live space
+		}
+		info.LiveRecords++
+		resident := int64(len(data)) + 1 // payload + record tag byte
+		if resident > maxInline {
+			// Overflowed record: only its stub lives in the heap page.
+			resident = 1 + 2*binary.MaxVarintLen64
+		}
+		info.LiveBytes += resident
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	if info.Pages, err = h.Pages(); err != nil {
+		return nil, err
+	}
+	if info.Pages > 0 {
+		info.Occupancy = float64(info.LiveBytes) / float64(info.Pages*MaxRecord)
+		if info.Occupancy > 1 {
+			info.Occupancy = 1
+		}
+	}
+	return info, nil
+}
+
+// RewriteSegment copies every live, current record of the class into a
+// fresh heap in physical scan order and swaps the fresh heap in. The old
+// segment is returned detached — its pages (and the old overflow chains)
+// are still allocated; the caller frees them with FreeDetached once the
+// metadata that stopped naming them is durable.
+//
+// Concurrency contract: the caller must exclude writers of the class for
+// the duration (core.CompactClass holds the class write lock under the DDL
+// mutex). Lock-free readers that resolved an RID before the swap keep
+// reading the old heap's pages, which stay intact until FreeDetached —
+// the same discipline DropClass relies on.
+//
+// visit, when non-nil, observes each copied record — the statistics
+// collector rides along on the sweep so compaction and ANALYZE share one
+// pass.
+//
+// Records the directory does not name at their scanned RID are dropped:
+// dead slots, and stale duplicates a crash can leave behind (an update
+// torn between its delete and insert halves replays into one directory
+// entry, but both physical copies survive rebuild). Compaction is thus
+// also the dedup pass for such slots.
+func (s *Store) RewriteSegment(class model.ClassID, visit func(oid model.OID, data []byte)) (*DetachedSegment, *CompactResult, error) {
+	s.mu.RLock()
+	old, ok := s.heaps[class]
+	cur := make(map[model.OID]RID)
+	for oid, rid := range s.dir {
+		if oid.Class() == class {
+			cur[oid] = rid
+		}
+	}
+	s.mu.RUnlock()
+	if !ok {
+		return nil, nil, fmt.Errorf("%w: %d", ErrNoSegment, class)
+	}
+	res := &CompactResult{Class: class}
+	var err error
+	if res.PagesBefore, err = old.Pages(); err != nil {
+		return nil, nil, err
+	}
+	fresh, err := NewHeap(s.pool)
+	if err != nil {
+		return nil, nil, err
+	}
+	abort := func(cause error) (*DetachedSegment, *CompactResult, error) {
+		// Best-effort: return the half-built heap's pages. It was never
+		// published, so freeing it cannot race anyone.
+		_ = s.FreeDetached(&DetachedSegment{heap: fresh})
+		return nil, nil, cause
+	}
+	newDir := make(map[model.OID]RID, len(cur))
+	var copyErr error
+	err = old.Scan(func(rid RID, data []byte) bool {
+		raw, n := binary.Uvarint(data)
+		if n <= 0 {
+			return true // torn record: nothing names it
+		}
+		oid := model.OID(raw)
+		if r, ok := cur[oid]; !ok || r != rid {
+			return true // dead or shadowed copy
+		}
+		nrid, ierr := fresh.Insert(data)
+		if ierr != nil {
+			copyErr = ierr
+			return false
+		}
+		newDir[oid] = nrid
+		res.LiveRecords++
+		res.LiveBytes += int64(len(data))
+		if visit != nil {
+			visit(oid, data)
+		}
+		return true
+	})
+	if err == nil {
+		err = copyErr
+	}
+	if err != nil {
+		return abort(err)
+	}
+	if res.PagesAfter, err = fresh.Pages(); err != nil {
+		return abort(err)
+	}
+	s.mu.Lock()
+	if h, ok := s.heaps[class]; !ok || h != old {
+		s.mu.Unlock()
+		return abort(fmt.Errorf("storage: segment for class %d changed during rewrite", class))
+	}
+	s.heaps[class] = fresh
+	for oid, rid := range newDir {
+		s.dir[oid] = rid
+	}
+	// Directory entries whose record the scan did not surface (a torn slot
+	// the rebuild indexed anyway) would dangle into the freed old heap.
+	for oid := range cur {
+		if _, ok := newDir[oid]; !ok {
+			delete(s.dir, oid)
+		}
+	}
+	s.mu.Unlock()
+	return &DetachedSegment{heap: old}, res, nil
+}

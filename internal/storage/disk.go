@@ -11,9 +11,21 @@ import (
 
 // DiskManager reads and writes fixed-size pages in a single database file
 // and manages page allocation through a free list threaded through freed
-// pages' Next links. Page 0 is the metadata page and is never handed out.
+// pages' Next links.
 //
-// Metadata page payload (after the standard header):
+// The metadata is duplexed (format version 2): pages 0 and 1 are twin
+// metadata slots carrying the same payload plus a monotonically increasing
+// epoch, and every metadata write goes to the slot NOT holding the current
+// state before becoming current itself. On open the newest slot that
+// passes its checksum wins. A crash can therefore tear at most the slot
+// being written, and the survivor is the state exactly one metadata write
+// earlier — every metadata transition (free-list push/pop, root flip) is
+// designed so that losing only its final write leaks a page at worst (see
+// AllocPage's abandoned-head fallback and ReplaceBlob/SwapBlobs' sync
+// ordering). Version-1 files (single slot at page 0) still open, in
+// legacy mode, where the slot is rewritten in place.
+//
+// Metadata slot payload (after the standard page header):
 //
 //	offset  field
 //	32      magic (4 bytes)
@@ -22,22 +34,33 @@ import (
 //	48      catalog blob chain head (8 bytes)
 //	56      segment table blob chain head (8 bytes)
 //	64      index table blob chain head (8 bytes)
+//	72      statistics blob chain head (8 bytes)
+//	80      metadata epoch (8 bytes)
 type DiskManager struct {
 	mu       sync.Mutex
 	file     *os.File
-	numPages PageID // count of pages in the file, including page 0
+	numPages PageID // count of pages in the file, including the meta slots
 	meta     Page
+	curSlot  PageID // slot holding the current metadata (always 0 when !duplex)
+	duplex   bool   // format version >= 2: A/B metadata slots at pages 0 and 1
 }
 
 const (
 	diskMagic      = 0x4B44_4201 // "KDB" + format 1
+	diskVersion    = 2           // current format: duplexed metadata slots
 	metaOffMagic   = 32
 	metaOffVersion = 36
 	metaOffFree    = 40
 	metaOffCatalog = 48
 	metaOffSegTab  = 56
 	metaOffIdxTab  = 64
+	metaOffStats   = 72
+	metaOffEpoch   = 80
 )
+
+// MetaSlots is the number of duplexed metadata slots at the head of a
+// format-version-2 file (pages 0 and 1). Data pages start after them.
+const MetaSlots = 2
 
 // ErrNotADatabase reports a file that does not carry the kimdb magic.
 var ErrNotADatabase = errors.New("storage: not a kimdb database file")
@@ -49,6 +72,7 @@ var ErrNotADatabase = errors.New("storage: not a kimdb database file")
 type Disk interface {
 	DiskBackend
 	NumPages() PageID
+	FirstDataPage() PageID
 	Close() error
 }
 
@@ -68,15 +92,22 @@ func OpenDisk(path string) (*DiskManager, error) {
 	}
 	d := &DiskManager{file: f}
 	if st.Size() == 0 {
-		// Fresh database: format the metadata page.
+		// Fresh database: format both metadata slots so the alternating
+		// writer always has a valid fallback from the first write on.
+		d.duplex = true
 		d.meta.Init(pageTypeMeta)
 		binary.BigEndian.PutUint32(d.meta.buf[metaOffMagic:], diskMagic)
-		binary.BigEndian.PutUint32(d.meta.buf[metaOffVersion:], 1)
-		d.numPages = 1
-		if err := d.writeMetaLocked(); err != nil {
-			f.Close()
-			return nil, err
+		binary.BigEndian.PutUint32(d.meta.buf[metaOffVersion:], diskVersion)
+		binary.BigEndian.PutUint64(d.meta.buf[metaOffEpoch:], 1)
+		d.numPages = MetaSlots
+		d.meta.Seal()
+		for slot := PageID(0); slot < MetaSlots; slot++ {
+			if _, err := f.WriteAt(d.meta.buf[:], int64(slot)*PageSize); err != nil {
+				f.Close()
+				return nil, fmt.Errorf("storage: format metadata slot %d: %w", slot, err)
+			}
 		}
+		d.curSlot = 0
 		return d, nil
 	}
 	if st.Size()%PageSize != 0 {
@@ -84,19 +115,76 @@ func OpenDisk(path string) (*DiskManager, error) {
 		return nil, fmt.Errorf("storage: %s: size %d not page-aligned", path, st.Size())
 	}
 	d.numPages = PageID(st.Size() / PageSize)
-	if _, err := f.ReadAt(d.meta.buf[:], 0); err != nil {
+	if err := d.openMeta(); err != nil {
 		f.Close()
 		return nil, err
 	}
-	if err := d.meta.Verify(); err != nil {
-		f.Close()
-		return nil, fmt.Errorf("storage: metadata page: %w", err)
-	}
-	if binary.BigEndian.Uint32(d.meta.buf[metaOffMagic:]) != diskMagic {
-		f.Close()
-		return nil, ErrNotADatabase
-	}
 	return d, nil
+}
+
+// openMeta reads the metadata slot(s) and installs the newest valid one.
+// For duplexed files a torn or stale slot is tolerated as long as its twin
+// verifies — that fallback is the whole point of the duplexing and is
+// counted on storage_meta_slot_fallbacks.
+func (d *DiskManager) openMeta() error {
+	type slotState struct {
+		page  Page
+		epoch uint64
+		valid bool
+	}
+	var slots [MetaSlots]slotState
+	n := d.numPages
+	if n > MetaSlots {
+		n = MetaSlots
+	}
+	for i := PageID(0); i < n; i++ {
+		s := &slots[i]
+		if _, err := d.file.ReadAt(s.page.buf[:], int64(i)*PageSize); err != nil {
+			continue
+		}
+		if s.page.Verify() != nil || s.page.Type() != pageTypeMeta {
+			continue
+		}
+		if binary.BigEndian.Uint32(s.page.buf[metaOffMagic:]) != diskMagic {
+			continue
+		}
+		s.epoch = binary.BigEndian.Uint64(s.page.buf[metaOffEpoch:])
+		s.valid = true
+	}
+	winner := -1
+	for i := range slots {
+		if slots[i].valid && (winner < 0 || slots[i].epoch > slots[winner].epoch) {
+			winner = i
+		}
+	}
+	if winner < 0 {
+		// Reproduce the single-slot error surface: a readable page-0 with
+		// the wrong magic is "not a database", anything else is corruption.
+		var p0 Page
+		if _, err := d.file.ReadAt(p0.buf[:], 0); err != nil {
+			return fmt.Errorf("storage: metadata page: %w", err)
+		}
+		if err := p0.Verify(); err != nil {
+			return fmt.Errorf("storage: metadata page: %w", err)
+		}
+		if binary.BigEndian.Uint32(p0.buf[metaOffMagic:]) != diskMagic {
+			return ErrNotADatabase
+		}
+		return fmt.Errorf("storage: metadata page: not a metadata slot")
+	}
+	d.meta = slots[winner].page
+	d.curSlot = PageID(winner)
+	d.duplex = binary.BigEndian.Uint32(d.meta.buf[metaOffVersion:]) >= 2
+	if d.duplex {
+		for i := range slots {
+			if PageID(i) < n && !slots[i].valid {
+				// The twin slot exists but did not verify: a torn metadata
+				// write survived by its sibling.
+				mMetaSlotFallback.Add(1)
+			}
+		}
+	}
+	return nil
 }
 
 // Close syncs and closes the file.
@@ -115,6 +203,21 @@ func (d *DiskManager) NumPages() PageID {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	return d.numPages
+}
+
+// FirstDataPage returns the id of the first page that can hold data: past
+// both metadata slots on a duplexed file, past page 0 on a legacy one.
+func (d *DiskManager) FirstDataPage() PageID {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.firstDataLocked()
+}
+
+func (d *DiskManager) firstDataLocked() PageID {
+	if d.duplex {
+		return MetaSlots
+	}
+	return 1
 }
 
 // ReadPage reads the page into p, verifying its checksum.
@@ -145,6 +248,9 @@ func (d *DiskManager) WritePage(id PageID, p *Page) error {
 }
 
 func (d *DiskManager) writePageLocked(id PageID, p *Page) error {
+	if id < d.firstDataLocked() {
+		return fmt.Errorf("storage: write of metadata slot %d through the page seam", id)
+	}
 	if id >= d.numPages {
 		return fmt.Errorf("storage: write of page %d beyond end (%d pages)", id, d.numPages)
 	}
@@ -203,7 +309,7 @@ func (d *DiskManager) AllocPage() (PageID, error) {
 func (d *DiskManager) FreePage(id PageID) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	if id == InvalidPage || id >= d.numPages {
+	if id == InvalidPage || id < d.firstDataLocked() || id >= d.numPages {
 		return fmt.Errorf("storage: free of invalid page %d", id)
 	}
 	var p Page
@@ -225,7 +331,8 @@ func (d *DiskManager) Sync() error {
 }
 
 // Meta roots. The engine stores the heads of its system blob chains
-// (catalog image, segment table, index table) in the metadata page.
+// (catalog image, segment table, index table, statistics) in the metadata
+// slots.
 
 // MetaRoot identifies one of the blob-chain roots in the metadata page.
 type MetaRoot int
@@ -235,6 +342,7 @@ const (
 	RootCatalog MetaRoot = iota
 	RootSegTable
 	RootIndexTable
+	RootStats
 )
 
 func (r MetaRoot) offset() int {
@@ -243,6 +351,8 @@ func (r MetaRoot) offset() int {
 		return metaOffCatalog
 	case RootSegTable:
 		return metaOffSegTab
+	case RootStats:
+		return metaOffStats
 	default:
 		return metaOffIdxTab
 	}
@@ -264,10 +374,56 @@ func (d *DiskManager) SetRoot(r MetaRoot, id PageID) error {
 	return d.writeMetaLocked()
 }
 
+// SetRoots stores several roots with a single metadata write. Because one
+// metadata write lands in one slot, the batch is atomic under the crash
+// model: after a crash either all of the updates are visible or none are.
+// The checkpoint uses this to swap the catalog, segment-table, index-table
+// and statistics blobs as one transition, closing the window where a crash
+// between separate root flips could reopen with a segment whose class is
+// gone from the catalog.
+func (d *DiskManager) SetRoots(roots map[MetaRoot]PageID) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for r, id := range roots {
+		binary.BigEndian.PutUint64(d.meta.buf[r.offset():], uint64(id))
+	}
+	return d.writeMetaLocked()
+}
+
+// writeMetaLocked persists the metadata: on a duplexed file the epoch is
+// bumped and the write targets the slot not holding the current state, so
+// a crash mid-write still leaves the previous state readable; a legacy
+// file rewrites its single slot in place.
 func (d *DiskManager) writeMetaLocked() error {
+	if d.duplex {
+		epoch := binary.BigEndian.Uint64(d.meta.buf[metaOffEpoch:]) + 1
+		binary.BigEndian.PutUint64(d.meta.buf[metaOffEpoch:], epoch)
+		d.curSlot = 1 - d.curSlot
+	}
 	d.meta.Seal()
-	if _, err := d.file.WriteAt(d.meta.buf[:], 0); err != nil {
+	if _, err := d.file.WriteAt(d.meta.buf[:], int64(d.curSlot)*PageSize); err != nil {
 		return fmt.Errorf("storage: write metadata page: %w", err)
 	}
 	return nil
+}
+
+// MetaSlotInfo inspects a raw page image as a metadata slot: it reports
+// the format version and epoch if the image is a checksum-valid metadata
+// page carrying the kimdb magic. The fault-injection layer uses it to find
+// the newest slot of a duplexed file when simulating a torn metadata
+// write, and tests use it to assert slot alternation.
+func MetaSlotInfo(buf []byte) (version uint32, epoch uint64, ok bool) {
+	if len(buf) != PageSize {
+		return 0, 0, false
+	}
+	var p Page
+	copy(p.buf[:], buf)
+	if p.Verify() != nil || p.Type() != pageTypeMeta {
+		return 0, 0, false
+	}
+	if binary.BigEndian.Uint32(p.buf[metaOffMagic:]) != diskMagic {
+		return 0, 0, false
+	}
+	return binary.BigEndian.Uint32(p.buf[metaOffVersion:]),
+		binary.BigEndian.Uint64(p.buf[metaOffEpoch:]), true
 }

@@ -25,6 +25,11 @@ var (
 	mFreeListFreed     = obs.RegisterCounter("storage_freelist_freed_pages")
 	mFreeListAbandoned = obs.RegisterCounter("storage_freelist_abandoned_heads")
 
+	// mMetaSlotFallback counts opens that found one duplexed metadata slot
+	// torn and fell back to its twin — the A/B design absorbing a crash
+	// mid-metadata-write.
+	mMetaSlotFallback = obs.RegisterCounter("storage_meta_slot_fallbacks")
+
 	mOverflowWrites = obs.RegisterCounter("storage_overflow_chains_written")
 	mOverflowFrees  = obs.RegisterCounter("storage_overflow_chains_freed")
 	mOverflowLeaked = obs.RegisterCounter("storage_overflow_chains_leaked")

@@ -354,15 +354,55 @@ func (s *Store) PoolStats() (hits, misses uint64) {
 
 // Checkpoint persists the segment table and flushes every dirty page to
 // disk. After Checkpoint returns, the on-disk state is self-contained: a
-// reopened store rebuilds its directory without any WAL.
+// reopened store rebuilds its directory without any WAL. Data pages flush
+// before the root moves: the new table may name chains still dirty in the
+// pool (a compaction's rewritten heap), and publishing the root first
+// would lose them on a crash between the two steps.
 func (s *Store) Checkpoint() error {
 	s.mu.RLock()
 	table := s.encodeSegTable()
 	s.mu.RUnlock()
-	if err := s.pool.ReplaceBlob(RootSegTable, table); err != nil {
+	if err := s.pool.FlushAll(); err != nil {
 		return err
 	}
-	return s.pool.FlushAll()
+	return s.pool.ReplaceBlob(RootSegTable, table)
+}
+
+// EncodeSegTable serializes the current segment table — the blob the
+// engine's checkpoint swaps under RootSegTable together with the catalog
+// (see BufferPool.SwapBlobs).
+func (s *Store) EncodeSegTable() []byte {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.encodeSegTable()
+}
+
+// ReclaimLeaked frees every page the accountant classifies as leaked —
+// quarantined overflow chains, abandoned free-list pages, chains detached
+// by a crashed DropClass or compaction. Caller contract: the store must be
+// quiesced (no transactions in flight) and checkpointed, so the
+// reachability walk sees exactly the durable live set and everything
+// outside it is provably garbage; the engine's ReclaimLeaked enforces that
+// with its begin fence. Unreadable (torn) unreachable pages are reclaimed
+// too: at a quiesced checkpoint nothing can restore them. Returns the
+// number of pages returned to the free list.
+func (s *Store) ReclaimLeaked() (int, error) {
+	acct, err := s.AccountPages()
+	if err != nil {
+		return 0, err
+	}
+	n := 0
+	for _, id := range acct.all {
+		s.pool.Drop(id)
+		if err := s.pool.FreePage(id); err != nil {
+			return n, err
+		}
+		n++
+	}
+	if n > 0 {
+		mPagesLeaked.Set(0)
+	}
+	return n, nil
 }
 
 // encodeSegTable serializes {class, first, last, nextSeq} rows. Caller

@@ -80,17 +80,20 @@ func TestDiskRejectsGarbage(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "g.kdb")
 	d, _ := OpenDisk(path)
 	d.Close()
-	// Corrupt the magic.
+	// Corrupt the magic in both metadata slots (a single bad slot falls
+	// back to its twin; a non-database file has no valid slot at all).
 	f, err := openRW(path)
 	if err != nil {
 		t.Fatal(err)
 	}
-	f.WriteAt([]byte{0xde, 0xad, 0xbe, 0xef}, metaOffMagic)
-	// Fix the checksum so only the magic is wrong.
-	var p Page
-	f.ReadAt(p.buf[:], 0)
-	p.Seal()
-	f.WriteAt(p.buf[:], 0)
+	for slot := int64(0); slot < MetaSlots; slot++ {
+		f.WriteAt([]byte{0xde, 0xad, 0xbe, 0xef}, slot*PageSize+metaOffMagic)
+		// Fix the checksum so only the magic is wrong.
+		var p Page
+		f.ReadAt(p.buf[:], slot*PageSize)
+		p.Seal()
+		f.WriteAt(p.buf[:], slot*PageSize)
+	}
 	f.Close()
 	if _, err := OpenDisk(path); !errors.Is(err, ErrNotADatabase) {
 		t.Errorf("expected ErrNotADatabase, got %v", err)

@@ -44,6 +44,13 @@ const (
 	RecPut       // object upsert: Before = prior image (nil on insert), After = new image
 	RecDelete    // object delete: Before = prior image
 	RecPageImage // physical full-page image: OID = page id, After = page bytes
+
+	// RecCompaction marks the start of an online segment compaction
+	// (OID = class id). It is replay-inert — compaction moves records
+	// between pages without changing any object, so recovery needs no redo
+	// or undo for it; the record exists so the log tells maintenance
+	// rewrites apart from foreground traffic when reconstructing a crash.
+	RecCompaction
 )
 
 // Record is one logical log record.

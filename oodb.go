@@ -36,6 +36,7 @@ import (
 	"oodb/internal/composite"
 	"oodb/internal/core"
 	"oodb/internal/federation"
+	"oodb/internal/maint"
 	"oodb/internal/model"
 	"oodb/internal/obs"
 	"oodb/internal/query"
@@ -398,6 +399,13 @@ func (db *DB) QueryEngine() *query.Engine { return db.q }
 // NewWorkspace returns a memory-resident object workspace (OID→pointer
 // swizzling; see Workspace).
 func (db *DB) NewWorkspace() *Workspace { return workspace.New(db.eng) }
+
+// Maintenance returns the online maintenance manager: segment compaction,
+// leaked-page reclamation and planner-statistics collection (DESIGN §11).
+// Call Start for the background sweep loop, or drive it on demand.
+func (db *DB) Maintenance(opts maint.Options) *maint.Manager {
+	return maint.New(db.eng, opts)
+}
 
 // --- Feature layers ----------------------------------------------------
 
