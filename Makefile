@@ -4,7 +4,7 @@ GO ?= go
 # pre-merge gate sweeps wider). Override: make crash CRASH_SCHEDULES=500
 CRASH_SCHEDULES ?= 120
 
-.PHONY: build test vet fmtcheck race bench crash maint metrics-lint verify
+.PHONY: build test vet fmtcheck race bench crash maint mvcc metrics-lint verify
 
 build:
 	$(GO) build ./...
@@ -44,7 +44,16 @@ maint:
 	$(GO) test -race -count=1 ./internal/maint/ ./internal/stats/
 	CRASH_SCHEDULES=$(CRASH_SCHEDULES) $(GO) test -race -count=1 -run 'TestCrashDuringCompaction|TestCrashCheckpointRootSwap' .
 
+# The MVCC snapshot stack under the race detector: visibility and
+# chain-lifecycle invariants (internal/mvcc), the snapshot/locked scan
+# differential, concurrent reader-vs-writer stress, and the snapshot
+# crash matrix (epoch persistence across recovery).
+mvcc:
+	$(GO) test -race -count=1 ./internal/mvcc/
+	$(GO) test -race -count=1 -run 'TestSnapshot' ./internal/core/
+	CRASH_SCHEDULES=$(CRASH_SCHEDULES) $(GO) test -race -count=1 -run 'TestCrashMatrixMVCC' .
+
 # The full pre-merge gate: compile, static checks, formatting drift, the
-# whole test suite under the race detector, a wide crash sweep, and the
-# maintenance matrix.
-verify: build vet fmtcheck metrics-lint race crash maint
+# whole test suite under the race detector, a wide crash sweep, the
+# maintenance matrix, and the MVCC snapshot stack.
+verify: build vet fmtcheck metrics-lint race crash maint mvcc

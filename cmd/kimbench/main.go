@@ -32,6 +32,7 @@ var (
 	recovery = flag.String("recovery", "", "measure recovery time vs WAL size, write the JSON report to this path, and exit")
 	compact  = flag.String("compact", "", "measure scan latency before/after online compaction, write the JSON report to this path, and exit")
 	metrics  = flag.String("metrics", "", "run the obs workload, write the metric snapshot report to this path, and exit")
+	mvcc     = flag.String("mvcc", "", "measure snapshot-reader throughput vs a bulk writer, write the JSON report to this path, and exit")
 	httpAddr = flag.String("http", "", "serve /metrics and /debug/pprof on this address while running (e.g. localhost:6060)")
 )
 
@@ -54,6 +55,10 @@ func main() {
 	}
 	if *metrics != "" {
 		runMetricsBench(*metrics)
+		return
+	}
+	if *mvcc != "" {
+		runMVCCBench(*mvcc)
 		return
 	}
 	experiments := []struct {

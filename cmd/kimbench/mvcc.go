@@ -1,0 +1,194 @@
+package main
+
+// MVCC reader-throughput datapoints: the tentpole claim is that snapshot
+// readers never touch the lock manager, so a bulk writer that would stall
+// every S-locking scan leaves snapshot scan throughput essentially flat.
+// Three modes over the same database, each a fixed wall-clock window:
+//
+//	baseline  N snapshot readers, no writer
+//	mvcc      N snapshot readers + 1 bulk writer
+//	locked    N S-locking readers + 1 bulk writer (the contrast)
+//
+// The report (BENCH_mvcc.json) records reader scans/sec per mode and the
+// baseline/mvcc ratio; the acceptance bar is ratio <= 1.5.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"oodb"
+)
+
+type mvccMode struct {
+	Mode          string  `json:"mode"`
+	Readers       int     `json:"readers"`
+	Writer        bool    `json:"writer"`
+	ReaderScans   uint64  `json:"reader_scans"`
+	ScansPerSec   float64 `json:"scans_per_sec"`
+	WriterCommits uint64  `json:"writer_commits"`
+	ReaderErrors  uint64  `json:"reader_errors"` // aborted locked scans (deadlock victims etc.)
+}
+
+type mvccReport struct {
+	Experiment    string     `json:"experiment"`
+	Description   string     `json:"description"`
+	Objects       int        `json:"objects"`
+	WindowMS      int        `json:"window_ms"`
+	Modes         []mvccMode `json:"modes"`
+	SlowdownVsRO  float64    `json:"slowdown_vs_readonly"` // baseline rate / mvcc rate
+	SlowdownLimit float64    `json:"slowdown_limit"`
+	WithinLimit   bool       `json:"within_limit"`
+}
+
+// runMVCCBench measures snapshot-reader throughput with and without a bulk
+// writer and writes the JSON report to outPath.
+func runMVCCBench(outPath string) {
+	const readers = 8
+	objects := scale(4000, 800)
+	window := 1500 * time.Millisecond
+	if *quick {
+		window = 400 * time.Millisecond
+	}
+
+	db, done := openDB()
+	defer done()
+	_, err := db.DefineClass("R", nil, oodb.Attr{Name: "n", Domain: "Integer"})
+	check(err)
+	cls, err := db.ClassByName("R")
+	check(err)
+	var oids []oodb.OID
+	const insertBatch = 500
+	for len(oids) < objects {
+		check(db.Do(func(tx *oodb.Tx) error {
+			for j := 0; j < insertBatch && len(oids) < objects; j++ {
+				oid, err := tx.Insert("R", oodb.Attrs{"n": oodb.Int(int64(len(oids)))})
+				if err != nil {
+					return err
+				}
+				oids = append(oids, oid)
+			}
+			return nil
+		}))
+	}
+
+	// Sanity: the facade's snapshot query path agrees with the heap before
+	// any contention starts.
+	res, err := db.QuerySnapshot(`SELECT * FROM R`)
+	check(err)
+	if len(res.Rows) != objects {
+		check(fmt.Errorf("snapshot query sees %d of %d objects", len(res.Rows), objects))
+	}
+
+	snapshotScan := func() (int, error) {
+		tx := db.BeginSnapshot()
+		n := 0
+		err := tx.Scan(cls.ID, func(*oodb.Object) bool { n++; return true })
+		tx.Commit()
+		return n, err
+	}
+	lockedScan := func() (int, error) {
+		tx := db.Begin()
+		n := 0
+		err := tx.Scan(cls.ID, func(*oodb.Object) bool { n++; return true })
+		if err != nil {
+			tx.Abort()
+			return n, err
+		}
+		return n, tx.Commit()
+	}
+
+	runMode := func(mode string, scan func() (int, error), withWriter bool) mvccMode {
+		var scans, readerErrs, commits uint64
+		stop := make(chan struct{})
+		var wg sync.WaitGroup
+		for r := 0; r < readers; r++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					if _, err := scan(); err != nil {
+						atomic.AddUint64(&readerErrs, 1)
+						continue
+					}
+					atomic.AddUint64(&scans, 1)
+				}
+			}()
+		}
+		if withWriter {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				const batch = 64
+				for i := 0; ; i++ {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					base := (i * batch) % len(oids)
+					err := db.Do(func(tx *oodb.Tx) error {
+						for j := 0; j < batch; j++ {
+							oid := oids[(base+j)%len(oids)]
+							if err := tx.Update(oid, oodb.Attrs{"n": oodb.Int(int64(i))}); err != nil {
+								return err
+							}
+						}
+						return nil
+					})
+					if err == nil {
+						atomic.AddUint64(&commits, 1)
+					}
+				}
+			}()
+		}
+		start := time.Now()
+		time.Sleep(window)
+		close(stop)
+		wg.Wait()
+		elapsed := time.Since(start)
+		m := mvccMode{
+			Mode:          mode,
+			Readers:       readers,
+			Writer:        withWriter,
+			ReaderScans:   atomic.LoadUint64(&scans),
+			ScansPerSec:   float64(atomic.LoadUint64(&scans)) / elapsed.Seconds(),
+			WriterCommits: atomic.LoadUint64(&commits),
+			ReaderErrors:  atomic.LoadUint64(&readerErrs),
+		}
+		fmt.Printf("mvcc: %-28s %8.1f scans/s  (%d scans, %d writer commits, %d reader errors)\n",
+			mode, m.ScansPerSec, m.ReaderScans, m.WriterCommits, m.ReaderErrors)
+		return m
+	}
+
+	report := mvccReport{
+		Experiment: "mvcc",
+		Description: fmt.Sprintf("%d snapshot readers scanning %d objects for %v per mode; "+
+			"bulk writer commits %d-object update transactions", readers, objects, window, 64),
+		Objects:       objects,
+		WindowMS:      int(window.Milliseconds()),
+		SlowdownLimit: 1.5,
+	}
+	baseline := runMode("snapshot readers, no writer", snapshotScan, false)
+	mvcc := runMode("snapshot readers + bulk writer", snapshotScan, true)
+	locked := runMode("locked readers + bulk writer", lockedScan, true)
+	report.Modes = []mvccMode{baseline, mvcc, locked}
+	if mvcc.ScansPerSec > 0 {
+		report.SlowdownVsRO = baseline.ScansPerSec / mvcc.ScansPerSec
+	}
+	report.WithinLimit = report.SlowdownVsRO <= report.SlowdownLimit
+
+	out, err := json.MarshalIndent(report, "", "  ")
+	check(err)
+	check(os.WriteFile(outPath, append(out, '\n'), 0o644))
+	fmt.Printf("wrote %s (slowdown vs read-only: %.2fx, limit %.1fx)\n",
+		outPath, report.SlowdownVsRO, report.SlowdownLimit)
+}

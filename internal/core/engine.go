@@ -17,6 +17,7 @@ import (
 
 	"oodb/internal/index"
 	"oodb/internal/model"
+	"oodb/internal/mvcc"
 	"oodb/internal/schema"
 	"oodb/internal/stats"
 	"oodb/internal/storage"
@@ -57,6 +58,11 @@ type DB struct {
 	// at every checkpoint. Advisory only — an empty registry just means the
 	// planner keeps its heuristic ranking.
 	Stats *stats.Registry
+	// Versions is the MVCC overlay: per-object version chains and the
+	// commit-epoch counter that give snapshot transactions (BeginSnapshot)
+	// their lock-free visibility rule. Writers feed it from the Tx write
+	// paths; the maintenance sweep vacuums it (see internal/mvcc).
+	Versions *mvcc.Manager
 
 	opts       Options
 	nextTxn    atomic.Uint64
@@ -153,12 +159,13 @@ func Open(dir string, opts Options) (*DB, error) {
 	}
 
 	db := &DB{
-		Catalog: cat,
-		Store:   store,
-		Log:     log,
-		Locks:   txn.NewLockManager(),
-		Stats:   reg,
-		opts:    opts,
+		Catalog:  cat,
+		Store:    store,
+		Log:      log,
+		Locks:    txn.NewLockManager(),
+		Stats:    reg,
+		Versions: mvcc.NewManager(),
+		opts:     opts,
 	}
 	db.Indexes = index.NewManager(cat, db)
 
@@ -244,23 +251,7 @@ func (db *DB) Close() error {
 // leave open (catalog new, segment table old ⇒ a recreated class scanning
 // a freed segment) is gone.
 func (db *DB) Checkpoint() error {
-	t0 := time.Now()
-	defer func() { mCkptNs.Observe(uint64(time.Since(t0))) }()
-	pool := db.Store.Pool()
-	// Flush data pages BEFORE the root swap: the new segment table may name
-	// freshly written chains (a compaction's rewritten heap), and publishing
-	// a root over pages still dirty in the pool would lose committed rows on
-	// a crash between the swap and the flush.
-	if err := pool.FlushAll(); err != nil {
-		return err
-	}
-	err := pool.SwapBlobs(map[storage.MetaRoot][]byte{
-		storage.RootCatalog:    schema.EncodeCatalog(db.Catalog),
-		storage.RootIndexTable: index.EncodeDefs(db.Indexes),
-		storage.RootSegTable:   db.Store.EncodeSegTable(),
-		storage.RootStats:      db.Stats.Encode(),
-	})
-	if err != nil {
+	if err := db.checkpointBody(); err != nil {
 		return err
 	}
 	// Truncate under the begin fence: after taking the write side, the
@@ -273,6 +264,29 @@ func (db *DB) Checkpoint() error {
 		return nil // keep the log: in-flight undo information lives there
 	}
 	return db.Log.Reset()
+}
+
+// checkpointBody is the fence-free first half of Checkpoint: flush every
+// dirty page, then move all four system roots in one atomic swap. Shared
+// with ReclaimLeakedWait, which runs it while already holding the begin
+// fence (Checkpoint itself must not, since it takes the fence afterwards).
+func (db *DB) checkpointBody() error {
+	t0 := time.Now()
+	defer func() { mCkptNs.Observe(uint64(time.Since(t0))) }()
+	pool := db.Store.Pool()
+	// Flush data pages BEFORE the root swap: the new segment table may name
+	// freshly written chains (a compaction's rewritten heap), and publishing
+	// a root over pages still dirty in the pool would lose committed rows on
+	// a crash between the swap and the flush.
+	if err := pool.FlushAll(); err != nil {
+		return err
+	}
+	return pool.SwapBlobs(map[storage.MetaRoot][]byte{
+		storage.RootCatalog:    schema.EncodeCatalog(db.Catalog),
+		storage.RootIndexTable: index.EncodeDefs(db.Indexes),
+		storage.RootSegTable:   db.Store.EncodeSegTable(),
+		storage.RootStats:      db.Stats.Encode(),
+	})
 }
 
 // pageLogger adapts the WAL to the buffer pool's full-page-image hook.
@@ -313,6 +327,16 @@ func (db *DB) maybeCheckpoint() {
 // a no-op).
 func (db *DB) replay(records []wal.Record) error {
 	a := wal.Analyze(records)
+	// Restore the commit-epoch watermark from the logged commit records.
+	// The overlay itself stays empty: replay reconstructs a fully
+	// committed heap, so every recovered snapshot reads committed truth.
+	var maxEpoch uint64
+	for _, r := range records {
+		if r.Type == wal.RecCommit && r.Epoch > maxEpoch {
+			maxEpoch = r.Epoch
+		}
+	}
+	db.Versions.RestoreEpoch(maxEpoch)
 	// A record may target a class dropped after it was logged (DDL
 	// checkpoints persist the catalog immediately, but the log survives a
 	// checkpoint taken under active transactions): such writes are moot.

@@ -2,6 +2,7 @@ package core
 
 import (
 	"errors"
+	"time"
 
 	"oodb/internal/model"
 	"oodb/internal/storage"
@@ -58,17 +59,20 @@ func (db *DB) CompactClass(class model.ClassID, visit func(oid model.OID, data [
 	return result, nil
 }
 
-// AnalyzeClass scans the class and returns the bytes-and-count callback
-// feed without rewriting anything — the on-demand statistics sweep for
-// segments healthy enough to skip compaction. The scan runs outside any
-// lock (the storage layer's lock-free reader discipline), so concurrent
-// writers may or may not be observed; statistics are advisory and tolerate
-// that.
+// AnalyzeClass feeds every instance of the class to visit without
+// rewriting anything — the on-demand statistics sweep for segments
+// healthy enough to skip compaction. The sweep reads through a snapshot
+// transaction: it stays lock-free, but visibility is pinned to the commit
+// epoch at which it starts, so the statistics never count rows a
+// concurrent uncommitted transaction wrote (and might abort) — the KMV
+// sketches describe a state that actually existed.
 func (db *DB) AnalyzeClass(class model.ClassID, visit func(oid model.OID, data []byte)) error {
 	if db.closed.Load() {
 		return ErrClosed
 	}
-	return db.Store.ScanClass(class, func(oid model.OID, data []byte) bool {
+	tx := db.BeginSnapshot()
+	defer tx.Commit()
+	return tx.snapshotScanRaw(class, func(oid model.OID, data []byte) bool {
 		visit(oid, data)
 		return true
 	})
@@ -76,30 +80,53 @@ func (db *DB) AnalyzeClass(class model.ClassID, visit func(oid model.OID, data [
 
 // ReclaimLeaked frees every page the accountant classifies as leaked —
 // the debris of crashes inside the detach→checkpoint→free window — and
-// returns how many were freed.
-//
-// Ordering is load-bearing. The checkpoint runs first, making the current
-// catalog, segment table and system blobs durable, so the accountant's
-// reachability walk reflects exactly the durable state; it must happen
-// before taking the begin fence because Checkpoint acquires ckptMu itself.
-// Then, under the fence, the active-transaction count is exact: if any
-// transaction is in flight the reclaim refuses (ErrBusy) rather than free
-// pages whose WAL images could be replayed after a crash. With the count
-// at zero the preceding checkpoint has truncated the log, so no stale
-// page image can resurrect a freed page's old content.
+// returns how many were freed. It is ReclaimLeakedWait with no quiesce
+// window: any transaction in flight yields ErrBusy immediately.
 func (db *DB) ReclaimLeaked() (int, error) {
+	return db.ReclaimLeakedWait(0)
+}
+
+// ReclaimLeakedWait is ReclaimLeaked with a bounded quiesce window: when
+// transactions are in flight it holds the begin fence — new transactions
+// block in Begin's first operation — and waits up to wait for the
+// in-flight ones to drain before reclaiming, so a steady trickle of
+// short transactions can no longer starve the reclaimer forever (each
+// sweep previously found activeTxns != 0 and gave up, leaking pages
+// unbounded). If the window expires the reclaim still yields ErrBusy.
+//
+// Ordering is load-bearing. The begin fence is taken first: new
+// transactions block in their first operation, while in-flight ones drain
+// freely — waiting for the active count to reach zero cannot deadlock,
+// because a draining transaction never re-acquires the fence (Commit
+// leaves the active set *before* its checkpoint attempt, which then just
+// blocks until the fence drops, and Abort never takes it). If any
+// transaction remains past the deadline the reclaim refuses (ErrBusy)
+// rather than free pages whose WAL images could be replayed after a
+// crash. Once quiesced, a full checkpoint runs inline under the fence —
+// flush, root swap, and unconditional log truncation — so the
+// accountant's reachability walk sees exactly the durable state and no
+// stale page image survives to resurrect a freed page's old content
+// after a later crash.
+func (db *DB) ReclaimLeakedWait(wait time.Duration) (int, error) {
 	if db.closed.Load() {
 		return 0, ErrClosed
 	}
 	db.ddlMu.Lock()
 	defer db.ddlMu.Unlock()
-	if err := db.Checkpoint(); err != nil {
-		return 0, err
-	}
 	db.ckptMu.Lock()
 	defer db.ckptMu.Unlock()
-	if db.activeTxns.Load() != 0 {
-		return 0, ErrBusy
+	deadline := time.Now().Add(wait)
+	for db.activeTxns.Load() != 0 {
+		if wait <= 0 || time.Now().After(deadline) {
+			return 0, ErrBusy
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+	if err := db.checkpointBody(); err != nil {
+		return 0, err
+	}
+	if err := db.Log.Reset(); err != nil {
+		return 0, err
 	}
 	return db.Store.ReclaimLeaked()
 }

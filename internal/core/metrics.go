@@ -8,4 +8,11 @@ import (
 var (
 	mCkptNs      = obs.RegisterHistogram("core_checkpoint_duration_ns")
 	mCkptSkipped = obs.RegisterCounter("core_checkpoint_truncation_skips")
+
+	// Snapshot-transaction traffic: begins/ends pair up (a leak shows as
+	// a widening gap), reads count objects resolved through the overlay
+	// path. Chain-shape health lives in internal/mvcc's metrics.
+	mSnapBegins = obs.RegisterCounter("txn_snapshot_begins_total")
+	mSnapEnds   = obs.RegisterCounter("txn_snapshot_ends_total")
+	mSnapReads  = obs.RegisterCounter("txn_snapshot_reads_total")
 )

@@ -1,0 +1,164 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"oodb/internal/model"
+)
+
+// Snapshot transactions: read-only Tx instances whose reads resolve
+// through the MVCC overlay (internal/mvcc) at a pinned commit epoch
+// instead of taking locks. One bulk writer holding X locks no longer
+// stalls a hierarchy scan — the reader simply sees the epoch it began at.
+
+// ErrReadOnlyTxn reports a write attempted through a snapshot
+// transaction.
+var ErrReadOnlyTxn = errors.New("core: snapshot transaction is read-only")
+
+// BeginSnapshot starts a read-only snapshot transaction pinned to the
+// current commit epoch. Its reads never touch the lock manager: Fetch and
+// the scan methods resolve visibility through the version overlay, writes
+// fail with ErrReadOnlyTxn, and Commit/Abort (either one) releases the
+// snapshot. Unlike a locked Tx, its scans may be issued from multiple
+// goroutines at once.
+func (db *DB) BeginSnapshot() *Tx {
+	mSnapBegins.Add(1)
+	return &Tx{
+		db:        db,
+		id:        db.nextTxn.Add(1),
+		snap:      true,
+		snapEpoch: db.Versions.BeginSnapshot(),
+	}
+}
+
+// Snapshot reports whether the transaction is a snapshot (read-only,
+// lock-free) transaction.
+func (tx *Tx) Snapshot() bool { return tx.snap }
+
+// SnapshotEpoch returns the pinned commit epoch of a snapshot
+// transaction (0, false for a locked transaction).
+func (tx *Tx) SnapshotEpoch() (uint64, bool) {
+	if !tx.snap {
+		return 0, false
+	}
+	return tx.snapEpoch, true
+}
+
+// endSnapshot releases the snapshot registration exactly once.
+func (tx *Tx) endSnapshot() {
+	if tx.snapEnded.CompareAndSwap(false, true) {
+		tx.db.Versions.EndSnapshot(tx.snapEpoch)
+		mSnapEnds.Add(1)
+	}
+}
+
+// snapshotFetch resolves one object at the pinned epoch. The heap is read
+// first and the overlay consulted second — the reader half of the MVCC
+// ordering protocol (see internal/mvcc).
+func (tx *Tx) snapshotFetch(oid model.OID) (*model.Object, error) {
+	data, err := tx.db.Store.Get(oid)
+	heapOK := err == nil
+	vdata, ok := tx.db.Versions.Resolve(oid, data, heapOK, tx.snapEpoch)
+	if !ok {
+		if err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("%w: %s", ErrNoObject, oid)
+	}
+	mSnapReads.Add(1)
+	return model.DecodeObject(vdata)
+}
+
+// snapshotScan iterates the snapshot-visible instances of exactly one
+// class, lock-free.
+func (tx *Tx) snapshotScan(class model.ClassID, fn func(*model.Object) bool) error {
+	var derr error
+	err := tx.snapshotScanRaw(class, func(oid model.OID, data []byte) bool {
+		obj, err := model.DecodeObject(data)
+		if err != nil {
+			derr = err
+			return false
+		}
+		return fn(obj)
+	})
+	if err != nil {
+		return err
+	}
+	return derr
+}
+
+// snapshotScanRaw is snapshotScan over encoded images: a heap scan with
+// every record resolved through the overlay, then a sweep of the class's
+// remaining version chains — objects whose heap record is already deleted
+// (or not yet created) but whose snapshot-visible version lives on in the
+// overlay. Per-object resolution takes only the OID's shard read-lock in
+// the overlay, which is what keeps reader throughput flat under a bulk
+// writer (the -mvcc bench pins the ratio). On a quiesced database the
+// overlay is empty or converged, so the output is byte-identical to a
+// locked heap scan (the differential test pins this).
+func (tx *Tx) snapshotScanRaw(class model.ClassID, fn func(oid model.OID, data []byte) bool) error {
+	seen := make(map[model.OID]bool)
+	reads := uint64(0)
+	defer func() { mSnapReads.Add(reads) }()
+	stopped := false
+	err := tx.db.Store.ScanClass(class, func(oid model.OID, data []byte) bool {
+		if seen[oid] {
+			return true // a concurrent relocation surfaced it twice
+		}
+		seen[oid] = true
+		vdata, ok := tx.db.Versions.Resolve(oid, data, true, tx.snapEpoch)
+		if !ok {
+			return true // invisible at this epoch
+		}
+		reads++
+		if !fn(oid, vdata) {
+			stopped = true
+			return false
+		}
+		return true
+	})
+	if err != nil || stopped {
+		return err
+	}
+	// Only delete-shielded chains can belong to objects the heap scan
+	// missed: inserts write their heap record before commit, and
+	// Heap.Scan guarantees no live record is skipped (a concurrent
+	// relocation only ever moves a record to the heap tail, which the
+	// scan still visits — see internal/storage). The tombstone count is
+	// checked after the heap scan so a delete recorded mid-scan is never
+	// overlooked.
+	if tx.db.Versions.ClassTombstones(class) == 0 {
+		return nil
+	}
+	for _, oid := range tx.db.Versions.ClassChains(class) {
+		if seen[oid] {
+			continue
+		}
+		// Heap state is irrelevant here: the heap scan already missed the
+		// record, so visibility is decided by the chain alone. A chain
+		// vacuumed between listing and resolving had converged with the
+		// heap, meaning the object was either scanned above or invisible.
+		vdata, ok := tx.db.Versions.Resolve(oid, nil, false, tx.snapEpoch)
+		if !ok {
+			continue
+		}
+		reads++
+		if !fn(oid, vdata) {
+			return nil
+		}
+	}
+	return nil
+}
+
+// SnapshotOverlayOIDs lists the objects of class that currently have
+// version chains — the candidates an index probe under a snapshot must
+// additionally consider, because index postings track the uncommitted
+// present (a key changed or a row deleted after the snapshot began no
+// longer probes under its old key). Nil for locked transactions.
+func (tx *Tx) SnapshotOverlayOIDs(class model.ClassID) []model.OID {
+	if !tx.snap {
+		return nil
+	}
+	return tx.db.Versions.ClassChains(class)
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"oodb/internal/model"
 	"oodb/internal/txn"
@@ -11,12 +12,24 @@ import (
 // Tx is a database transaction: strict two-phase locked, WAL-logged,
 // all-or-nothing. A Tx must be used by a single goroutine and finished
 // with exactly one Commit or Abort.
+//
+// A Tx returned by BeginSnapshot runs in snapshot mode instead (see
+// snapshot.go): read-only, lock-free, visibility pinned to the commit
+// epoch at which it began. Snapshot scans — unlike the rest of Tx — are
+// safe to issue from multiple goroutines at once, since snapshot mode
+// keeps no per-call state beyond the pinned epoch.
 type Tx struct {
 	db    *DB
 	id    uint64
 	began bool // RecBegin written
 	done  bool
 	undos []undo
+
+	// Snapshot mode: when snap is true, reads resolve through the MVCC
+	// overlay at snapEpoch and every write path fails with ErrReadOnlyTxn.
+	snap      bool
+	snapEpoch uint64
+	snapEnded atomic.Bool // EndSnapshot delivered exactly once
 }
 
 // undo records the inverse of one applied operation, for in-process
@@ -37,6 +50,9 @@ func (tx *Tx) ID() uint64 { return tx.id }
 func (tx *Tx) ensureBegan() error {
 	if tx.done {
 		return ErrTxnFinished
+	}
+	if tx.snap {
+		return ErrReadOnlyTxn
 	}
 	if tx.db.closed.Load() {
 		return ErrClosed
@@ -160,11 +176,15 @@ func (tx *Tx) Delete(oid model.OID) error {
 	if err != nil {
 		return err
 	}
+	before := model.EncodeObject(old)
 	if _, err := tx.db.Log.Append(wal.Record{
-		Txn: tx.id, Type: wal.RecDelete, OID: oid, Before: model.EncodeObject(old),
+		Txn: tx.id, Type: wal.RecDelete, OID: oid, Before: before,
 	}); err != nil {
 		return err
 	}
+	// Version-chain entry before the heap delete: a snapshot reader that
+	// misses the record still finds the committed base in the overlay.
+	tx.db.Versions.RecordDelete(tx.id, oid, before)
 	if err := tx.db.Store.Delete(oid); err != nil {
 		return err
 	}
@@ -184,6 +204,10 @@ func (tx *Tx) applyPut(old, next *model.Object) error {
 	if _, err := tx.db.Log.Append(rec); err != nil {
 		return err
 	}
+	// Version-chain entry before the heap write (the MVCC ordering
+	// protocol): a snapshot reader that observes the uncommitted heap
+	// bytes is guaranteed to find the chain shielding them.
+	tx.db.Versions.RecordWrite(tx.id, next.OID, rec.Before, rec.After)
 	if err := tx.db.Store.Put(next.OID, rec.After); err != nil {
 		return err
 	}
@@ -216,6 +240,10 @@ func (tx *Tx) Rewrite(oid model.OID) error {
 	}); err != nil {
 		return err
 	}
+	// The relocation leaves the object logically unchanged, but between
+	// the delete and the re-put the heap has no record; the chain keeps
+	// the image visible to snapshot scans through that window.
+	tx.db.Versions.RecordWrite(tx.id, oid, img, img)
 	if err := tx.db.Store.Delete(oid); err != nil {
 		return err
 	}
@@ -226,11 +254,15 @@ func (tx *Tx) Rewrite(oid model.OID) error {
 	return nil
 }
 
-// Fetch returns the object under a shared lock. The returned object is a
-// private copy; mutate it freely and write back with Update.
+// Fetch returns the object under a shared lock (snapshot mode: the
+// snapshot-visible version, no lock). The returned object is a private
+// copy; mutate it freely and write back with Update.
 func (tx *Tx) Fetch(oid model.OID) (*model.Object, error) {
 	if tx.done {
 		return nil, ErrTxnFinished
+	}
+	if tx.snap {
+		return tx.snapshotFetch(oid)
 	}
 	if err := tx.abortOn(tx.db.Locks.LockInstanceRead(tx.id, oid)); err != nil {
 		return nil, err
@@ -239,19 +271,27 @@ func (tx *Tx) Fetch(oid model.OID) (*model.Object, error) {
 }
 
 // LockClassScan takes the class-scan (S) lock footprint over the given
-// classes; the query executor calls it before scanning.
+// classes; the query executor calls it before scanning. Snapshot
+// transactions skip the lock manager entirely — visibility comes from the
+// pinned epoch, so the call is a no-op for them.
 func (tx *Tx) LockClassScan(classes []model.ClassID) error {
 	if tx.done {
 		return ErrTxnFinished
+	}
+	if tx.snap {
+		return nil
 	}
 	return tx.abortOn(tx.db.Locks.LockHierarchyRead(tx.id, classes))
 }
 
 // Scan iterates the stored instances of exactly one class under a class
-// S lock.
+// S lock (snapshot mode: the snapshot-visible instances, no lock).
 func (tx *Tx) Scan(class model.ClassID, fn func(*model.Object) bool) error {
 	if tx.done {
 		return ErrTxnFinished
+	}
+	if tx.snap {
+		return tx.snapshotScan(class, fn)
 	}
 	if err := tx.abortOn(tx.db.Locks.LockClassRead(tx.id, class)); err != nil {
 		return err
@@ -264,10 +304,14 @@ func (tx *Tx) Scan(class model.ClassID, fn func(*model.Object) bool) error {
 // acquires no locks and performs no abort handling, so — unlike the rest
 // of Tx — it is safe to call from multiple goroutines at once: the query
 // executor locks a hierarchy scope up front and then fans the per-class
-// scans out in parallel.
+// scans out in parallel. In snapshot mode no lock is assumed (there is
+// none): the scan resolves visibility by epoch instead.
 func (tx *Tx) ScanLocked(class model.ClassID, fn func(*model.Object) bool) error {
 	if tx.done {
 		return ErrTxnFinished
+	}
+	if tx.snap {
+		return tx.snapshotScan(class, fn)
 	}
 	return tx.scanClass(class, fn)
 }
@@ -288,12 +332,17 @@ func (tx *Tx) scanClass(class model.ClassID, fn func(*model.Object) bool) error 
 	return derr
 }
 
-// Commit makes the transaction durable and releases its locks.
+// Commit makes the transaction durable and releases its locks. For a
+// snapshot transaction it simply releases the snapshot.
 func (tx *Tx) Commit() error {
 	if tx.done {
 		return ErrTxnFinished
 	}
 	tx.done = true
+	if tx.snap {
+		tx.endSnapshot()
+		return nil
+	}
 	defer tx.db.Locks.ReleaseAll(tx.id)
 	if !tx.began {
 		return nil // read-only: nothing to log
@@ -306,7 +355,13 @@ func (tx *Tx) Commit() error {
 		}
 	}
 	defer finish()
-	if _, err := tx.db.Log.Append(wal.Record{Txn: tx.id, Type: wal.RecCommit}); err != nil {
+	// The logged epoch is a conservative watermark: the real epoch is
+	// assigned when the versions are stamped below, after the group
+	// commit. Recovery only needs a monotonic restart point, and the
+	// overlay itself never survives a restart.
+	if _, err := tx.db.Log.Append(wal.Record{
+		Txn: tx.id, Type: wal.RecCommit, Epoch: tx.db.Versions.Epoch() + 1,
+	}); err != nil {
 		return err
 	}
 	if !tx.db.opts.NoSync {
@@ -315,6 +370,10 @@ func (tx *Tx) Commit() error {
 			return err
 		}
 	}
+	// Stamp the version chains only after the commit is durable, matching
+	// the locked path's guarantee (locks release after the sync): no
+	// snapshot ever observes a commit the log could still lose.
+	tx.db.Versions.Commit(tx.id)
 	// Leave the active set before deciding on a checkpoint, or a lone
 	// committer would block its own WAL truncation.
 	finish()
@@ -334,7 +393,15 @@ func (tx *Tx) Abort() error {
 		return ErrTxnFinished
 	}
 	tx.done = true
+	if tx.snap {
+		tx.endSnapshot()
+		return nil
+	}
 	defer tx.db.Locks.ReleaseAll(tx.id)
+	// Discard the pending version-chain entries only after the heap is
+	// restored below, so snapshot readers stay shielded from the dirty
+	// bytes for the whole rollback.
+	defer tx.db.Versions.Abort(tx.id)
 	if tx.began {
 		defer tx.db.activeTxns.Add(-1)
 	}

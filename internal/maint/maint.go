@@ -37,6 +37,11 @@ type Options struct {
 	// MinPages exempts segments smaller than this from compaction — a
 	// near-empty two-page segment is not worth a rewrite (default 4).
 	MinPages int
+	// ReclaimWait bounds the quiesce window the reclaimer may hold new
+	// transaction begins open while in-flight ones drain (default 100ms).
+	// Without it, any steady trickle of transactions starves the
+	// reclaimer forever and leaked pages accumulate unbounded.
+	ReclaimWait time.Duration
 }
 
 func (o Options) withDefaults() Options {
@@ -51,6 +56,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.MinPages == 0 {
 		o.MinPages = 4
+	}
+	if o.ReclaimWait == 0 {
+		o.ReclaimWait = 100 * time.Millisecond
 	}
 	return o
 }
@@ -75,11 +83,12 @@ func New(db *core.DB, opts Options) *Manager {
 
 // SweepReport summarizes one maintenance sweep.
 type SweepReport struct {
-	Compacted  int  // segments rewritten
-	PagesFreed int  // pages released by compaction (before minus after)
-	Reclaimed  int  // leaked pages freed by the reclaimer
-	Analyzed   int  // classes whose statistics were refreshed
-	Busy       bool // some step yielded to in-flight transactions
+	Compacted     int  // segments rewritten
+	PagesFreed    int  // pages released by compaction (before minus after)
+	Reclaimed     int  // leaked pages freed by the reclaimer
+	Analyzed      int  // classes whose statistics were refreshed
+	VersionChains int  // MVCC chains still live after the vacuum
+	Busy          bool // some step yielded to in-flight transactions
 }
 
 // Start launches the background sweep loop.
@@ -137,16 +146,25 @@ func (m *Manager) RunOnce() (SweepReport, error) {
 	defer func() { mSweepNs.Observe(uint64(time.Since(t0))) }()
 
 	var rep SweepReport
+	// Version GC first: prune chains no live snapshot can still see, so
+	// the sweep's own snapshot reads (AnalyzeClass) start from a small
+	// overlay.
+	rep.VersionChains = m.db.Versions.Vacuum()
 	acct, err := m.db.Store.AccountPages()
 	if err != nil {
 		return rep, err
 	}
 	if acct.Leaked >= m.opts.LeakThreshold {
-		n, err := m.db.ReclaimLeaked()
+		// Bounded quiesce: briefly hold new begins and let in-flight
+		// transactions drain. A sweep that still cannot quiesce counts as
+		// starved — a run of those is the signal the window is too small
+		// for the workload.
+		n, err := m.db.ReclaimLeakedWait(m.opts.ReclaimWait)
 		switch {
 		case err == core.ErrBusy:
 			rep.Busy = true
 			mSweepBusy.Add(1)
+			mReclaimStarved.Add(1)
 		case err != nil:
 			return rep, err
 		default:
@@ -283,11 +301,14 @@ func (m *Manager) AnalyzeAll() (int, error) {
 	return n, nil
 }
 
-// ReclaimLeaked frees leaked pages on demand (ErrBusy when transactions
-// are in flight).
+// ReclaimLeaked frees leaked pages on demand, quiescing for up to the
+// configured ReclaimWait (ErrBusy when transactions outlast the window).
 func (m *Manager) ReclaimLeaked() (int, error) {
-	n, err := m.db.ReclaimLeaked()
-	if err == nil {
+	n, err := m.db.ReclaimLeakedWait(m.opts.ReclaimWait)
+	switch {
+	case err == core.ErrBusy:
+		mReclaimStarved.Add(1)
+	case err == nil:
 		mReclaimPages.Add(uint64(n))
 	}
 	return n, err

@@ -403,3 +403,77 @@ func TestStartStop(t *testing.T) {
 		t.Fatal("background loop never swept")
 	}
 }
+
+// TestAnalyzeIgnoresUncommitted pins the snapshot-read fix: ANALYZE used
+// to scan the raw heap and fold a concurrent writer's uncommitted rows
+// into the planner statistics — rows an abort then made vanish, leaving
+// the selectivity model describing a state that never existed. The
+// statistics must describe committed truth before, during and after the
+// writer's rollback.
+func TestAnalyzeIgnoresUncommitted(t *testing.T) {
+	db, cl, _ := openDB(t)
+	const committed, uncommitted = 10, 50
+	if err := db.Do(func(tx *core.Tx) error {
+		for i := 0; i < committed; i++ {
+			if _, err := tx.InsertClass(cl.ID, map[string]model.Value{
+				"n": model.Int(int64(i))}); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Bulk insert, left in flight: the rows are on the heap, uncommitted.
+	w := db.Begin()
+	for i := 0; i < uncommitted; i++ {
+		if _, err := w.InsertClass(cl.ID, map[string]model.Value{
+			"n": model.Int(int64(1000 + i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	m := New(db, Options{})
+	cs, err := m.AnalyzeClass(cl.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs.Cardinality != committed {
+		t.Fatalf("ANALYZE under in-flight writer: cardinality = %d, want %d (uncommitted rows counted)", cs.Cardinality, committed)
+	}
+
+	// The writer aborts mid-ANALYZE era; the statistics stay truthful.
+	if err := w.Abort(); err != nil {
+		t.Fatal(err)
+	}
+	cs, err = m.AnalyzeClass(cl.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs.Cardinality != committed {
+		t.Fatalf("ANALYZE after abort: cardinality = %d, want %d", cs.Cardinality, committed)
+	}
+}
+
+// TestReclaimStarvedCounter verifies a quiesce that times out is visible
+// as maint_reclaim_starved, the operator's signal that the window is too
+// small for the workload.
+func TestReclaimStarvedCounter(t *testing.T) {
+	db, cl, _ := openDB(t)
+	tx := db.Begin()
+	if _, err := tx.InsertClass(cl.ID, map[string]model.Value{"n": model.Int(1)}); err != nil {
+		t.Fatal(err)
+	}
+	before := mReclaimStarved.Value()
+	m := New(db, Options{ReclaimWait: time.Millisecond})
+	if _, err := m.ReclaimLeaked(); err != core.ErrBusy {
+		t.Fatalf("reclaim against a held transaction = %v, want ErrBusy", err)
+	}
+	if got := mReclaimStarved.Value(); got != before+1 {
+		t.Fatalf("maint_reclaim_starved = %d, want %d", got, before+1)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -13,5 +13,6 @@ var (
 	mCompactObjects    = obs.RegisterCounter("maint_compact_objects_moved")
 	mCompactNs         = obs.RegisterHistogram("maint_compact_duration_ns")
 	mReclaimPages      = obs.RegisterCounter("maint_reclaim_pages_freed")
+	mReclaimStarved    = obs.RegisterCounter("maint_reclaim_starved")
 	mStatsAnalyzed     = obs.RegisterCounter("maint_stats_classes_analyzed")
 )

@@ -61,6 +61,11 @@ func (e *Engine) Execute(tx *core.Tx, p *Plan) (*Result, error) {
 // root span and every stage hangs per-stage child spans (with row and
 // probe counters) off it; the normal path passes nil, which every span
 // method treats as a no-op.
+//
+// Under a snapshot transaction (core.BeginSnapshot) the same pipeline
+// runs lock-free: LockClassScan is a no-op, scans and probes resolve
+// visibility by the pinned commit epoch, and path dereferences read the
+// snapshot-visible version of every object they cross.
 func (e *Engine) execute(tx *core.Tx, p *Plan, span *obs.Span) (*Result, error) {
 	mQueriesTotal.Add(1)
 	if err := tx.LockClassScan(p.Scope); err != nil {
@@ -77,7 +82,7 @@ func (e *Engine) execute(tx *core.Tx, p *Plan, span *obs.Span) (*Result, error) 
 		}
 	default:
 		var err error
-		rows, err = e.probeRows(p, span)
+		rows, err = e.probeRows(tx, p, span)
 		if err != nil {
 			return nil, err
 		}
@@ -89,7 +94,7 @@ func (e *Engine) execute(tx *core.Tx, p *Plan, span *obs.Span) (*Result, error) 
 		sortSpan.Set("rows_in", int64(len(rows)))
 		keys := make([]model.Value, len(rows))
 		for i := range rows {
-			v, err := e.evalPath(rows[i].Object, p.Query.OrderBy.Steps)
+			v, err := e.evalPath(tx, rows[i].Object, p.Query.OrderBy.Steps)
 			if err != nil {
 				sortSpan.End()
 				return nil, err
@@ -123,7 +128,7 @@ func (e *Engine) execute(tx *core.Tx, p *Plan, span *obs.Span) (*Result, error) 
 	if len(p.Query.Aggregates) > 0 {
 		aggSpan := span.Child("aggregate")
 		aggSpan.Set("rows_in", int64(len(rows)))
-		res, err := e.aggregate(p, rows)
+		res, err := e.aggregate(tx, p, rows)
 		aggSpan.End()
 		return res, err
 	}
@@ -152,7 +157,7 @@ func (e *Engine) execute(tx *core.Tx, p *Plan, span *obs.Span) (*Result, error) 
 		for i := range rows {
 			vals := backing[i*w : (i+1)*w : (i+1)*w]
 			for j, path := range p.Query.Select {
-				v, err := e.evalPath(rows[i].Object, path.Steps)
+				v, err := e.evalPath(tx, rows[i].Object, path.Steps)
 				if err != nil {
 					return nil, err
 				}
@@ -175,11 +180,23 @@ func earlyLimit(p *Plan) int {
 }
 
 // matches evaluates the residual predicate against one candidate.
-func (e *Engine) matches(p *Plan, obj *model.Object) (bool, error) {
+func (e *Engine) matches(tx *core.Tx, p *Plan, obj *model.Object) (bool, error) {
 	if p.Query.Where == nil {
 		return true, nil
 	}
-	return e.evalBool(p.Query.Where, obj)
+	return e.evalBool(tx, p.Query.Where, obj)
+}
+
+// deref resolves an interior reference for path evaluation. Snapshot
+// transactions read the version visible at their pinned epoch — a path
+// that crosses an object mid-overwrite must not observe the writer's
+// uncommitted bytes. Locked transactions read the heap directly; their
+// scope S locks already make that stable.
+func (e *Engine) deref(tx *core.Tx, oid model.OID) (*model.Object, error) {
+	if tx != nil && tx.Snapshot() {
+		return tx.Fetch(oid)
+	}
+	return e.db.FetchObject(oid)
 }
 
 // scanRows collects the matching rows of a heap-scan plan. A scope of more
@@ -198,7 +215,7 @@ func (e *Engine) scanRows(tx *core.Tx, p *Plan, span *obs.Span) ([]Row, error) {
 			var ierr error
 			err := tx.ScanLocked(class, func(obj *model.Object) bool {
 				scanned++
-				ok, merr := e.matches(p, obj)
+				ok, merr := e.matches(tx, p, obj)
 				if merr != nil {
 					ierr = merr
 					return false
@@ -259,7 +276,7 @@ func (e *Engine) scanRows(tx *core.Tx, p *Plan, span *obs.Span) ([]Row, error) {
 					return false
 				}
 				scanned++
-				ok, merr := e.matches(p, obj)
+				ok, merr := e.matches(tx, p, obj)
 				if merr != nil {
 					ierr = merr
 					return false
@@ -310,7 +327,14 @@ func (e *Engine) scanRows(tx *core.Tx, p *Plan, span *obs.Span) ([]Row, error) {
 // BY the probe stops as soon as enough rows matched, instead of
 // materializing every candidate OID and truncating afterwards (the same
 // early exit the heap-scan path has).
-func (e *Engine) probeRows(p *Plan, span *obs.Span) ([]Row, error) {
+//
+// Snapshot transactions probe the same live index but resolve every
+// candidate through the pinned epoch, then sweep the version-chain
+// overlay for the scope classes: a commit after the snapshot began may
+// have moved an object to a new key (its old posting is gone) or deleted
+// it outright, and any such object by construction has a chain. The full
+// WHERE re-evaluation in matches keeps stale postings out on both paths.
+func (e *Engine) probeRows(tx *core.Tx, p *Plan, span *obs.Span) ([]Row, error) {
 	scopeSet := make(map[model.ClassID]bool, len(p.Scope))
 	for _, c := range p.Scope {
 		scopeSet[c] = true
@@ -318,6 +342,36 @@ func (e *Engine) probeRows(p *Plan, span *obs.Span) ([]Row, error) {
 	limit := earlyLimit(p)
 	var rows []Row
 	seen := make(map[model.OID]bool)
+
+	// collect filters one candidate OID into rows, reporting whether the
+	// probe is finished (limit satisfied) and any evaluation error. Both
+	// the posting loops and the overlay sweep funnel through it so the
+	// dedup map and limit accounting stay consistent.
+	collect := func(oid model.OID, examined, matched *uint64) (bool, error) {
+		if seen[oid] {
+			return false, nil
+		}
+		seen[oid] = true
+		*examined++
+		obj, err := e.deref(tx, oid)
+		if err != nil {
+			return false, nil // dangling entry or invisible at this snapshot
+		}
+		if !scopeSet[obj.Class()] {
+			return false, nil
+		}
+		ok, err := e.matches(tx, p, obj)
+		if err != nil {
+			return false, err
+		}
+		if !ok {
+			return false, nil
+		}
+		*matched++
+		rows = append(rows, Row{OID: obj.OID, Object: obj})
+		return limit > 0 && len(rows) >= limit, nil
+	}
+
 	for _, idx := range p.indexes {
 		ps := span.Child("probe " + idx.Name)
 		mIndexProbes.Add(1)
@@ -329,34 +383,17 @@ func (e *Engine) probeRows(p *Plan, span *obs.Span) ([]Row, error) {
 		}
 		var examined, matched uint64
 		for _, oid := range oids {
-			if seen[oid] {
-				continue
-			}
-			seen[oid] = true
-			examined++
-			obj, err := e.db.FetchObject(oid)
-			if err != nil {
-				continue // unindexed race or dangling entry: skip
-			}
-			ok, err := e.matches(p, obj)
-			if err != nil {
-				ps.Set("rows_examined", int64(examined))
-				ps.Set("rows_matched", int64(matched))
-				ps.End()
-				return nil, err
-			}
-			if !ok {
-				continue
-			}
-			matched++
-			rows = append(rows, Row{OID: obj.OID, Object: obj})
-			if limit > 0 && len(rows) >= limit {
+			full, err := collect(oid, &examined, &matched)
+			if err != nil || full {
 				mRowsScanned.Add(examined)
 				mRowsMatched.Add(matched)
-				mEarlyExits.Add(1)
 				ps.Set("rows_examined", int64(examined))
 				ps.Set("rows_matched", int64(matched))
 				ps.End()
+				if err != nil {
+					return nil, err
+				}
+				mEarlyExits.Add(1)
 				span.Set("limit_early_exit", 1)
 				return rows, nil
 			}
@@ -367,13 +404,45 @@ func (e *Engine) probeRows(p *Plan, span *obs.Span) ([]Row, error) {
 		ps.Set("rows_matched", int64(matched))
 		ps.End()
 	}
+
+	// Overlay sweep (snapshot mode only: SnapshotOverlayOIDs returns nil
+	// for locked transactions, whose S locks freeze the index itself).
+	for _, class := range p.Scope {
+		overlay := tx.SnapshotOverlayOIDs(class)
+		if len(overlay) == 0 {
+			continue
+		}
+		os := span.Child("overlay " + e.className(class))
+		var examined, matched uint64
+		for _, oid := range overlay {
+			full, err := collect(oid, &examined, &matched)
+			if err != nil || full {
+				mRowsScanned.Add(examined)
+				mRowsMatched.Add(matched)
+				os.Set("rows_examined", int64(examined))
+				os.Set("rows_matched", int64(matched))
+				os.End()
+				if err != nil {
+					return nil, err
+				}
+				mEarlyExits.Add(1)
+				span.Set("limit_early_exit", 1)
+				return rows, nil
+			}
+		}
+		mRowsScanned.Add(examined)
+		mRowsMatched.Add(matched)
+		os.Set("rows_examined", int64(examined))
+		os.Set("rows_matched", int64(matched))
+		os.End()
+	}
 	return rows, nil
 }
 
 // aggregate computes the aggregate select list over the matched rows.
 // COUNT(*) counts rows; per-path aggregates skip nulls; set values
 // contribute each member. SUM and AVG require numeric inputs.
-func (e *Engine) aggregate(p *Plan, rows []Row) (*Result, error) {
+func (e *Engine) aggregate(tx *core.Tx, p *Plan, rows []Row) (*Result, error) {
 	res := &Result{}
 	vals := make([]model.Value, len(p.Query.Aggregates))
 	for i, agg := range p.Query.Aggregates {
@@ -387,7 +456,7 @@ func (e *Engine) aggregate(p *Plan, rows []Row) (*Result, error) {
 		var allInt = true
 		var best model.Value
 		for _, row := range rows {
-			v, err := e.evalPath(row.Object, agg.Path.Steps)
+			v, err := e.evalPath(tx, row.Object, agg.Path.Steps)
 			if err != nil {
 				return nil, err
 			}
@@ -445,24 +514,24 @@ func (e *Engine) aggregate(p *Plan, rows []Row) (*Result, error) {
 }
 
 // evalBool evaluates a predicate against one candidate object.
-func (e *Engine) evalBool(ex Expr, obj *model.Object) (bool, error) {
+func (e *Engine) evalBool(tx *core.Tx, ex Expr, obj *model.Object) (bool, error) {
 	switch n := ex.(type) {
 	case *Binary:
 		switch n.Op {
 		case OpAnd:
-			l, err := e.evalBool(n.L, obj)
+			l, err := e.evalBool(tx, n.L, obj)
 			if err != nil || !l {
 				return false, err
 			}
-			return e.evalBool(n.R, obj)
+			return e.evalBool(tx, n.R, obj)
 		case OpOr:
-			l, err := e.evalBool(n.L, obj)
+			l, err := e.evalBool(tx, n.L, obj)
 			if err != nil || l {
 				return l, err
 			}
-			return e.evalBool(n.R, obj)
+			return e.evalBool(tx, n.R, obj)
 		case OpIn:
-			lv, err := e.evalValue(n.L, obj)
+			lv, err := e.evalValue(tx, n.L, obj)
 			if err != nil {
 				return false, err
 			}
@@ -477,31 +546,31 @@ func (e *Engine) evalBool(ex Expr, obj *model.Object) (bool, error) {
 			}
 			return false, nil
 		case OpContains:
-			lv, err := e.evalValue(n.L, obj)
+			lv, err := e.evalValue(tx, n.L, obj)
 			if err != nil {
 				return false, err
 			}
-			rv, err := e.evalValue(n.R, obj)
+			rv, err := e.evalValue(tx, n.R, obj)
 			if err != nil {
 				return false, err
 			}
 			return lv.Contains(rv), nil
 		default:
-			lv, err := e.evalValue(n.L, obj)
+			lv, err := e.evalValue(tx, n.L, obj)
 			if err != nil {
 				return false, err
 			}
-			rv, err := e.evalValue(n.R, obj)
+			rv, err := e.evalValue(tx, n.R, obj)
 			if err != nil {
 				return false, err
 			}
 			return compareOp(n.Op, lv, rv), nil
 		}
 	case *Not:
-		v, err := e.evalBool(n.E, obj)
+		v, err := e.evalBool(tx, n.E, obj)
 		return !v, err
 	case *PathExpr:
-		v, err := e.evalValue(n, obj)
+		v, err := e.evalValue(tx, n, obj)
 		if err != nil {
 			return false, err
 		}
@@ -557,12 +626,12 @@ func compareOp(op BinOp, l, r model.Value) bool {
 func existsEqual(l, r model.Value) bool { return compareOp(OpEq, l, r) }
 
 // evalValue evaluates an operand expression to a value.
-func (e *Engine) evalValue(ex Expr, obj *model.Object) (model.Value, error) {
+func (e *Engine) evalValue(tx *core.Tx, ex Expr, obj *model.Object) (model.Value, error) {
 	switch n := ex.(type) {
 	case *Lit:
 		return n.V, nil
 	case *PathExpr:
-		return e.evalPath(obj, n.Path.Steps)
+		return e.evalPath(tx, obj, n.Path.Steps)
 	default:
 		return model.Null, fmt.Errorf("query: cannot evaluate %T as value", ex)
 	}
@@ -573,7 +642,7 @@ func (e *Engine) evalValue(ex Expr, obj *model.Object) (model.Value, error) {
 // Interior references are dereferenced; set-valued steps fan out and the
 // result is the set of terminal values (existential comparison semantics).
 // A null or dangling step yields null.
-func (e *Engine) evalPath(obj *model.Object, steps []string) (model.Value, error) {
+func (e *Engine) evalPath(tx *core.Tx, obj *model.Object, steps []string) (model.Value, error) {
 	// Single-step fast path: the common `WHERE attr op k` shape. Scans
 	// evaluate this once per object, so the general walk below (two slice
 	// allocations per call) turns hot loops GC-bound.
@@ -629,7 +698,7 @@ func (e *Engine) evalPath(obj *model.Object, steps []string) (model.Value, error
 			if !ok {
 				continue // non-reference interior value dead-ends
 			}
-			o, err := e.db.FetchObject(oid)
+			o, err := e.deref(tx, oid)
 			if err != nil {
 				continue // dangling reference dead-ends
 			}

@@ -382,11 +382,20 @@ func (h *Heap) readOverflow(head PageID, total int) ([]byte, error) {
 // payload passed to fn is freshly allocated and may be retained. If fn
 // returns false the scan stops early.
 //
-// Scan takes the heap latch per page, not for the whole pass, so fn may
-// itself read through the heap. A record deleted or relocated between
-// slot collection and its read is skipped silently (scans that need a
-// stable view hold a class S lock above this layer).
+// Each page is collected AND read under a single hold of the heap latch,
+// so a concurrent update cannot relocate a record within a page between
+// the scan noting its slot and reading it. A record the scan does not see
+// at its original position can therefore only have moved to the heap tail
+// (updates relocate into the last page), which the scan visits afterwards
+// — lock-free snapshot scans rely on this no-miss guarantee; they dedup
+// the resulting duplicates by OID. fn runs outside the latch and may
+// itself read through the heap.
 func (h *Heap) Scan(fn func(rid RID, data []byte) bool) error {
+	type rec struct {
+		rid  RID
+		data []byte
+	}
+	var recs []rec
 	for id := h.First; id != InvalidPage; {
 		h.mu.RLock()
 		p, err := h.pool.Fetch(id)
@@ -396,23 +405,27 @@ func (h *Heap) Scan(fn func(rid RID, data []byte) bool) error {
 		}
 		next := p.Next()
 		n := p.Slots()
-		var rids []RID
+		recs = recs[:0]
 		for slot := 0; slot < n; slot++ {
-			if p.Live(slot) {
-				rids = append(rids, RID{Page: id, Slot: uint16(slot)})
+			if !p.Live(slot) {
+				continue
 			}
+			rid := RID{Page: id, Slot: uint16(slot)}
+			data, err := h.read(rid)
+			if errors.Is(err, ErrNoRecord) {
+				continue // quarantined or torn slot
+			}
+			if err != nil {
+				h.pool.Unpin(id, false)
+				h.mu.RUnlock()
+				return err
+			}
+			recs = append(recs, rec{rid, data})
 		}
 		h.pool.Unpin(id, false)
 		h.mu.RUnlock()
-		for _, rid := range rids {
-			data, err := h.Read(rid)
-			if errors.Is(err, ErrNoRecord) {
-				continue
-			}
-			if err != nil {
-				return err
-			}
-			if !fn(rid, data) {
+		for _, r := range recs {
+			if !fn(r.rid, r.data) {
 				return nil
 			}
 		}

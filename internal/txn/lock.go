@@ -235,7 +235,15 @@ func (lm *LockManager) grantLocked(entry *lockEntry, txn uint64, res Resource, m
 }
 
 // blockersLocked lists the transactions txn would wait on: incompatible
-// holders plus queued waiters ahead of it.
+// holders, plus — for a fresh request only — the queued waiters it lines
+// up behind. An upgrader is prepended to the queue (see Acquire), so no
+// queued waiter can ever block it: anything ahead of it is another
+// upgrader, which necessarily also holds the resource and is already
+// covered by the holder clause. Recording waiter edges for upgraders
+// fabricated cycles — two S holders with one queued X waiter turned a
+// plain S→X upgrade into a spurious deadlock (upgrader→waiter from the
+// queue clause, waiter→upgrader from the holder clause) and aborted a
+// transaction that only needed to wait for the other S holder to finish.
 func (lm *LockManager) blockersLocked(entry *lockEntry, txn uint64, mode Mode) []uint64 {
 	var out []uint64
 	for holder, hm := range entry.holders {
@@ -243,9 +251,11 @@ func (lm *LockManager) blockersLocked(entry *lockEntry, txn uint64, mode Mode) [
 			out = append(out, holder)
 		}
 	}
-	for _, w := range entry.queue {
-		if w.txn != txn {
-			out = append(out, w.txn)
+	if _, upgrading := entry.holders[txn]; !upgrading {
+		for _, w := range entry.queue {
+			if w.txn != txn {
+				out = append(out, w.txn)
+			}
 		}
 	}
 	return out

@@ -1,0 +1,125 @@
+package txn
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"oodb/internal/model"
+)
+
+// waitQueued polls until txn has a pending (queued) request on res, or
+// fails the test after a deadline. In-package so it can watch the pending
+// map directly instead of sleeping and hoping.
+func waitQueued(t *testing.T, lm *LockManager, txn uint64, res Resource) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		lm.mu.Lock()
+		queued := lm.pending[txn][res]
+		lm.mu.Unlock()
+		if queued {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("txn %d never queued on %v", txn, res)
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+}
+
+// TestUpgradeUpgradeDeadlockPrompt pins the upgrade-upgrade deadlock:
+// two S holders that both request X can never both proceed — each waits
+// for the other to release S. The manager must detect the cycle the
+// moment the second upgrader requests (not via timeout or starvation),
+// and the victim is deterministic: the requester that closes the cycle,
+// i.e. the second upgrader.
+func TestUpgradeUpgradeDeadlockPrompt(t *testing.T) {
+	lm := NewLockManager()
+	res := ClassRes(model.ClassID(7))
+	if err := lm.Acquire(1, res, S); err != nil {
+		t.Fatal(err)
+	}
+	if err := lm.Acquire(2, res, S); err != nil {
+		t.Fatal(err)
+	}
+
+	// First upgrader blocks waiting for txn 2's S to go away.
+	firstErr := make(chan error, 1)
+	go func() { firstErr <- lm.Acquire(1, res, X) }()
+	waitQueued(t, lm, 1, res)
+
+	// Second upgrader closes the cycle and must be the victim, now.
+	start := time.Now()
+	err := lm.Acquire(2, res, X)
+	if !errors.Is(err, ErrDeadlock) {
+		t.Fatalf("second upgrader got %v, want ErrDeadlock", err)
+	}
+	if d := time.Since(start); d > time.Second {
+		t.Fatalf("deadlock detection took %v; must be immediate, not timeout-driven", d)
+	}
+
+	// The victim aborts; the survivor's upgrade is granted.
+	lm.ReleaseAll(2)
+	if err := <-firstErr; err != nil {
+		t.Fatalf("surviving upgrader got %v, want grant", err)
+	}
+	if m, ok := lm.Holding(1, res); !ok || m != X {
+		t.Fatalf("survivor holds %v %v, want X", m, ok)
+	}
+	lm.ReleaseAll(1)
+}
+
+// TestUpgradeNotDeadlockedByQueuedWaiter is the regression for the
+// fairness-rule interaction: with T1 and T2 holding S and T3 queued for
+// X, T1's S→X upgrade used to record a waits-for edge on T3 (a queued
+// waiter that cannot block the front-of-queue upgrader) while T3 already
+// had an edge on holder T1 — a fabricated T1→T3→T1 cycle that aborted T1
+// for no reason. The upgrade must simply wait for T2 and win.
+func TestUpgradeNotDeadlockedByQueuedWaiter(t *testing.T) {
+	lm := NewLockManager()
+	res := ClassRes(model.ClassID(9))
+	if err := lm.Acquire(1, res, S); err != nil {
+		t.Fatal(err)
+	}
+	if err := lm.Acquire(2, res, S); err != nil {
+		t.Fatal(err)
+	}
+
+	// T3: fresh X request, queues behind the two S holders.
+	thirdErr := make(chan error, 1)
+	go func() { thirdErr <- lm.Acquire(3, res, X) }()
+	waitQueued(t, lm, 3, res)
+
+	// T1 upgrades S→X. Only T2 actually blocks it; ErrDeadlock here is
+	// the bug this test pins.
+	upErr := make(chan error, 1)
+	go func() { upErr <- lm.Acquire(1, res, X) }()
+	waitQueued(t, lm, 1, res)
+	select {
+	case err := <-upErr:
+		t.Fatalf("upgrade returned early with %v; it should wait for T2", err)
+	default:
+	}
+
+	// T2 finishes: the upgrader (queue front) is granted before T3.
+	lm.ReleaseAll(2)
+	if err := <-upErr; err != nil {
+		t.Fatalf("upgrader got %v, want grant", err)
+	}
+	if m, ok := lm.Holding(1, res); !ok || m != X {
+		t.Fatalf("upgrader holds %v %v, want X", m, ok)
+	}
+	select {
+	case err := <-thirdErr:
+		t.Fatalf("queued X waiter resolved with %v while X is held", err)
+	default:
+	}
+
+	// And the queued waiter still gets its turn afterwards.
+	lm.ReleaseAll(1)
+	if err := <-thirdErr; err != nil {
+		t.Fatalf("queued waiter got %v, want grant", err)
+	}
+	lm.ReleaseAll(3)
+}

@@ -17,6 +17,11 @@
 // engine: version state is ordinary attributes maintained through ordinary
 // transactions, so installation-specific version semantics can be built as
 // alternative layers without engine changes.
+//
+// Not to be confused with internal/mvcc, which is transaction-time
+// versioning for isolation (snapshot reads at a pinned commit epoch,
+// invisible to applications). This package models versions users create,
+// name and query; the two share nothing but the word.
 package version
 
 import (

@@ -61,6 +61,10 @@ type Record struct {
 	OID    model.OID
 	Before []byte
 	After  []byte
+	// Epoch is the MVCC commit epoch assigned at commit (RecCommit only,
+	// 0 otherwise). Recovery restores the engine's epoch counter to the
+	// maximum seen, keeping snapshot epochs monotonic across a crash.
+	Epoch uint64
 }
 
 // File is the surface the log needs from its backing file. *os.File is the
@@ -267,6 +271,7 @@ func encodeRecord(rec Record) []byte {
 	buf = append(buf, rec.Before...)
 	buf = binary.AppendUvarint(buf, uint64(len(rec.After)))
 	buf = append(buf, rec.After...)
+	buf = binary.AppendUvarint(buf, rec.Epoch)
 	return buf
 }
 
@@ -303,7 +308,16 @@ func decodeRecord(buf []byte) (Record, error) {
 		return rec, errTorn
 	}
 	after := buf[n : n+int(al)]
-	rec = Record{LSN: lsn, Txn: txn, Type: typ, OID: model.OID(oid)}
+	buf = buf[n+int(al):]
+	// Epoch rides at the tail; records written before the field existed
+	// simply end here and decode as epoch 0.
+	var epoch uint64
+	if len(buf) > 0 {
+		if e, n := binary.Uvarint(buf); n > 0 {
+			epoch = e
+		}
+	}
+	rec = Record{LSN: lsn, Txn: txn, Type: typ, OID: model.OID(oid), Epoch: epoch}
 	if bl > 0 {
 		rec.Before = append([]byte(nil), before...)
 	}

@@ -337,6 +337,21 @@ func (db *DB) DiffSchema(label string) ([]string, error) {
 // Begin starts a transaction. Finish it with Commit or Abort.
 func (db *DB) Begin() *Tx { return db.eng.Begin() }
 
+// BeginSnapshot starts a read-only snapshot transaction pinned to the
+// current commit epoch. Its reads never touch the lock manager — a bulk
+// writer holding exclusive locks does not stall it — and writes through
+// it fail with core.ErrReadOnlyTxn. Finish it with Commit or Abort
+// (equivalent for a snapshot: both just release the epoch pin).
+func (db *DB) BeginSnapshot() *Tx { return db.eng.BeginSnapshot() }
+
+// QuerySnapshot parses, plans and runs a query in its own snapshot
+// transaction: lock-free, reading the last commit epoch.
+func (db *DB) QuerySnapshot(src string) (*Result, error) {
+	tx := db.BeginSnapshot()
+	defer tx.Commit()
+	return db.q.Run(tx, src)
+}
+
 // Do runs fn in a transaction, committing on nil and aborting on error,
 // with one automatic retry after a deadlock.
 func (db *DB) Do(fn func(tx *Tx) error) error { return db.eng.Do(fn) }
