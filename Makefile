@@ -4,7 +4,7 @@ GO ?= go
 # pre-merge gate sweeps wider). Override: make crash CRASH_SCHEDULES=500
 CRASH_SCHEDULES ?= 120
 
-.PHONY: build test vet fmtcheck race bench crash maint mvcc metrics-lint verify
+.PHONY: build test vet fmtcheck race bench crash maint mvcc pipeline metrics-lint verify
 
 build:
 	$(GO) build ./...
@@ -53,7 +53,16 @@ mvcc:
 	$(GO) test -race -count=1 -run 'TestSnapshot' ./internal/core/
 	CRASH_SCHEDULES=$(CRASH_SCHEDULES) $(GO) test -race -count=1 -run 'TestCrashMatrixMVCC' .
 
+# The commit pipeline and fail-stop error handling under the race
+# detector: the WAL writer/watermark unit tests, the fsync-latch and
+# poison regressions, the serial-vs-parallel replay differential, and the
+# pipeline crash schedules (batch append, fsync, watermark publish).
+pipeline:
+	$(GO) test -race -count=1 ./internal/wal/
+	$(GO) test -race -count=1 -run 'TestFsyncFailure|TestCommitFlushFailure|TestAutoCheckpointFailure|TestParallelReplay' ./internal/core/
+	CRASH_SCHEDULES=$(CRASH_SCHEDULES) $(GO) test -race -count=1 -run 'TestCrashDuringPipelineCommit|TestCrashAtWatermarkPublish' .
+
 # The full pre-merge gate: compile, static checks, formatting drift, the
 # whole test suite under the race detector, a wide crash sweep, the
-# maintenance matrix, and the MVCC snapshot stack.
-verify: build vet fmtcheck metrics-lint race crash maint mvcc
+# maintenance matrix, the MVCC snapshot stack, and the commit pipeline.
+verify: build vet fmtcheck metrics-lint race crash maint mvcc pipeline

@@ -2,7 +2,12 @@ package main
 
 // Recovery-time datapoints: how long a cold open takes as a function of
 // the WAL size it must replay (E9's claim, measured as a curve and written
-// to a JSON file the repo tracks as BENCH_recovery.json).
+// to a JSON file the repo tracks as BENCH_recovery.json). Since the redo
+// pass parallelizes by class, each scale is measured twice — serial
+// (ReplayWorkers 1) and parallel (ReplayWorkers 8) — and the speedup is
+// reported alongside. On a single-core host the two converge; the columns
+// stay honest either way because recovery output is identical at any
+// worker count (differential-tested in internal/core).
 
 import (
 	"encoding/json"
@@ -15,12 +20,20 @@ import (
 	"oodb"
 )
 
+// replayWorkers is the parallel column's worker bound. Fixed rather than
+// GOMAXPROCS so the report is comparable across hosts.
+const replayWorkers = 8
+
 type recoveryPoint struct {
-	Txns     int     `json:"txns"`
-	Objects  int     `json:"objects"`
-	WALBytes int64   `json:"wal_bytes"`
-	OpenMS   float64 `json:"open_ms"` // median of reps cold opens
-	Reps     int     `json:"reps"`
+	Txns           int     `json:"txns"`
+	Objects        int     `json:"objects"`
+	Classes        int     `json:"classes"`
+	WALBytes       int64   `json:"wal_bytes"`
+	OpenMS         float64 `json:"open_ms"`          // median cold open, serial replay
+	OpenParallelMS float64 `json:"open_parallel_ms"` // median cold open, parallel replay
+	Speedup        float64 `json:"speedup"`          // open_ms / open_parallel_ms
+	ReplayWorkers  int     `json:"replay_workers"`
+	Reps           int     `json:"reps"`
 }
 
 type recoveryReport struct {
@@ -30,29 +43,36 @@ type recoveryReport struct {
 }
 
 // runRecoveryBench builds databases whose WAL holds progressively more
-// committed work (checkpointing disabled so nothing is truncated), then
-// measures a plain reopen — scan, physical restore, logical replay,
-// directory rebuild — against a fresh copy each repetition.
+// committed work spread over several classes (checkpointing disabled so
+// nothing is truncated), then measures a plain reopen — scan, physical
+// restore, logical replay, directory rebuild — against a fresh copy each
+// repetition, once per replay mode.
 func runRecoveryBench(outPath string) {
 	scales := []int{10, 50, 200, 800}
 	if *quick {
 		scales = []int{10, 50}
 	}
+	const nClasses = 8
 	report := recoveryReport{
 		Experiment:  "recovery",
-		Description: "cold-open time vs WAL size: scan + torn-page restore + logical replay + directory rebuild",
+		Description: "cold-open time vs WAL size, serial vs parallel redo: scan + torn-page restore + logical replay + directory rebuild",
 	}
 	for _, txns := range scales {
 		src, err := os.MkdirTemp("", "kimbench-recovery")
 		check(err)
 		db, err := oodb.Open(src, oodb.Options{NoSync: true, CheckpointBytes: 1 << 30})
 		check(err)
-		_, err = db.DefineClass("P", nil, oodb.Attr{Name: "n", Domain: "Integer"})
-		check(err)
+		names := make([]string, nClasses)
+		for c := 0; c < nClasses; c++ {
+			names[c] = fmt.Sprintf("P%d", c)
+			_, err = db.DefineClass(names[c], nil, oodb.Attr{Name: "n", Domain: "Integer"})
+			check(err)
+		}
 		for i := 0; i < txns; i++ {
+			class := names[i%nClasses]
 			check(db.Do(func(tx *oodb.Tx) error {
 				for j := 0; j < 100; j++ {
-					if _, err := tx.Insert("P", oodb.Attrs{"n": oodb.Int(int64(j))}); err != nil {
+					if _, err := tx.Insert(class, oodb.Attrs{"n": oodb.Int(int64(j))}); err != nil {
 						return err
 					}
 				}
@@ -64,35 +84,48 @@ func runRecoveryBench(outPath string) {
 		check(err)
 
 		const reps = 5
-		times := make([]time.Duration, reps)
-		for r := range times {
-			dir, err := os.MkdirTemp("", "kimbench-recovery-copy")
-			check(err)
-			for _, f := range []string{"data.kdb", "log.wal"} {
-				data, err := os.ReadFile(filepath.Join(src, f))
+		coldOpen := func(workers int) time.Duration {
+			times := make([]time.Duration, reps)
+			for r := range times {
+				dir, err := os.MkdirTemp("", "kimbench-recovery-copy")
 				check(err)
-				check(os.WriteFile(filepath.Join(dir, f), data, 0o644))
+				for _, f := range []string{"data.kdb", "log.wal"} {
+					data, err := os.ReadFile(filepath.Join(src, f))
+					check(err)
+					check(os.WriteFile(filepath.Join(dir, f), data, 0o644))
+				}
+				start := time.Now()
+				db2, err := oodb.Open(dir, oodb.Options{ReplayWorkers: workers})
+				check(err)
+				times[r] = time.Since(start)
+				db2.Close()
+				os.RemoveAll(dir)
 			}
-			start := time.Now()
-			db2, err := oodb.Open(dir, oodb.Options{})
-			check(err)
-			times[r] = time.Since(start)
-			db2.Close()
-			os.RemoveAll(dir)
+			sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
+			return times[reps/2]
 		}
-		sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
-		med := times[reps/2]
+		serial := coldOpen(1)
+		parallel := coldOpen(replayWorkers)
 		db.Close()
 		os.RemoveAll(src)
 
+		speedup := 0.0
+		if parallel > 0 {
+			speedup = float64(serial) / float64(parallel)
+		}
 		report.Points = append(report.Points, recoveryPoint{
-			Txns:     txns,
-			Objects:  txns * 100,
-			WALBytes: st.Size(),
-			OpenMS:   float64(med.Microseconds()) / 1000,
-			Reps:     reps,
+			Txns:           txns,
+			Objects:        txns * 100,
+			Classes:        nClasses,
+			WALBytes:       st.Size(),
+			OpenMS:         float64(serial.Microseconds()) / 1000,
+			OpenParallelMS: float64(parallel.Microseconds()) / 1000,
+			Speedup:        speedup,
+			ReplayWorkers:  replayWorkers,
+			Reps:           reps,
 		})
-		fmt.Printf("recovery: %4d txns, WAL %8d bytes -> open %v\n", txns, st.Size(), med)
+		fmt.Printf("recovery: %4d txns, WAL %8d bytes -> open serial %v, parallel %v (%.2fx)\n",
+			txns, st.Size(), serial, parallel, speedup)
 	}
 	out, err := json.MarshalIndent(report, "", "  ")
 	check(err)

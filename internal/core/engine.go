@@ -11,6 +11,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -18,11 +20,29 @@ import (
 	"oodb/internal/index"
 	"oodb/internal/model"
 	"oodb/internal/mvcc"
+	"oodb/internal/obs"
 	"oodb/internal/schema"
 	"oodb/internal/stats"
 	"oodb/internal/storage"
 	"oodb/internal/txn"
 	"oodb/internal/wal"
+)
+
+// Durability selects the commit contract.
+type Durability int
+
+// The durability modes.
+const (
+	// DurabilityFull (the default): Commit returns only after the commit
+	// record is fsynced (parked on the WAL's durability watermark).
+	DurabilityFull Durability = iota
+	// DurabilityRelaxed: every Commit behaves like CommitAsync — the
+	// commit record is appended and queued for the WAL writer's next
+	// batch, but the call returns without waiting for the fsync. A crash
+	// may lose a suffix of recent commits (bounded by the writer's batch
+	// window); it can never lose a commit an earlier surviving commit
+	// depends on, because WAL order is commit order.
+	DurabilityRelaxed
 )
 
 // Options configures a database.
@@ -38,6 +58,14 @@ type Options struct {
 	CheckpointBytes int64
 	// NoSync skips the fsync at commit. Unsafe; benchmarks only.
 	NoSync bool
+	// Durability selects the commit contract (default DurabilityFull).
+	// Per-transaction override: Tx.CommitAsync.
+	Durability Durability
+	// ReplayWorkers bounds the parallel redo pass of crash recovery:
+	// 0 = GOMAXPROCS, 1 = serial (the differential-test baseline), n > 1 =
+	// at most n workers. Redo is partitioned by owning class, which
+	// preserves per-object LSN order; the undo pass is always serial.
+	ReplayWorkers int
 	// WrapDisk and WrapWAL, when set, wrap the storage disk layer and the
 	// WAL's backing file — the seams the fault-injection harness
 	// (internal/fault) uses to script I/O failures and simulated crashes.
@@ -82,6 +110,16 @@ type DB struct {
 	ckptMu sync.RWMutex
 
 	closed atomic.Bool
+
+	// Fail-stop poison latch: set when a commit fails after its effects
+	// reached the heap (WAL append or durability wait failed). The failed
+	// transaction's locks are retained and every subsequent locked
+	// operation returns ErrPoisoned — releasing the locks would expose
+	// heap bytes that were neither made durable nor rolled back. Recovery
+	// is a reopen, which replays the durable WAL prefix.
+	poisoned    atomic.Bool
+	poisonMu    sync.Mutex
+	poisonCause error
 }
 
 // Sentinel errors of the engine layer.
@@ -89,7 +127,44 @@ var (
 	ErrClosed      = errors.New("core: database closed")
 	ErrTxnFinished = errors.New("core: transaction already committed or aborted")
 	ErrNoObject    = storage.ErrNoObject
+	// ErrPoisoned reports a database fail-stopped by a failed commit; see
+	// DB.poison. Every error returned after the latch wraps ErrPoisoned
+	// and the original cause.
+	ErrPoisoned = errors.New("core: database fail-stopped by a failed commit (reopen to recover)")
 )
+
+// poison latches the database into its fail-stop state (first cause wins).
+func (db *DB) poison(cause error) {
+	db.poisonMu.Lock()
+	if !db.poisoned.Load() {
+		db.poisonCause = cause
+		db.poisoned.Store(true)
+		mFailStop.Add(1)
+		obs.Logf("core: fail-stop: %v", cause)
+	}
+	db.poisonMu.Unlock()
+}
+
+// FailStopped returns nil while the database is healthy, or the poison
+// error — wrapping ErrPoisoned and the original cause — once a failed
+// commit has fail-stopped it.
+func (db *DB) FailStopped() error {
+	if !db.poisoned.Load() {
+		return nil
+	}
+	db.poisonMu.Lock()
+	defer db.poisonMu.Unlock()
+	return fmt.Errorf("%w: %w", ErrPoisoned, db.poisonCause)
+}
+
+// check gates every transactional entry point on the closed and poison
+// latches.
+func (db *DB) check() error {
+	if db.closed.Load() {
+		return ErrClosed
+	}
+	return db.FailStopped()
+}
 
 // Open opens (or creates) a database in dir. The directory holds two
 // files: data.kdb (pages) and log.wal (the write-ahead log). Open runs
@@ -218,10 +293,18 @@ func Open(dir string, opts Options) (*DB, error) {
 	return db, nil
 }
 
-// Close checkpoints and closes the database.
+// Close checkpoints and closes the database. A poisoned database skips the
+// checkpoint — flushing the pool could persist heap state whose undo
+// information never became durable — and returns the poison error after
+// releasing the files; the next Open recovers from the durable WAL prefix.
 func (db *DB) Close() error {
 	if db.closed.Swap(true) {
 		return nil
+	}
+	if err := db.FailStopped(); err != nil {
+		db.Store.CloseNoFlush()
+		db.Log.Close()
+		return err
 	}
 	if err := db.Checkpoint(); err != nil {
 		db.Store.Close()
@@ -251,6 +334,11 @@ func (db *DB) Close() error {
 // leave open (catalog new, segment table old ⇒ a recreated class scanning
 // a freed segment) is gone.
 func (db *DB) Checkpoint() error {
+	// Fail-stop: a poisoned engine must not flush the pool (uncommitted
+	// heap state, no durable undo) or truncate the log.
+	if err := db.FailStopped(); err != nil {
+		return err
+	}
 	if err := db.checkpointBody(); err != nil {
 		return err
 	}
@@ -310,22 +398,35 @@ func (l pageLogger) FlushImages() error {
 }
 
 // maybeCheckpoint checkpoints when the WAL has outgrown the configured
-// threshold. Called at commit boundaries.
+// threshold. Called at commit boundaries. A failed auto-checkpoint is
+// survivable — the WAL stays in place, so durability is unaffected — but
+// it must not be silent: the log keeps growing and the failure cause
+// (a sick disk, a poisoned engine) is operationally significant, so it
+// counts in core_checkpoint_errors_total and emits an obs log line.
 func (db *DB) maybeCheckpoint() {
 	size, err := db.Log.Size()
 	if err != nil || size < db.opts.CheckpointBytes {
 		return
 	}
-	// Best-effort: a failed auto-checkpoint leaves the WAL in place, so
-	// durability is unaffected.
-	_ = db.Checkpoint()
+	if err := db.Checkpoint(); err != nil {
+		mCkptErrors.Add(1)
+		obs.Logf("core: auto-checkpoint failed (WAL retained at %d bytes): %v", size, err)
+	}
 }
 
-// replay applies recovered WAL records: redo committed transactions in
-// log order, then undo uncommitted ones in reverse order. Both passes are
-// idempotent (Put is an upsert keyed by OID; Delete of a missing object is
-// a no-op).
+// replay applies recovered WAL records: redo committed transactions, then
+// undo uncommitted ones in reverse order. Both passes are idempotent (Put
+// is an upsert keyed by OID; Delete of a missing object is a no-op).
+//
+// The redo pass parallelizes by partitioning ops on their owning class
+// (Options.ReplayWorkers): a worker applies its classes' ops in LSN order,
+// so per-object redo order — the only order last-writer-wins replay
+// depends on — is exactly the serial pass's, and two workers never touch
+// the same class segment. The undo pass stays serial: its reverse-LSN
+// before-image restores can cross classes in ways that do not commute.
 func (db *DB) replay(records []wal.Record) error {
+	t0 := time.Now()
+	defer func() { mReplayNs.Observe(uint64(time.Since(t0))) }()
 	a := wal.Analyze(records)
 	// Restore the commit-epoch watermark from the logged commit records.
 	// The overlay itself stays empty: replay reconstructs a fully
@@ -337,37 +438,133 @@ func (db *DB) replay(records []wal.Record) error {
 		}
 	}
 	db.Versions.RestoreEpoch(maxEpoch)
-	// A record may target a class dropped after it was logged (DDL
-	// checkpoints persist the catalog immediately, but the log survives a
-	// checkpoint taken under active transactions): such writes are moot.
-	tolerate := func(err error) error {
-		if errors.Is(err, storage.ErrNoSegment) {
-			return nil
-		}
-		return err
+	redo := a.RedoOps()
+	mReplayOps.Add(uint64(len(redo)))
+	workers := db.opts.ReplayWorkers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
 	}
-	for _, r := range a.RedoOps() {
-		switch r.Type {
-		case wal.RecPut:
-			if err := tolerate(db.Store.Put(r.OID, r.After)); err != nil {
-				return err
-			}
-		case wal.RecDelete:
-			if err := tolerate(db.Store.Delete(r.OID)); err != nil {
+	// Below ~2 ops per potential worker the fan-out costs more than the
+	// work; fall back to the serial loop.
+	if workers > 1 && len(redo) >= 2*workers {
+		if err := db.redoParallel(redo, workers); err != nil {
+			return err
+		}
+	} else {
+		mReplayWorkers.Set(1)
+		for _, r := range redo {
+			if err := db.redoOne(r); err != nil {
 				return err
 			}
 		}
 	}
 	for _, r := range a.UndoOps() {
 		if r.Before != nil {
-			if err := tolerate(db.Store.Put(r.OID, r.Before)); err != nil {
+			if err := tolerateDropped(db.Store.Put(r.OID, r.Before)); err != nil {
 				return err
 			}
-		} else if err := tolerate(db.Store.Delete(r.OID)); err != nil {
+		} else if err := tolerateDropped(db.Store.Delete(r.OID)); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// tolerateDropped absorbs replay of a record targeting a class dropped
+// after it was logged (DDL checkpoints persist the catalog immediately,
+// but the log survives a checkpoint taken under active transactions):
+// such writes are moot.
+func tolerateDropped(err error) error {
+	if errors.Is(err, storage.ErrNoSegment) {
+		return nil
+	}
+	return err
+}
+
+// redoOne applies a single redo record.
+func (db *DB) redoOne(r wal.Record) error {
+	switch r.Type {
+	case wal.RecPut:
+		return tolerateDropped(db.Store.Put(r.OID, r.After))
+	case wal.RecDelete:
+		return tolerateDropped(db.Store.Delete(r.OID))
+	}
+	return nil
+}
+
+// redoParallel fans the redo pass out across at most `workers` goroutines,
+// partitioned by owning class with a deterministic greedy balance (largest
+// class first onto the lightest worker). Safe because the storage layer is
+// internally latched for concurrent writers, classes map to disjoint
+// segments, and per-class op order is preserved.
+func (db *DB) redoParallel(redo []wal.Record, workers int) error {
+	classOps := make(map[model.ClassID][]wal.Record)
+	var classes []model.ClassID
+	for _, r := range redo {
+		c := r.OID.Class()
+		if _, ok := classOps[c]; !ok {
+			classes = append(classes, c)
+		}
+		classOps[c] = append(classOps[c], r)
+	}
+	if len(classes) < 2 {
+		mReplayWorkers.Set(1)
+		for _, r := range redo {
+			if err := db.redoOne(r); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	sort.Slice(classes, func(i, j int) bool {
+		ni, nj := len(classOps[classes[i]]), len(classOps[classes[j]])
+		if ni != nj {
+			return ni > nj
+		}
+		return classes[i] < classes[j]
+	})
+	if workers > len(classes) {
+		workers = len(classes)
+	}
+	buckets := make([][]model.ClassID, workers)
+	loads := make([]int, workers)
+	for _, c := range classes {
+		k := 0
+		for i := 1; i < workers; i++ {
+			if loads[i] < loads[k] {
+				k = i
+			}
+		}
+		buckets[k] = append(buckets[k], c)
+		loads[k] += len(classOps[c])
+	}
+	mReplayWorkers.Set(int64(workers))
+	errCh := make(chan error, workers)
+	var wg sync.WaitGroup
+	for _, b := range buckets {
+		wg.Add(1)
+		go func(cs []model.ClassID) {
+			defer wg.Done()
+			for _, c := range cs {
+				for _, r := range classOps[c] {
+					if err := db.redoOne(r); err != nil {
+						select {
+						case errCh <- err:
+						default:
+						}
+						return
+					}
+				}
+			}
+		}(b)
+	}
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		return err
+	default:
+		return nil
+	}
 }
 
 // FetchObject returns the last stored state of oid, without locking: the

@@ -8,6 +8,20 @@ import (
 var (
 	mCkptNs      = obs.RegisterHistogram("core_checkpoint_duration_ns")
 	mCkptSkipped = obs.RegisterCounter("core_checkpoint_truncation_skips")
+	// Failed Checkpoint calls surfaced by maybeCheckpoint (best-effort
+	// auto-checkpoints used to discard these silently; now they count here
+	// and emit an obs log line).
+	mCkptErrors = obs.RegisterCounter("core_checkpoint_errors_total")
+	// Fail-stop poisonings: a commit failed after its effects reached the
+	// heap, so the engine refused all further work (see DB.poison).
+	mFailStop = obs.RegisterCounter("core_failstop_events_total")
+
+	// Crash-recovery replay shape: total redo ops applied, the worker
+	// count of the last (possibly parallel) redo pass, and end-to-end
+	// replay latency.
+	mReplayOps     = obs.RegisterCounter("core_replay_redo_ops_total")
+	mReplayWorkers = obs.RegisterGauge("core_replay_redo_workers")
+	mReplayNs      = obs.RegisterHistogram("core_replay_duration_ns")
 
 	// Snapshot-transaction traffic: begins/ends pair up (a leak shows as
 	// a widening gap), reads count objects resolved through the overlay

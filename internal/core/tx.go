@@ -54,8 +54,8 @@ func (tx *Tx) ensureBegan() error {
 	if tx.snap {
 		return ErrReadOnlyTxn
 	}
-	if tx.db.closed.Load() {
-		return ErrClosed
+	if err := tx.db.check(); err != nil {
+		return err
 	}
 	if !tx.began {
 		// Under the checkpoint fence: the begin record and the active-count
@@ -264,6 +264,14 @@ func (tx *Tx) Fetch(oid model.OID) (*model.Object, error) {
 	if tx.snap {
 		return tx.snapshotFetch(oid)
 	}
+	// Locked reads check the poison latch: a fail-stopped DB retains the
+	// failed committer's locks forever, so without the check a reader would
+	// block indefinitely instead of learning the engine is dead. (Snapshot
+	// reads above stay safe without it — the failed transaction's version
+	// chains were never committed, so they shield its heap bytes.)
+	if err := tx.db.check(); err != nil {
+		return nil, err
+	}
 	if err := tx.abortOn(tx.db.Locks.LockInstanceRead(tx.id, oid)); err != nil {
 		return nil, err
 	}
@@ -281,6 +289,9 @@ func (tx *Tx) LockClassScan(classes []model.ClassID) error {
 	if tx.snap {
 		return nil
 	}
+	if err := tx.db.check(); err != nil {
+		return err
+	}
 	return tx.abortOn(tx.db.Locks.LockHierarchyRead(tx.id, classes))
 }
 
@@ -292,6 +303,9 @@ func (tx *Tx) Scan(class model.ClassID, fn func(*model.Object) bool) error {
 	}
 	if tx.snap {
 		return tx.snapshotScan(class, fn)
+	}
+	if err := tx.db.check(); err != nil {
+		return err
 	}
 	if err := tx.abortOn(tx.db.Locks.LockClassRead(tx.id, class)); err != nil {
 		return err
@@ -333,8 +347,24 @@ func (tx *Tx) scanClass(class model.ClassID, fn func(*model.Object) bool) error 
 }
 
 // Commit makes the transaction durable and releases its locks. For a
-// snapshot transaction it simply releases the snapshot.
+// snapshot transaction it simply releases the snapshot. Under
+// Options.Durability == DurabilityRelaxed it behaves like CommitAsync.
 func (tx *Tx) Commit() error {
+	return tx.commitMode(tx.db.opts.Durability == DurabilityRelaxed)
+}
+
+// CommitAsync commits without waiting for the commit record to reach disk:
+// the write is queued for the WAL writer's next batch and the call returns
+// as soon as the record is in the log buffer. Ordering is preserved — the
+// log holds commits in commit order, so a crash can only lose a suffix of
+// acknowledged-async transactions, never an intermediate one. Locks release
+// immediately; a later Commit (full durability) by any transaction also
+// hardens every async commit queued before it.
+func (tx *Tx) CommitAsync() error {
+	return tx.commitMode(true)
+}
+
+func (tx *Tx) commitMode(async bool) error {
 	if tx.done {
 		return ErrTxnFinished
 	}
@@ -343,7 +373,18 @@ func (tx *Tx) Commit() error {
 		tx.endSnapshot()
 		return nil
 	}
-	defer tx.db.Locks.ReleaseAll(tx.id)
+	// Locks release only on the success path. A commit that fails after its
+	// writes reached the heap leaves objects whose durability is unknown;
+	// releasing the locks would let other transactions read and build on
+	// state a restart may roll back. Fail-stop instead: keep the locks,
+	// poison the DB so every subsequent operation reports the fault, and
+	// force a reopen (which recovers to the last durable prefix).
+	release := true
+	defer func() {
+		if release {
+			tx.db.Locks.ReleaseAll(tx.id)
+		}
+	}()
 	if !tx.began {
 		return nil // read-only: nothing to log
 	}
@@ -359,20 +400,28 @@ func (tx *Tx) Commit() error {
 	// assigned when the versions are stamped below, after the group
 	// commit. Recovery only needs a monotonic restart point, and the
 	// overlay itself never survives a restart.
-	if _, err := tx.db.Log.Append(wal.Record{
+	lsn, err := tx.db.Log.Append(wal.Record{
 		Txn: tx.id, Type: wal.RecCommit, Epoch: tx.db.Versions.Epoch() + 1,
-	}); err != nil {
+	})
+	if err != nil {
+		release = false
+		tx.db.poison(fmt.Errorf("txn %d: commit append: %w", tx.id, err))
 		return err
 	}
 	if !tx.db.opts.NoSync {
-		// Group commit: concurrent committers share one fsync.
-		if err := tx.db.Log.SyncGroup(); err != nil {
+		if async {
+			// Relaxed durability: hand the LSN to the writer and return.
+			tx.db.Log.RequestSync(lsn)
+		} else if err := tx.db.Log.WaitDurable(lsn); err != nil {
+			release = false
+			tx.db.poison(fmt.Errorf("txn %d: commit sync: %w", tx.id, err))
 			return err
 		}
 	}
-	// Stamp the version chains only after the commit is durable, matching
-	// the locked path's guarantee (locks release after the sync): no
-	// snapshot ever observes a commit the log could still lose.
+	// Stamp the version chains only after the commit is durable (or, for
+	// async mode, queued behind the durability the caller opted out of),
+	// matching the locked path's guarantee: no snapshot ever observes a
+	// commit the log could still lose under full durability.
 	tx.db.Versions.Commit(tx.id)
 	// Leave the active set before deciding on a checkpoint, or a lone
 	// committer would block its own WAL truncation.

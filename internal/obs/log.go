@@ -1,0 +1,41 @@
+package obs
+
+// Minimal event log for rare, operationally significant conditions the
+// metrics alone cannot explain: fail-stop latches, failed auto-checkpoints,
+// recovery anomalies. This is deliberately not a logging framework — one
+// line per event, timestamped, to a swappable writer (default stderr) —
+// because the hot paths must stay allocation-free and the engine has no
+// business buffering telemetry it may be crashing under.
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"time"
+)
+
+var (
+	logMu sync.Mutex
+	logW  io.Writer = os.Stderr
+)
+
+// SetLogWriter redirects event-log output (tests capture it; servers tee
+// it). Returns the previous writer so callers can restore it.
+func SetLogWriter(w io.Writer) io.Writer {
+	logMu.Lock()
+	defer logMu.Unlock()
+	prev := logW
+	logW = w
+	return prev
+}
+
+// Logf emits one timestamped event line. Callers prefix the message with
+// their layer ("core: ...", "wal: ..."), mirroring the metric naming
+// convention.
+func Logf(format string, args ...any) {
+	logMu.Lock()
+	defer logMu.Unlock()
+	fmt.Fprintf(logW, "%s "+format+"\n",
+		append([]any{time.Now().UTC().Format(time.RFC3339Nano)}, args...)...)
+}

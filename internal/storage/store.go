@@ -96,6 +96,15 @@ func (s *Store) Close() error {
 	return s.disk.Close()
 }
 
+// CloseNoFlush releases the disk without flushing the pool — the engine's
+// fail-stop close path. A poisoned database's dirty pages may hold
+// uncommitted heap state whose WAL undo information never became durable;
+// persisting them would make the corruption real, so they are dropped and
+// the next open recovers from the durable prefix instead.
+func (s *Store) CloseNoFlush() error {
+	return s.disk.Close()
+}
+
 // Pool exposes the buffer pool (the engine stores system blobs through it).
 func (s *Store) Pool() *BufferPool { return s.pool }
 

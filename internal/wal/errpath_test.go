@@ -131,14 +131,85 @@ func TestSyncGroupFailurePropagatesToAllCommitters(t *testing.T) {
 			t.Fatalf("committer %d: err = %v, want the device fsync error", i, err)
 		}
 	}
+}
 
-	// The device recovers; group commit must too (no stuck state).
-	ff.fail.Store(false)
-	if _, err := w.Append(rec(99)); err != nil {
+// TestFsyncErrorLatchesWAL pins the fsyncgate fix: after one failed fsync
+// the kernel may already have dropped the dirty pages, so a later fsync
+// that reports success proves nothing. The log must latch into a sticky
+// failed state — even after the device "recovers", every Append and Sync
+// keeps returning the latched error (wrapping both ErrFailed and the
+// original cause) — and only a reopen, which re-reads the durable prefix,
+// clears it.
+func TestFsyncErrorLatchesWAL(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "log.wal")
+	var ff *failingSyncFile
+	w, _, err := wal.OpenWith(path, func(under wal.File) wal.File {
+		ff = &failingSyncFile{File: under}
+		return ff
+	})
+	if err != nil {
 		t.Fatal(err)
 	}
-	if err := w.SyncGroup(); err != nil {
-		t.Fatalf("group commit after device recovery: %v", err)
+
+	if _, err := w.Append(rec(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Sync(); err != nil {
+		t.Fatal(err)
+	}
+
+	ff.fail.Store(true)
+	if _, err := w.Append(rec(2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Sync(); !errors.Is(err, errDeviceSync) || !errors.Is(err, wal.ErrFailed) {
+		t.Fatalf("failed sync: err = %v, want ErrFailed wrapping the device error", err)
+	}
+
+	// The device "recovers" — exactly the fsyncgate trap. The latch must
+	// hold anyway.
+	ff.fail.Store(false)
+	if _, err := w.Append(rec(3)); !errors.Is(err, wal.ErrFailed) {
+		t.Fatalf("Append after latch: err = %v, want ErrFailed", err)
+	}
+	if err := w.Sync(); !errors.Is(err, wal.ErrFailed) {
+		t.Fatalf("Sync after latch: err = %v, want ErrFailed", err)
+	}
+	if err := w.SyncGroup(); !errors.Is(err, wal.ErrFailed) {
+		t.Fatalf("SyncGroup after latch: err = %v, want ErrFailed", err)
+	}
+	if err := w.Reset(); !errors.Is(err, wal.ErrFailed) {
+		t.Fatalf("Reset after latch: err = %v, want ErrFailed", err)
+	}
+	if err := w.Err(); !errors.Is(err, errDeviceSync) {
+		t.Fatalf("Err() = %v, want the original cause preserved", err)
+	}
+	if err := w.Close(); !errors.Is(err, wal.ErrFailed) {
+		t.Fatalf("Close of latched log: err = %v, want ErrFailed", err)
+	}
+
+	// Reopen recovers a clean prefix: the synced record is guaranteed; the
+	// record behind the failed fsync is indeterminate (its flush reached
+	// the file, the fsync never vouched for it); the latched append (3)
+	// must NOT appear — it was refused.
+	w2, recs, err := wal.Open(path)
+	if err != nil {
+		t.Fatalf("reopen after latch: %v", err)
+	}
+	defer w2.Close()
+	if len(recs) < 1 || len(recs) > 2 || recs[0].OID != 1 {
+		t.Fatalf("recovered %+v, want the durable record (+ optionally the indeterminate one)", recs)
+	}
+	for _, r := range recs {
+		if r.OID == 3 {
+			t.Fatalf("latched append leaked into the log: %+v", recs)
+		}
+	}
+	if _, err := w2.Append(rec(4)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.Sync(); err != nil {
+		t.Fatal(err)
 	}
 }
 

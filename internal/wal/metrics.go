@@ -9,20 +9,39 @@ import (
 // Process-wide WAL metrics (obs registry). The per-WAL Syncs counter the
 // benchmarks read stays on the struct; these aggregate across instances
 // and add the latency/batch shape the counters cannot carry.
+//
+// Accounting contract: Syncs, wal_fsync_latency_ns and
+// wal_group_commit_batch record successful rounds only — a failed fsync
+// counts in wal_fsync_errors_total instead, so the batching factor and the
+// latency distribution are not polluted by errored syncs that made nothing
+// durable.
 var (
-	mAppendBytes = obs.RegisterCounter("wal_append_bytes_total")
-	mAppendRecs  = obs.RegisterCounter("wal_append_records_total")
-	mFsyncNs     = obs.RegisterHistogram("wal_fsync_latency_ns")
-	mBatchSize   = obs.RegisterHistogram("wal_group_commit_batch")
+	mAppendBytes  = obs.RegisterCounter("wal_append_bytes_total")
+	mAppendRecs   = obs.RegisterCounter("wal_append_records_total")
+	mFsyncNs      = obs.RegisterHistogram("wal_fsync_latency_ns")
+	mBatchSize    = obs.RegisterHistogram("wal_group_commit_batch")
+	mFsyncErrs    = obs.RegisterCounter("wal_fsync_errors_total")
+	mFailLatched  = obs.RegisterCounter("wal_failstop_latches_total")
+	mCommitWaitNs = obs.RegisterHistogram("wal_commit_wait_ns")
 )
 
-// syncTimed wraps the backing file's fsync with the latency histogram.
+// metricsOn reports whether the obs registry is collecting.
+func metricsOn() bool { return obs.Enabled() }
+
+// syncTimed wraps the backing file's fsync with the latency histogram and
+// the fsync EMA feeding the writer's adaptive batch window. Failures are
+// counted separately and observe no latency.
 func (w *WAL) syncTimed() error {
-	if !obs.Enabled() {
-		return w.file.Sync()
-	}
 	t0 := time.Now()
 	err := w.file.Sync()
-	mFsyncNs.Observe(uint64(time.Since(t0)))
-	return err
+	el := time.Since(t0)
+	if err != nil {
+		mFsyncErrs.Add(1)
+		return err
+	}
+	w.emaFsyncNs += 0.25 * (float64(el) - w.emaFsyncNs)
+	if obs.Enabled() {
+		mFsyncNs.Observe(uint64(el))
+	}
+	return nil
 }

@@ -1,0 +1,183 @@
+package wal
+
+// Unit coverage for the commit pipeline: the dedicated writer goroutine,
+// the durability watermark, relaxed-durability requests, and the close
+// drain. The sticky-latch error path lives in errpath_test.go (it needs
+// the external fault wrappers).
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestWatermarkOrdering(t *testing.T) {
+	w, _, _ := openTestWAL(t)
+	defer w.Close()
+	var lsns []uint64
+	for i := 0; i < 3; i++ {
+		lsn, err := w.Append(Record{Txn: 1, Type: RecBegin})
+		if err != nil {
+			t.Fatal(err)
+		}
+		lsns = append(lsns, lsn)
+	}
+	if got := w.DurableLSN(); got != 0 {
+		t.Fatalf("watermark before any sync = %d", got)
+	}
+	if err := w.WaitDurable(lsns[1]); err != nil {
+		t.Fatal(err)
+	}
+	// The flush covers everything buffered, so the watermark lands at the
+	// tail, not just the requested LSN.
+	if got := w.DurableLSN(); got < lsns[1] {
+		t.Fatalf("watermark %d below awaited LSN %d", got, lsns[1])
+	}
+	if got := w.LastLSN(); w.DurableLSN() != got {
+		t.Fatalf("watermark %d, tail %d: flush should cover the buffer", w.DurableLSN(), got)
+	}
+	// Waiting on an already-durable LSN is a no-op (no new fsync).
+	syncs := w.Syncs.Load()
+	if err := w.WaitDurable(lsns[0]); err != nil {
+		t.Fatal(err)
+	}
+	if w.Syncs.Load() != syncs {
+		t.Fatal("WaitDurable below the watermark performed a redundant fsync")
+	}
+}
+
+func TestRequestSyncEventuallyDurable(t *testing.T) {
+	w, _, path := openTestWAL(t)
+	lsn, err := w.Append(Record{Txn: 9, Type: RecCommit})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.RequestSync(lsn)
+	deadline := time.Now().Add(5 * time.Second)
+	for w.DurableLSN() < lsn {
+		if time.Now().After(deadline) {
+			t.Fatalf("async request never became durable (watermark %d, want %d)", w.DurableLSN(), lsn)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	w.Close()
+	_, recs, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0].Txn != 9 {
+		t.Fatalf("recovered %+v", recs)
+	}
+}
+
+func TestCloseDrainsPendingAsync(t *testing.T) {
+	// Relaxed-durability requests still pending at Close must be flushed
+	// by the writer's final drain, not dropped with the buffer.
+	w, _, path := openTestWAL(t)
+	const n = 25
+	for i := 0; i < n; i++ {
+		lsn, err := w.Append(Record{Txn: uint64(i + 1), Type: RecCommit})
+		if err != nil {
+			t.Fatal(err)
+		}
+		w.RequestSync(lsn)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, recs, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != n {
+		t.Fatalf("recovered %d records after close drain, want %d", len(recs), n)
+	}
+}
+
+func TestWriterBatchesConcurrentCommitters(t *testing.T) {
+	// The adaptive dual trigger must pull well clear of one-fsync-per-
+	// commit under sustained concurrency (the acceptance bar in the bench
+	// is mean batch >= 8 at 32 committers; here just assert real sharing).
+	w, _, _ := openTestWAL(t)
+	defer w.Close()
+	const workers, per = 32, 60
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < per; j++ {
+				lsn, err := w.Append(Record{Txn: uint64(i + 1), Type: RecCommit})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if err := w.WaitDurable(lsn); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	commits := uint64(workers * per)
+	syncs := w.Syncs.Load()
+	t.Logf("commits=%d syncs=%d batch=%.1f", commits, syncs, float64(commits)/float64(syncs))
+	if syncs*4 > commits {
+		t.Fatalf("weak batching: %d syncs for %d commits (mean %.1f, want >= 4)",
+			syncs, commits, float64(commits)/float64(syncs))
+	}
+}
+
+func TestResetSatisfiesParkedRequests(t *testing.T) {
+	// A checkpoint Reset discards records whose durability is now carried
+	// by the flushed pages; the watermark must jump so lazy requests for
+	// them complete instead of waiting for a flush of truncated bytes.
+	w, _, _ := openTestWAL(t)
+	defer w.Close()
+	lsn, err := w.Append(Record{Txn: 1, Type: RecCommit})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	if got := w.DurableLSN(); got < lsn {
+		t.Fatalf("watermark %d did not advance over reset tail %d", got, lsn)
+	}
+	if err := w.WaitDurable(lsn); err != nil {
+		t.Fatal(err)
+	}
+	// LSNs never regress across Reset.
+	next, err := w.Append(Record{Txn: 2, Type: RecBegin})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if next <= lsn {
+		t.Fatalf("LSN regressed across Reset: %d after %d", next, lsn)
+	}
+}
+
+func TestAfterSyncHookRunsBeforePublish(t *testing.T) {
+	w, _, _ := openTestWAL(t)
+	defer w.Close()
+	var sawWatermark []uint64
+	w.SetAfterSync(func() {
+		sawWatermark = append(sawWatermark, w.DurableLSN())
+	})
+	lsn, err := w.Append(Record{Txn: 1, Type: RecCommit})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WaitDurable(lsn); err != nil {
+		t.Fatal(err)
+	}
+	if len(sawWatermark) == 0 {
+		t.Fatal("afterSync hook never ran")
+	}
+	// The hook observes the pre-publish watermark: the fsync that made lsn
+	// durable has happened, but the publish has not.
+	if sawWatermark[0] >= lsn {
+		t.Fatalf("hook saw watermark %d, want < %d (pre-publish)", sawWatermark[0], lsn)
+	}
+}

@@ -17,6 +17,26 @@
 //     restored before logical replay runs — without the image, amputating a
 //     torn page would also lose pre-checkpoint records that are no longer
 //     in the log.
+//
+// Commit pipeline. All flushes and fsyncs are performed by one dedicated
+// writer goroutine. Committers append their records, then park on the
+// durability watermark with WaitDurable(lsn) (or register a lazy
+// RequestSync for relaxed-durability commits) — the writer accumulates an
+// adaptive batch (dual trigger: batch-size target from an EMA of recent
+// batch sizes, bounded by a max-wait derived from the EMA of fsync
+// latency), flushes the buffer once, fsyncs once, publishes the new
+// watermark, and wakes every parked committer it covered. A solo committer
+// never waits: the size target adapts down to 1 and the batch window is
+// skipped entirely.
+//
+// Error model (fail-stop). A failed flush or fsync latches the WAL into a
+// sticky failed state: after an fsync error the kernel may have discarded
+// the dirty pages while keeping the error sticky only for the first caller
+// ("fsyncgate"), so a later fsync that returns nil proves nothing about
+// the lost writes. Once latched, Append, Sync, SyncGroup, WaitDurable and
+// Reset all return the latched error (wrapping ErrFailed and the original
+// cause); the only way forward is to close and re-open the log, which
+// re-reads the durable prefix from disk.
 package wal
 
 import (
@@ -29,6 +49,7 @@ import (
 	"os"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"oodb/internal/model"
 )
@@ -80,9 +101,31 @@ type File interface {
 	Close() error
 }
 
-// WAL is an append-only log file. Appends are buffered; Sync flushes and
-// fsyncs. SyncGroup is the group-commit path: concurrent committers
-// enqueue and a single fsync makes a whole batch durable.
+// ErrFailed marks a WAL latched into its sticky failed state by an earlier
+// flush or fsync error. Every error returned after the latch wraps both
+// ErrFailed and the original cause.
+var ErrFailed = errors.New("wal: log failed (sticky; reopen to recover)")
+
+// errClosed reports use of a closed log's commit pipeline.
+var errClosed = errors.New("wal: log closed")
+
+// waiter is one committer parked on the durability watermark.
+type waiter struct {
+	lsn uint64
+	ch  chan error
+}
+
+// Batching bounds of the writer's adaptive dual trigger.
+const (
+	maxBatchTarget = 256
+	minBatchWait   = 50 * time.Microsecond
+	maxBatchWait   = 2 * time.Millisecond
+)
+
+// WAL is an append-only log file. Appends are buffered; durability flows
+// through the dedicated writer goroutine: Sync/WaitDurable park until the
+// watermark covers the requested LSN, RequestSync registers a lazy flush
+// for relaxed-durability commits.
 type WAL struct {
 	mu      sync.Mutex
 	path    string
@@ -90,13 +133,35 @@ type WAL struct {
 	w       *bufio.Writer
 	nextLSN uint64
 
-	// Group commit state.
-	gcMu      sync.Mutex
-	gcWaiters []chan error
-	gcRunning bool
+	// durable is the watermark: the highest LSN known fsynced. Monotonic.
+	durable atomic.Uint64
 
-	// Syncs counts fsyncs performed (observability: commits/Syncs is the
-	// group-commit batching factor).
+	// Sticky failure latch (see the package comment's error model).
+	failed    atomic.Bool
+	failMu    sync.Mutex
+	failCause error
+
+	// Commit pipeline state, owned by the writer goroutine except under pmu.
+	pmu       sync.Mutex
+	waiters   []waiter
+	asyncReq  uint64 // highest LSN with a pending relaxed-durability request
+	stopped   bool
+	kick      chan struct{} // buffered(1) doorbell: work arrived
+	quit      chan struct{}
+	writerRip chan struct{} // closed when the writer goroutine exits
+
+	// afterSync, when set, runs after every successful fsync and before
+	// the watermark publish — the crash-matrix hook for the one pipeline
+	// step that is not itself an I/O op.
+	afterSync atomic.Pointer[func()]
+
+	// Adaptive batching state, owned by the writer goroutine.
+	emaBatch   float64 // EMA of recent batch sizes (committers per fsync)
+	emaFsyncNs float64 // EMA of recent fsync latency
+
+	// Syncs counts successful fsyncs (observability: commits/Syncs is the
+	// group-commit batching factor). Failed fsyncs count in
+	// wal_fsync_errors_total instead, so the factor is not polluted.
 	Syncs atomic.Uint64
 }
 
@@ -139,18 +204,71 @@ func OpenWith(path string, wrap func(File) File) (*WAL, []Record, error) {
 		f.Close()
 		return nil, nil, err
 	}
-	w := &WAL{path: path, file: f, w: bufio.NewWriterSize(f, 1<<16), nextLSN: 1}
+	w := &WAL{
+		path:       path,
+		file:       f,
+		w:          bufio.NewWriterSize(f, 1<<16),
+		nextLSN:    1,
+		kick:       make(chan struct{}, 1),
+		quit:       make(chan struct{}),
+		writerRip:  make(chan struct{}),
+		emaBatch:   1,
+		emaFsyncNs: float64(500 * time.Microsecond),
+	}
 	if n := len(recs); n > 0 {
 		w.nextLSN = recs[n-1].LSN + 1
 	}
+	// Everything scanned was read off the platter: it is durable by
+	// construction, so the watermark starts at the recovered tail.
+	w.durable.Store(w.nextLSN - 1)
+	go w.writerLoop()
 	return w, recs, nil
 }
 
-// Close flushes and closes the log.
+// latch flips the WAL into its sticky failed state (first cause wins).
+func (w *WAL) latch(cause error) {
+	w.failMu.Lock()
+	if !w.failed.Load() {
+		w.failCause = cause
+		w.failed.Store(true)
+		mFailLatched.Add(1)
+	}
+	w.failMu.Unlock()
+}
+
+// Err returns nil while the log is healthy, or the latched failure —
+// wrapping both ErrFailed and the original cause — once a flush or fsync
+// has failed.
+func (w *WAL) Err() error {
+	if !w.failed.Load() {
+		return nil
+	}
+	w.failMu.Lock()
+	defer w.failMu.Unlock()
+	return fmt.Errorf("%w: %w", ErrFailed, w.failCause)
+}
+
+// Close stops the writer goroutine (draining any parked committers), then
+// flushes and closes the log. On a latched log the flush is skipped — its
+// buffered frames are unrecoverable by definition — and the latched error
+// is returned after the file is closed.
 func (w *WAL) Close() error {
+	w.pmu.Lock()
+	already := w.stopped
+	w.stopped = true
+	w.pmu.Unlock()
+	if !already {
+		close(w.quit)
+		<-w.writerRip
+	}
 	w.mu.Lock()
 	defer w.mu.Unlock()
+	if err := w.Err(); err != nil {
+		w.file.Close()
+		return err
+	}
 	if err := w.w.Flush(); err != nil {
+		w.latch(err)
 		w.file.Close()
 		return err
 	}
@@ -158,8 +276,11 @@ func (w *WAL) Close() error {
 }
 
 // Append assigns the record an LSN and buffers it. The record is durable
-// only after a subsequent Sync.
+// only after the watermark passes its LSN (WaitDurable / RequestSync).
 func (w *WAL) Append(rec Record) (uint64, error) {
+	if err := w.Err(); err != nil {
+		return 0, err
+	}
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	rec.LSN = w.nextLSN
@@ -169,9 +290,11 @@ func (w *WAL) Append(rec Record) (uint64, error) {
 	binary.BigEndian.PutUint32(hdr[0:], uint32(len(frame)))
 	binary.BigEndian.PutUint32(hdr[4:], crc32.Checksum(frame, crcTable))
 	if _, err := w.w.Write(hdr[:]); err != nil {
+		w.latch(err)
 		return 0, err
 	}
 	if _, err := w.w.Write(frame); err != nil {
+		w.latch(err)
 		return 0, err
 	}
 	mAppendBytes.Add(uint64(len(frame)) + 8)
@@ -179,74 +302,282 @@ func (w *WAL) Append(rec Record) (uint64, error) {
 	return rec.LSN, nil
 }
 
-// Sync makes all appended records durable. The buffer flush happens under
-// the append lock, but the fsync itself does not: records appended during
-// the fsync are simply not covered by it, and keeping appends unblocked is
-// what gives SyncGroup its batching window.
-func (w *WAL) Sync() error {
+// LastLSN returns the most recently assigned LSN (0 if none).
+func (w *WAL) LastLSN() uint64 {
 	w.mu.Lock()
-	err := w.w.Flush()
-	w.mu.Unlock()
-	if err != nil {
+	defer w.mu.Unlock()
+	return w.nextLSN - 1
+}
+
+// DurableLSN returns the durability watermark: every record with
+// LSN ≤ DurableLSN() has been fsynced.
+func (w *WAL) DurableLSN() uint64 { return w.durable.Load() }
+
+// WaitDurable parks until the durability watermark reaches lsn, sharing
+// the writer goroutine's batched fsync with every other parked committer.
+// lsn must be an LSN this log has already assigned (an Append return
+// value). Returns the latched error if the log fails.
+func (w *WAL) WaitDurable(lsn uint64) error {
+	if w.durable.Load() >= lsn {
+		return nil
+	}
+	if err := w.Err(); err != nil {
 		return err
 	}
-	w.Syncs.Add(1)
-	return w.syncTimed()
+	var t0 time.Time
+	if metricsOn() {
+		t0 = time.Now()
+	}
+	ch := make(chan error, 1)
+	w.pmu.Lock()
+	if w.stopped {
+		w.pmu.Unlock()
+		if err := w.Err(); err != nil {
+			return err
+		}
+		return errClosed
+	}
+	w.waiters = append(w.waiters, waiter{lsn: lsn, ch: ch})
+	w.pmu.Unlock()
+	w.kickWriter()
+	err := <-ch
+	if !t0.IsZero() {
+		mCommitWaitNs.Observe(uint64(time.Since(t0)))
+	}
+	return err
+}
+
+// RequestSync registers a relaxed-durability request: the writer will make
+// lsn durable on its own schedule (next batch), without parking the
+// caller. The bounded-loss contract of CommitAsync: a crash may lose the
+// tail of requested-but-unflushed commits, never a prefix gap.
+func (w *WAL) RequestSync(lsn uint64) {
+	w.pmu.Lock()
+	if lsn > w.asyncReq {
+		w.asyncReq = lsn
+	}
+	stopped := w.stopped
+	w.pmu.Unlock()
+	if !stopped {
+		w.kickWriter()
+	}
+}
+
+// Sync makes every record appended so far durable. Equivalent to
+// WaitDurable(LastLSN()): the flush and fsync happen on the writer
+// goroutine, batched with any concurrent committers.
+func (w *WAL) Sync() error {
+	return w.WaitDurable(w.LastLSN())
 }
 
 // SyncGroup makes all records appended so far durable, sharing the fsync
-// with any other transactions committing concurrently (group commit). It
-// returns when a sync that started at or after this call completes. With a
-// single committer it behaves like Sync; with N concurrent committers one
-// fsync typically serves the whole batch.
+// with any other transactions committing concurrently (group commit).
+// Retained as a synonym for Sync: since the commit pipeline, every sync is
+// a group sync through the writer goroutine.
 func (w *WAL) SyncGroup() error {
-	ch := make(chan error, 1)
-	w.gcMu.Lock()
-	w.gcWaiters = append(w.gcWaiters, ch)
-	if !w.gcRunning {
-		w.gcRunning = true
-		go w.gcLoop()
-	}
-	w.gcMu.Unlock()
-	return <-ch
+	return w.Sync()
 }
 
-// gcLoop drains commit batches: each iteration takes every waiter queued
-// so far, performs one Sync, and reports the result to all of them.
-func (w *WAL) gcLoop() {
+// SetAfterSync installs a hook run after every successful fsync, just
+// before the durability watermark is published — the seam crash tests use
+// to land a simulated crash between the fsync and the publish. Testing
+// only; pass nil to remove.
+func (w *WAL) SetAfterSync(fn func()) {
+	if fn == nil {
+		w.afterSync.Store(nil)
+		return
+	}
+	w.afterSync.Store(&fn)
+}
+
+// kickWriter rings the writer's doorbell (coalescing: one buffered slot).
+func (w *WAL) kickWriter() {
+	select {
+	case w.kick <- struct{}{}:
+	default:
+	}
+}
+
+// writerLoop is the dedicated WAL writer: it accumulates an adaptive batch
+// of parked committers, then performs one flush + fsync for all of them.
+func (w *WAL) writerLoop() {
+	defer close(w.writerRip)
 	for {
-		w.gcMu.Lock()
-		batch := w.gcWaiters
-		w.gcWaiters = nil
-		if len(batch) == 0 {
-			w.gcRunning = false
-			w.gcMu.Unlock()
+		select {
+		case <-w.kick:
+			w.accumulate()
+			w.flushOnce()
+		case <-w.quit:
+			// Final drain: anything still parked or lazily requested gets
+			// one last flush before Close proceeds.
+			w.flushOnce()
 			return
 		}
-		w.gcMu.Unlock()
-		mBatchSize.Observe(uint64(len(batch)))
-		err := w.Sync()
-		for _, ch := range batch {
-			ch <- err
+	}
+}
+
+// batchTarget derives the size half of the dual trigger from the EMA of
+// recent batch sizes: a solo committer adapts the target down to 1 (no
+// wait at all); a busy commit stream raises it so one fsync serves the
+// whole burst.
+func (w *WAL) batchTarget() int {
+	t := int(w.emaBatch + 0.5)
+	if t < 1 {
+		t = 1
+	}
+	if t > maxBatchTarget {
+		t = maxBatchTarget
+	}
+	return t
+}
+
+// batchWait derives the time half of the dual trigger: waiting longer than
+// the fsync itself takes cannot pay for itself, so the window tracks half
+// the EMA fsync latency, clamped to [minBatchWait, maxBatchWait].
+func (w *WAL) batchWait() time.Duration {
+	d := time.Duration(w.emaFsyncNs / 2)
+	if d < minBatchWait {
+		return minBatchWait
+	}
+	if d > maxBatchWait {
+		return maxBatchWait
+	}
+	return d
+}
+
+// accumulate blocks until the pending batch reaches the adaptive size
+// target or the max-wait window closes — the dual trigger.
+func (w *WAL) accumulate() {
+	target := w.batchTarget()
+	if target <= 1 || w.failed.Load() {
+		return
+	}
+	timer := time.NewTimer(w.batchWait())
+	defer timer.Stop()
+	for {
+		w.pmu.Lock()
+		n := len(w.waiters)
+		w.pmu.Unlock()
+		if n >= target {
+			return
 		}
+		select {
+		case <-w.kick:
+		case <-timer.C:
+			return
+		case <-w.quit:
+			return
+		}
+	}
+}
+
+// flushOnce performs one pipeline round: take every parked committer and
+// pending lazy request, flush the buffer, fsync, publish the watermark,
+// wake the batch. On error it latches the log and fails the whole batch.
+func (w *WAL) flushOnce() {
+	w.pmu.Lock()
+	batch := w.waiters
+	w.waiters = nil
+	asyncReq := w.asyncReq
+	w.pmu.Unlock()
+
+	if err := w.Err(); err != nil {
+		for _, wt := range batch {
+			wt.ch <- err
+		}
+		return
+	}
+
+	// Committers already covered by the watermark (an earlier round's
+	// fsync ran after they appended) complete without new I/O.
+	d := w.durable.Load()
+	pending := batch[:0]
+	for _, wt := range batch {
+		if wt.lsn <= d {
+			wt.ch <- nil
+		} else {
+			pending = append(pending, wt)
+		}
+	}
+	if len(pending) == 0 && asyncReq <= d {
+		return
+	}
+
+	// Flush under the append lock; the fsync runs outside it, so appends
+	// for the next batch keep flowing while this one hits the platter.
+	w.mu.Lock()
+	upto := w.nextLSN - 1
+	err := w.w.Flush()
+	w.mu.Unlock()
+	if err == nil {
+		err = w.syncTimed()
+	}
+	if err != nil {
+		w.latch(err)
+		err = w.Err()
+		for _, wt := range pending {
+			wt.ch <- err
+		}
+		return
+	}
+
+	w.Syncs.Add(1)
+	if n := len(pending); n > 0 {
+		mBatchSize.Observe(uint64(n))
+		w.emaBatch += 0.25 * (float64(n) - w.emaBatch)
+	}
+	if hook := w.afterSync.Load(); hook != nil {
+		(*hook)()
+	}
+	// Publish the watermark (monotonic: Reset may already have advanced it
+	// past this round's flush point).
+	for {
+		cur := w.durable.Load()
+		if upto <= cur || w.durable.CompareAndSwap(cur, upto) {
+			break
+		}
+	}
+	for _, wt := range pending {
+		wt.ch <- nil
 	}
 }
 
 // Reset truncates the log after a checkpoint. All buffered and stored
 // records are discarded; the LSN sequence continues (LSNs never repeat
-// within a process lifetime).
+// within a process lifetime). The watermark jumps to the current tail:
+// every discarded record's durability is now carried by the checkpointed
+// pages, so parked or lazy requests for them are trivially satisfied.
 func (w *WAL) Reset() error {
+	if err := w.Err(); err != nil {
+		return err
+	}
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	w.w.Reset(io.Discard) // drop buffered frames
 	if err := w.file.Truncate(0); err != nil {
+		w.latch(err)
 		return err
 	}
 	if _, err := w.file.Seek(0, io.SeekStart); err != nil {
+		w.latch(err)
 		return err
 	}
 	w.w.Reset(w.file)
-	return w.file.Sync()
+	if err := w.file.Sync(); err != nil {
+		w.latch(err)
+		return err
+	}
+	// Monotonic publish, then a kick so the writer drains any waiters the
+	// jump satisfied.
+	upto := w.nextLSN - 1
+	for {
+		cur := w.durable.Load()
+		if upto <= cur || w.durable.CompareAndSwap(cur, upto) {
+			break
+		}
+	}
+	w.kickWriter()
+	return nil
 }
 
 // Size returns the current log length in bytes (buffered bytes included).

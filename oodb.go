@@ -127,6 +127,17 @@ type Options struct {
 	CheckpointBytes int64
 	// NoSync skips the fsync at commit. Unsafe; benchmarking only.
 	NoSync bool
+	// RelaxedDurability makes every Commit behave like CommitAsync: the
+	// commit record is queued for the WAL writer's next batch and the call
+	// returns without waiting for the fsync. A crash loses at most a suffix
+	// of acknowledged commits, never an intermediate one, and the store is
+	// never corrupted. Per-transaction control is available via
+	// Tx.CommitAsync under the default full durability.
+	RelaxedDurability bool
+	// ReplayWorkers bounds the parallelism of crash-recovery redo
+	// (0 = GOMAXPROCS, 1 = serial). Recovery output is identical at any
+	// setting; only the replay wall-clock changes.
+	ReplayWorkers int
 }
 
 // DB is an open database.
@@ -138,11 +149,17 @@ type DB struct {
 // Open opens (or creates) a database in dir, running crash recovery if
 // needed.
 func Open(dir string, opts Options) (*DB, error) {
+	durability := core.DurabilityFull
+	if opts.RelaxedDurability {
+		durability = core.DurabilityRelaxed
+	}
 	eng, err := core.Open(dir, core.Options{
 		PoolPages:       opts.PoolPages,
 		PoolShards:      opts.PoolShards,
 		CheckpointBytes: opts.CheckpointBytes,
 		NoSync:          opts.NoSync,
+		Durability:      durability,
+		ReplayWorkers:   opts.ReplayWorkers,
 	})
 	if err != nil {
 		return nil, err
