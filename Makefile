@@ -4,7 +4,7 @@ GO ?= go
 # pre-merge gate sweeps wider). Override: make crash CRASH_SCHEDULES=500
 CRASH_SCHEDULES ?= 120
 
-.PHONY: build test vet fmtcheck race bench crash maint mvcc pipeline metrics-lint verify
+.PHONY: build test vet fmtcheck race bench crash maint mvcc pipeline oo1 metrics-lint verify
 
 build:
 	$(GO) build ./...
@@ -62,7 +62,19 @@ pipeline:
 	$(GO) test -race -count=1 -run 'TestFsyncFailure|TestCommitFlushFailure|TestAutoCheckpointFailure|TestParallelReplay' ./internal/core/
 	CRASH_SCHEDULES=$(CRASH_SCHEDULES) $(GO) test -race -count=1 -run 'TestCrashDuringPipelineCommit|TestCrashAtWatermarkPublish' .
 
+# The clustering stack under the race detector: placement-policy unit
+# tests, the logical-invisibility differential, the clustered-compaction
+# crash matrix, the OO1 generator determinism pin, and the access-tracker
+# tests behind heat-ordered placement.
+oo1:
+	$(GO) test -race -count=1 -run 'TestAccessTracker' ./internal/obs/
+	$(GO) test -race -count=1 -run 'TestRewriteSegmentOrdered' ./internal/storage/
+	$(GO) test -race -count=1 -run 'TestComposite|TestHeat|TestCluster' ./internal/maint/
+	$(GO) test -race -count=1 -run 'TestOO1' ./internal/bench/
+	$(GO) test -race -count=1 -run 'TestClusteredRewrite|TestSnapshotPinnedAcrossClusteredRewrite|TestCrashDuringClusteredCompaction' .
+
 # The full pre-merge gate: compile, static checks, formatting drift, the
 # whole test suite under the race detector, a wide crash sweep, the
-# maintenance matrix, the MVCC snapshot stack, and the commit pipeline.
-verify: build vet fmtcheck metrics-lint race crash maint mvcc pipeline
+# maintenance matrix, the MVCC snapshot stack, the commit pipeline, and
+# the clustering stack.
+verify: build vet fmtcheck metrics-lint race crash maint mvcc pipeline oo1

@@ -1,0 +1,210 @@
+package oodb_test
+
+// Crash matrix for the clustered compaction path: the composite-clustered
+// rewrite adds work the default rewrite never does — the placement policy
+// reads objects (lock-free fetches) inside the DDL critical section, and
+// the new segment is written in policy order rather than scan order. A
+// crash anywhere in that window must still honor the rewrite's contract:
+// no committed row lost, no deleted row resurrected, no page freed twice,
+// and after ReclaimLeaked the page accountant reports zero leaks. The
+// workload is census-enumerated exactly like TestCrashDuringCompaction and
+// shares its verifier.
+
+import (
+	"fmt"
+	"testing"
+
+	"oodb/internal/composite"
+	"oodb/internal/core"
+	"oodb/internal/fault"
+	"oodb/internal/maint"
+	"oodb/internal/model"
+	"oodb/internal/schema"
+)
+
+// clusterCompactWorkload mirrors compactWorkload but makes class C a
+// composite hierarchy: a self-referencing "kids" set declared composite,
+// wired so every third survivor owns the next two survivors. The compact
+// phase runs under maint.ClusterComposite, so the crash window covers the
+// policy's in-DDL reads and the out-of-scan-order segment build.
+func clusterCompactWorkload(dir string, inj *fault.Injector) (kept, deleted []model.OID, err error) {
+	inj.SetPhase("open")
+	db, err := core.Open(dir, core.Options{
+		PoolPages: 64,
+		WrapDisk:  fault.WrapDisk(inj, dir+"/data.kdb"),
+		WrapWAL:   fault.WrapWAL(inj),
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	inj.SetPhase("setup")
+	cl, err := db.DefineClass("C", nil,
+		schema.AttrSpec{Name: "n", Domain: schema.ClassInteger, Default: model.Int(0)},
+		schema.AttrSpec{Name: "s", Domain: schema.ClassString, Default: model.String("")})
+	if err != nil {
+		return nil, nil, err
+	}
+	if _, err := db.AddAttribute(cl.ID, schema.AttrSpec{Name: "kids", Domain: cl.ID, SetValued: true}); err != nil {
+		return nil, nil, err
+	}
+	cm, err := composite.New(db)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := cm.DeclareComposite(cl.ID, "kids", false); err != nil {
+		return nil, nil, err
+	}
+	if err := db.CreateIndex("c_n", cl.ID, []string{"n"}, false); err != nil {
+		return nil, nil, err
+	}
+	big := make([]byte, 6000)
+	for i := range big {
+		big[i] = byte('a' + i%26)
+	}
+	var all []model.OID
+	err = db.Do(func(tx *core.Tx) error {
+		for i := 0; i < 18; i++ {
+			s := fmt.Sprintf("row%d", i)
+			if i%4 == 0 {
+				s += string(big) // overflow chain: must survive the rewrite
+			}
+			oid, err := tx.InsertClass(cl.ID, map[string]model.Value{
+				"n": model.Int(int64(i)), "s": model.String(s)})
+			if err != nil {
+				return err
+			}
+			all = append(all, oid)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	inj.SetPhase("shred")
+	err = db.Do(func(tx *core.Tx) error {
+		for i, oid := range all {
+			if i%3 == 0 {
+				continue // survivor
+			}
+			if err := tx.Delete(oid); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	for i, oid := range all {
+		if i%3 == 0 {
+			kept = append(kept, oid)
+		} else {
+			deleted = append(deleted, oid)
+		}
+	}
+	inj.SetPhase("wire")
+	// Composite structure among survivors only, cross-interleaved so the
+	// clustered layout genuinely differs from scan order: kept[0] owns the
+	// even-indexed tail, kept[1] the odd-indexed tail. The rewrite must
+	// emit [0 2 4 1 3 5], displacing four of six records.
+	err = db.Do(func(tx *core.Tx) error {
+		if len(kept) < 6 {
+			return fmt.Errorf("workload kept %d rows, need >= 6", len(kept))
+		}
+		wire := func(parent model.OID, kids ...model.OID) error {
+			members := make([]model.Value, len(kids))
+			for i, k := range kids {
+				members[i] = model.Ref(k)
+			}
+			return tx.Update(parent, map[string]model.Value{"kids": model.Set(members...)})
+		}
+		if err := wire(kept[0], kept[2], kept[4]); err != nil {
+			return err
+		}
+		return wire(kept[1], kept[3], kept[5])
+	})
+	if err != nil {
+		return kept, deleted, err
+	}
+	inj.SetPhase("checkpoint")
+	if err := db.Checkpoint(); err != nil {
+		return kept, deleted, err
+	}
+	inj.SetPhase("compact")
+	if _, err := maint.New(db, maint.Options{Clustering: maint.ClusterComposite}).CompactClass(cl.ID); err != nil {
+		return kept, deleted, err
+	}
+	inj.SetPhase("close")
+	return kept, deleted, db.Close()
+}
+
+// TestCrashDuringClusteredCompaction crashes at every I/O op inside the
+// composite-clustered compaction window and verifies the same contract as
+// TestCrashDuringCompaction (shared verifier): committed rows survive with
+// their bytes, deleted rows stay dead, fresh allocations never clobber
+// live pages, and ReclaimLeaked drives the page accountant to zero leaks.
+func TestCrashDuringClusteredCompaction(t *testing.T) {
+	cdir := t.TempDir()
+	cinj := fault.NewCensus(matrixSeed)
+	kept, deleted, err := clusterCompactWorkload(cdir, cinj)
+	if err != nil {
+		t.Fatalf("census clustered-compact workload failed: %v", err)
+	}
+	// Sanity: the clustered census run itself must end correctly ordered —
+	// if the policy did nothing the matrix exercises the wrong code path.
+	{
+		db, err := core.Open(cdir, core.Options{})
+		if err != nil {
+			t.Fatalf("census reopen: %v", err)
+		}
+		cl, err := db.Catalog.ClassByName("C")
+		if err != nil {
+			db.Close()
+			t.Fatal(err)
+		}
+		var order []model.OID
+		if err := db.Store.ScanClass(cl.ID, func(oid model.OID, _ []byte) bool {
+			order = append(order, oid)
+			return true
+		}); err != nil {
+			db.Close()
+			t.Fatal(err)
+		}
+		db.Close()
+		if len(order) < 6 || order[1] != kept[2] || order[2] != kept[4] || order[3] != kept[1] {
+			t.Fatalf("census run not clustered: scan order %v, want families [0 2 4 1 3 5] of %v", order, kept)
+		}
+	}
+	var window []fault.Point
+	for _, p := range cinj.Census() {
+		if p.Phase == "compact" {
+			window = append(window, p)
+		}
+	}
+	if len(window) < 5 {
+		t.Fatalf("clustered compact window exposes only %d I/O ops; the test is vacuous", len(window))
+	}
+	step := 1
+	if len(window) > 60 {
+		step = len(window) / 60
+	}
+	for i := 0; i < len(window); i += step {
+		p := window[i]
+		sched := fault.Schedule{
+			Seed:    matrixSeed*2_000_000 + int64(p.Index),
+			CrashAt: p.Index,
+			Style:   fault.Style(i % 2), // clean, torn
+		}
+		name := fmt.Sprintf("op%04d_%s_%s", p.Index, p.Op, sched.Style)
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			dir := t.TempDir()
+			inj := fault.NewInjector(sched)
+			_, _, err := clusterCompactWorkload(dir, inj)
+			if err == nil && !inj.Crashed() {
+				t.Fatalf("schedule {%v}: crash never fired", sched)
+			}
+			verifyCompactCrash(t, dir, sched, kept, deleted)
+		})
+	}
+}

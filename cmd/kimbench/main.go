@@ -5,7 +5,13 @@
 //
 // Usage:
 //
-//	kimbench [-quick] [-only E3] [-recovery out.json] [-metrics out.json] [-http addr]
+//	kimbench [-quick] [-only E3] [-recovery out.json] [-metrics out.json] [-oo1 out.json] [-http addr]
+//
+// -oo1 runs the OO1-style clustering experiment (E17): cold-cache closure
+// traversals over a seeded, 90%-fragmented part/connection graph, measured
+// on the fragmented layout, after a default (scan-order) compaction, and
+// after a composite-clustered compaction, plus a heat-ordered-placement
+// lookup experiment; the JSON report is tracked as BENCH_oo1.json.
 package main
 
 import (
@@ -33,6 +39,7 @@ var (
 	compact  = flag.String("compact", "", "measure scan latency before/after online compaction, write the JSON report to this path, and exit")
 	metrics  = flag.String("metrics", "", "run the obs workload, write the metric snapshot report to this path, and exit")
 	mvcc     = flag.String("mvcc", "", "measure snapshot-reader throughput vs a bulk writer, write the JSON report to this path, and exit")
+	oo1      = flag.String("oo1", "", "measure cold-cache OO1 traversals on fragmented vs compacted vs composite-clustered layouts, write the JSON report to this path, and exit")
 	httpAddr = flag.String("http", "", "serve /metrics and /debug/pprof on this address while running (e.g. localhost:6060)")
 )
 
@@ -59,6 +66,10 @@ func main() {
 	}
 	if *mvcc != "" {
 		runMVCCBench(*mvcc)
+		return
+	}
+	if *oo1 != "" {
+		runOO1Bench(*oo1)
 		return
 	}
 	experiments := []struct {

@@ -248,6 +248,41 @@ func (m *Manager) ownerOf(child model.OID, d decl) (model.OID, error) {
 	return owner, nil
 }
 
+// refsOf extracts the object references out of an attribute value: the
+// single target of a reference, or every reference member of a set.
+func refsOf(v model.Value) []model.OID {
+	if ref, ok := v.AsRef(); ok {
+		return []model.OID{ref}
+	}
+	var out []model.OID
+	if members, ok := v.AsSet(); ok {
+		for _, mem := range members {
+			if ref, ok := mem.AsRef(); ok {
+				out = append(out, ref)
+			}
+		}
+	}
+	return out
+}
+
+// DirectComponents returns the objects directly referenced by oid through
+// its composite attributes, in declaration order — one DFS step of
+// Components. The compaction placement policy (internal/maint) uses it to
+// drive its own traversal without materializing whole closures per root.
+// A missing object yields nil, nil: dangling links are skipped, not
+// errors.
+func (m *Manager) DirectComponents(oid model.OID) ([]model.OID, error) {
+	obj, err := m.db.FetchObject(oid)
+	if err != nil {
+		return nil, nil // dangling link: skip
+	}
+	var out []model.OID
+	for _, d := range m.compositeAttrs(oid.Class()) {
+		out = append(out, refsOf(obj.Get(d.attr))...)
+	}
+	return out, nil
+}
+
 // Components returns every component reachable from root through
 // composite attributes, in DFS order (root excluded).
 func (m *Manager) Components(root model.OID) ([]model.OID, error) {
@@ -255,31 +290,18 @@ func (m *Manager) Components(root model.OID) ([]model.OID, error) {
 	seen := map[model.OID]bool{root: true}
 	var walk func(oid model.OID) error
 	walk = func(oid model.OID) error {
-		obj, err := m.db.FetchObject(oid)
+		refs, err := m.DirectComponents(oid)
 		if err != nil {
-			return nil // dangling link: skip
+			return err
 		}
-		for _, d := range m.compositeAttrs(oid.Class()) {
-			v := obj.Get(d.attr)
-			var refs []model.OID
-			if ref, ok := v.AsRef(); ok {
-				refs = append(refs, ref)
-			} else if members, ok := v.AsSet(); ok {
-				for _, mem := range members {
-					if ref, ok := mem.AsRef(); ok {
-						refs = append(refs, ref)
-					}
-				}
+		for _, ref := range refs {
+			if seen[ref] {
+				continue
 			}
-			for _, ref := range refs {
-				if seen[ref] {
-					continue
-				}
-				seen[ref] = true
-				out = append(out, ref)
-				if err := walk(ref); err != nil {
-					return err
-				}
+			seen[ref] = true
+			out = append(out, ref)
+			if err := walk(ref); err != nil {
+				return err
 			}
 		}
 		return nil

@@ -42,6 +42,14 @@ type Options struct {
 	// Without it, any steady trickle of transactions starves the
 	// reclaimer forever and leaked pages accumulate unbounded.
 	ReclaimWait time.Duration
+	// Clustering selects the placement policy compactions use (default
+	// ClusterNone: physical scan order, byte-identical to the
+	// pre-clustering compactor). See cluster.go.
+	Clustering ClusterPolicy
+	// ClusterOverride pins a policy per class, overriding Clustering —
+	// e.g. composite clustering for the CAD assembly class while the rest
+	// of the database keeps scan order.
+	ClusterOverride map[model.ClassID]ClusterPolicy
 }
 
 func (o Options) withDefaults() Options {
@@ -210,8 +218,13 @@ func (m *Manager) CompactClass(class model.ClassID) (*storage.CompactResult, err
 
 func (m *Manager) compact(class model.ClassID) (*storage.CompactResult, error) {
 	t0 := time.Now()
+	policy := m.policyFor(class)
+	order, err := m.placement(class, policy)
+	if err != nil {
+		return nil, err
+	}
 	col := stats.NewCollector(class)
-	res, err := m.db.CompactClass(class, func(oid model.OID, data []byte) {
+	res, err := m.db.CompactClassOrdered(class, order, func(oid model.OID, data []byte) {
 		if obj, derr := model.DecodeObject(data); derr == nil {
 			col.Observe(obj, len(data))
 		}
@@ -225,6 +238,15 @@ func (m *Manager) compact(class model.ClassID) (*storage.CompactResult, error) {
 	mCompactObjects.Add(uint64(res.LiveRecords))
 	if res.PagesBefore > res.PagesAfter {
 		mCompactPagesFreed.Add(uint64(res.PagesBefore - res.PagesAfter))
+	}
+	if policy != ClusterNone {
+		mClusterCompactions.Add(1)
+		mClusterReordered.Add(uint64(res.Reordered))
+		if policy == ClusterHot {
+			// Heat consumed: reset so the next heat-ordered compaction sees
+			// the workload since this one, not all history.
+			m.db.Store.ResetAccessCounts()
+		}
 	}
 	mCompactNs.Observe(uint64(time.Since(t0)))
 	return res, nil

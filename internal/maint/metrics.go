@@ -15,4 +15,10 @@ var (
 	mReclaimPages      = obs.RegisterCounter("maint_reclaim_pages_freed")
 	mReclaimStarved    = obs.RegisterCounter("maint_reclaim_starved")
 	mStatsAnalyzed     = obs.RegisterCounter("maint_stats_classes_analyzed")
+
+	// Clustering counters: how many compactions ran under a non-default
+	// placement policy, and how many records those placements actually
+	// moved away from scan order (CompactResult.Reordered).
+	mClusterCompactions = obs.RegisterCounter("maint_cluster_compactions_total")
+	mClusterReordered   = obs.RegisterCounter("maint_cluster_objects_reordered")
 )

@@ -1,0 +1,139 @@
+package obs
+
+import (
+	"sync/atomic"
+)
+
+// AccessTracker counts per-key access frequency cheaply enough for the
+// object-fetch hot path — the signal behind heat-ordered placement in the
+// compactor (internal/maint). It is a fixed-size open-addressed table of
+// atomic slots: a Touch is one hash, at most a handful of atomic loads and
+// one atomic add — the same no-lock, no-allocation discipline as the
+// striped counters, so leaving it enabled holds the obs overhead bar
+// (BenchmarkObsOverhead / BenchmarkAccessOverhead in internal/storage).
+//
+// The table is deliberately lossy at the edges: once every probe window
+// for a key's hash is occupied by other keys, further distinct keys are
+// dropped (counted by Drops) rather than grown into — heat placement is
+// advisory, and a bounded, allocation-free hot path matters more than a
+// perfect census. Existing keys keep counting regardless.
+//
+// Touch honors the process-wide SetEnabled switch: while metrics are off a
+// Touch is one atomic load and nothing else. Accumulated counts survive
+// off/on toggles — disabling pauses collection, it never discards what was
+// already counted.
+// There is deliberately no shared per-Touch total: a global counter would
+// put one contended cache line on every fetch from every core. Touches()
+// derives the total from the table instead.
+type AccessTracker struct {
+	slots []accessSlot
+	mask  uint64
+	drops atomic.Uint64
+}
+
+// accessSlot is one table entry. key holds key+1 so the zero value means
+// empty; n is the access count.
+type accessSlot struct {
+	key atomic.Uint64
+	n   atomic.Uint64
+}
+
+// defaultAccessSlots tracks up to 32Ki distinct keys (~512 KiB).
+const defaultAccessSlots = 1 << 15
+
+// accessProbes is the linear-probe window before a new key is dropped.
+const accessProbes = 8
+
+// NewAccessTracker returns a tracker with the default table size.
+func NewAccessTracker() *AccessTracker { return NewAccessTrackerSize(defaultAccessSlots) }
+
+// NewAccessTrackerSize returns a tracker with capacity for about n keys,
+// rounded up to a power of two (minimum 16).
+func NewAccessTrackerSize(n int) *AccessTracker {
+	size := 16
+	for size < n {
+		size <<= 1
+	}
+	return &AccessTracker{slots: make([]accessSlot, size), mask: uint64(size - 1)}
+}
+
+// Touch records one access to key. No-op while metrics are disabled.
+func (t *AccessTracker) Touch(key uint64) {
+	if !enabled.Load() {
+		return
+	}
+	h := key * 0x9e3779b97f4a7c15 // Fibonacci hash: OIDs are sequential per class
+	h ^= h >> 29
+	for i := uint64(0); i < accessProbes; i++ {
+		s := &t.slots[(h+i)&t.mask]
+		k := s.key.Load()
+		if k == key+1 {
+			s.n.Add(1)
+			return
+		}
+		if k == 0 {
+			if s.key.CompareAndSwap(0, key+1) || s.key.Load() == key+1 {
+				s.n.Add(1)
+				return
+			}
+			// Lost the race to a different key: fall through to the next
+			// probe position.
+		}
+	}
+	t.drops.Add(1)
+}
+
+// Counts returns a snapshot of every tracked key's count. Like any set of
+// independently read atomics, the snapshot is consistent to within the
+// touches in flight during the read.
+func (t *AccessTracker) Counts() map[uint64]uint64 {
+	out := make(map[uint64]uint64)
+	for i := range t.slots {
+		k := t.slots[i].key.Load()
+		if k == 0 {
+			continue
+		}
+		if n := t.slots[i].n.Load(); n > 0 {
+			out[k-1] = n
+		}
+	}
+	return out
+}
+
+// Tracked returns the number of distinct keys currently tracked.
+func (t *AccessTracker) Tracked() int {
+	n := 0
+	for i := range t.slots {
+		if t.slots[i].key.Load() != 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// Touches returns the total number of recorded accesses (dropped keys
+// included), derived as the sum of live counts plus drops — O(table),
+// meant for metric snapshots, never the hot path.
+func (t *AccessTracker) Touches() uint64 {
+	total := t.drops.Load()
+	for i := range t.slots {
+		total += t.slots[i].n.Load()
+	}
+	return total
+}
+
+// Drops returns how many touches fell on keys the full table could not
+// admit.
+func (t *AccessTracker) Drops() uint64 { return t.drops.Load() }
+
+// Reset clears every slot and the touch/drop totals — the decay step a
+// caller runs after consuming the counts, so placement reflects recent
+// heat rather than all history. Concurrent touches during a Reset may land
+// before or after the wipe; either is a correct state.
+func (t *AccessTracker) Reset() {
+	for i := range t.slots {
+		t.slots[i].n.Store(0)
+		t.slots[i].key.Store(0)
+	}
+	t.drops.Store(0)
+}

@@ -1,0 +1,113 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestAccessTrackerCounts pins the basic contract: counts accumulate per
+// key, unknown keys read as absent, and totals add up.
+func TestAccessTrackerCounts(t *testing.T) {
+	tr := NewAccessTrackerSize(64)
+	for i := 0; i < 5; i++ {
+		tr.Touch(7)
+	}
+	tr.Touch(9)
+	counts := tr.Counts()
+	if counts[7] != 5 || counts[9] != 1 {
+		t.Fatalf("counts = %v, want 7:5 9:1", counts)
+	}
+	if _, ok := counts[8]; ok {
+		t.Fatal("untouched key appeared in counts")
+	}
+	if tr.Touches() != 6 {
+		t.Fatalf("touches = %d, want 6", tr.Touches())
+	}
+	if tr.Tracked() != 2 {
+		t.Fatalf("tracked = %d, want 2", tr.Tracked())
+	}
+	tr.Reset()
+	if len(tr.Counts()) != 0 || tr.Touches() != 0 {
+		t.Fatalf("reset left state: counts=%v touches=%d", tr.Counts(), tr.Touches())
+	}
+}
+
+// TestAccessTrackerSurvivesDisable pins the toggle contract: disabling
+// metrics pauses counting without discarding accumulated counts, and
+// re-enabling resumes on the same totals.
+func TestAccessTrackerSurvivesDisable(t *testing.T) {
+	defer SetEnabled(true)
+	tr := NewAccessTrackerSize(64)
+	tr.Touch(1)
+	tr.Touch(1)
+
+	SetEnabled(false)
+	tr.Touch(1)
+	tr.Touch(2)
+	if got := tr.Counts()[1]; got != 2 {
+		t.Fatalf("count changed while disabled: %d, want 2", got)
+	}
+	if _, ok := tr.Counts()[2]; ok {
+		t.Fatal("new key admitted while disabled")
+	}
+
+	SetEnabled(true)
+	tr.Touch(1)
+	if got := tr.Counts()[1]; got != 3 {
+		t.Fatalf("count after re-enable = %d, want 3 (2 preserved + 1 new)", got)
+	}
+}
+
+// TestAccessTrackerOverflowDrops fills a tiny table past capacity and
+// verifies the overflow is dropped and counted, while established keys
+// keep counting.
+func TestAccessTrackerOverflowDrops(t *testing.T) {
+	tr := NewAccessTrackerSize(16) // 16 slots
+	for k := uint64(0); k < 200; k++ {
+		tr.Touch(k)
+	}
+	if tr.Drops() == 0 {
+		t.Fatal("200 distinct keys into 16 slots produced no drops")
+	}
+	if tr.Tracked() != 16 {
+		t.Fatalf("tracked = %d, want full table (16)", tr.Tracked())
+	}
+	// A key that made it in keeps counting even with the table full.
+	counts := tr.Counts()
+	var admitted uint64
+	for k := range counts {
+		admitted = k
+		break
+	}
+	before := counts[admitted]
+	tr.Touch(admitted)
+	if got := tr.Counts()[admitted]; got != before+1 {
+		t.Fatalf("admitted key stopped counting at table-full: %d -> %d", before, got)
+	}
+}
+
+// TestAccessTrackerConcurrent hammers the tracker from many goroutines
+// (meaningful under -race) and verifies no touch is lost when the table
+// has room: the sum of counts plus drops equals the touches.
+func TestAccessTrackerConcurrent(t *testing.T) {
+	tr := NewAccessTrackerSize(1 << 10)
+	const workers, perWorker = 8, 5000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				tr.Touch(uint64(i % 100)) // 100 hot keys, heavy collisions on slots
+			}
+		}(w)
+	}
+	wg.Wait()
+	var sum uint64
+	for _, n := range tr.Counts() {
+		sum += n
+	}
+	if total := sum + tr.Drops(); total != workers*perWorker {
+		t.Fatalf("counts(%d)+drops(%d) = %d, want %d", sum, tr.Drops(), total, workers*perWorker)
+	}
+}

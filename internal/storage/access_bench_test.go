@@ -1,0 +1,74 @@
+package storage
+
+import (
+	"path/filepath"
+	"testing"
+
+	"oodb/internal/model"
+	"oodb/internal/obs"
+)
+
+// BenchmarkAccessOverhead measures what the heat sampler adds to Store.Get,
+// the single path it instruments. The acceptance bar is the same as
+// BenchmarkObsOverhead's: enabled/ and disabled/ must stay within a few
+// percent — a hit pays one Enabled() load plus one lock-free probe into
+// the tracker's atomic table. The raw/ sub-benchmark isolates the Touch
+// call itself so a regression can be attributed.
+//
+// Run with:
+//
+//	go test ./internal/storage -run '^$' -bench BenchmarkAccessOverhead -count 5
+func BenchmarkAccessOverhead(b *testing.B) {
+	s, err := Open(filepath.Join(b.TempDir(), "bench.kdb"), Options{PoolPages: 256})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	oids := fillSegmentB(b, s, compactTestClass, 512)
+
+	getLoop := func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := s.Get(oids[i%len(oids)]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("enabled", func(b *testing.B) {
+		obs.SetEnabled(true)
+		getLoop(b)
+	})
+	b.Run("disabled", func(b *testing.B) {
+		obs.SetEnabled(false)
+		defer obs.SetEnabled(true)
+		getLoop(b)
+	})
+	b.Run("raw", func(b *testing.B) {
+		tr := obs.NewAccessTracker()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			tr.Touch(uint64(i % 512))
+		}
+	})
+}
+
+// fillSegmentB is fillSegment for benchmarks (testing.B lacks the helper's
+// *testing.T), without overflow records — the bench wants uniform hits.
+func fillSegmentB(b *testing.B, s *Store, class model.ClassID, n int) []model.OID {
+	b.Helper()
+	if err := s.CreateSegment(class); err != nil {
+		b.Fatal(err)
+	}
+	oids := make([]model.OID, n)
+	for i := 0; i < n; i++ {
+		oid, err := s.NewOID(class)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := s.Put(oid, img(oid, "payload-payload-payload")); err != nil {
+			b.Fatal(err)
+		}
+		oids[i] = oid
+	}
+	return oids
+}

@@ -32,7 +32,25 @@ type CompactResult struct {
 	LiveBytes   int64 // full (overflow-resolved) bytes copied
 	PagesBefore int   // heap chain length before (overflow pages excluded)
 	PagesAfter  int   // heap chain length after
+	Reordered   int   // records placed at a different position than scan order
 }
+
+// Placement is a compaction ordering policy: given the class's live OIDs in
+// physical scan order, it returns the order records should be laid into the
+// fresh segment. Placement decides layout and nothing else — the rewrite
+// copies exactly the live set regardless of what the policy returns:
+//
+//   - OIDs absent from scanOrder (not live in this class) are ignored;
+//   - duplicates keep their first position;
+//   - live OIDs the policy omitted are appended afterwards in scan order.
+//
+// So a policy may safely return a partial or over-complete order (e.g. a
+// composite DFS that only reaches part of the graph, or heat counts that
+// include since-deleted objects). A nil Placement means physical scan
+// order — byte-identical to an unordered rewrite. The policy runs inside
+// the compaction critical section but outside all storage locks, so it may
+// fetch objects through the store; it must not write.
+type Placement func(scanOrder []model.OID) []model.OID
 
 // SegmentInfo is the occupancy snapshot the maintenance trigger policy
 // reads: how full a class's heap pages are with live, current records.
@@ -114,6 +132,21 @@ func (s *Store) SegmentInfo(class model.ClassID) (*SegmentInfo, error) {
 // entry, but both physical copies survive rebuild). Compaction is thus
 // also the dedup pass for such slots.
 func (s *Store) RewriteSegment(class model.ClassID, visit func(oid model.OID, data []byte)) (*DetachedSegment, *CompactResult, error) {
+	return s.RewriteSegmentOrdered(class, nil, visit)
+}
+
+// RewriteSegmentOrdered is RewriteSegment with a placement policy deciding
+// the physical order of the fresh segment. A nil order is physical scan
+// order — the byte-identical default. See Placement for the ordering
+// contract; everything else (live-set selection, crash safety, the swap
+// discipline) is identical to RewriteSegment.
+//
+// The live records are buffered in memory for the reorder (overflow
+// resolved — the same bytes the streaming path holds one at a time), then
+// inserted in final order; overflow chains are re-created by Insert as
+// records land. The policy callback runs after the scan with no storage
+// locks held.
+func (s *Store) RewriteSegmentOrdered(class model.ClassID, order Placement, visit func(oid model.OID, data []byte)) (*DetachedSegment, *CompactResult, error) {
 	s.mu.RLock()
 	old, ok := s.heaps[class]
 	cur := make(map[model.OID]RID)
@@ -131,6 +164,65 @@ func (s *Store) RewriteSegment(class model.ClassID, visit func(oid model.OID, da
 	if res.PagesBefore, err = old.Pages(); err != nil {
 		return nil, nil, err
 	}
+
+	// Collect the live set in scan order. Heap.read hands each record its
+	// own buffer, so holding them is safe; the buffered image is the same
+	// overflow-resolved bytes the streaming path held one at a time.
+	type liveRec struct {
+		oid  model.OID
+		data []byte
+	}
+	var live []liveRec
+	err = old.Scan(func(rid RID, data []byte) bool {
+		raw, n := binary.Uvarint(data)
+		if n <= 0 {
+			return true // torn record: nothing names it
+		}
+		oid := model.OID(raw)
+		if r, ok := cur[oid]; !ok || r != rid {
+			return true // dead or shadowed copy
+		}
+		live = append(live, liveRec{oid, data})
+		return true
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+
+	// Apply the placement policy: map OID → scan position, walk the
+	// policy's order keeping first-seen live OIDs, append the rest in scan
+	// order. final holds indexes into live.
+	final := make([]int, 0, len(live))
+	if order != nil {
+		scanOrder := make([]model.OID, len(live))
+		pos := make(map[model.OID]int, len(live))
+		for i, r := range live {
+			scanOrder[i] = r.oid
+			pos[r.oid] = i
+		}
+		placed := make([]bool, len(live))
+		for _, oid := range order(scanOrder) {
+			if i, ok := pos[oid]; ok && !placed[i] {
+				placed[i] = true
+				final = append(final, i)
+			}
+		}
+		for i := range live {
+			if !placed[i] {
+				final = append(final, i)
+			}
+		}
+		for at, i := range final {
+			if at != i {
+				res.Reordered++
+			}
+		}
+	} else {
+		for i := range live {
+			final = append(final, i)
+		}
+	}
+
 	fresh, err := NewHeap(s.pool)
 	if err != nil {
 		return nil, nil, err
@@ -141,35 +233,19 @@ func (s *Store) RewriteSegment(class model.ClassID, visit func(oid model.OID, da
 		_ = s.FreeDetached(&DetachedSegment{heap: fresh})
 		return nil, nil, cause
 	}
-	newDir := make(map[model.OID]RID, len(cur))
-	var copyErr error
-	err = old.Scan(func(rid RID, data []byte) bool {
-		raw, n := binary.Uvarint(data)
-		if n <= 0 {
-			return true // torn record: nothing names it
-		}
-		oid := model.OID(raw)
-		if r, ok := cur[oid]; !ok || r != rid {
-			return true // dead or shadowed copy
-		}
-		nrid, ierr := fresh.Insert(data)
+	newDir := make(map[model.OID]RID, len(live))
+	for _, i := range final {
+		r := live[i]
+		nrid, ierr := fresh.Insert(r.data)
 		if ierr != nil {
-			copyErr = ierr
-			return false
+			return abort(ierr)
 		}
-		newDir[oid] = nrid
+		newDir[r.oid] = nrid
 		res.LiveRecords++
-		res.LiveBytes += int64(len(data))
+		res.LiveBytes += int64(len(r.data))
 		if visit != nil {
-			visit(oid, data)
+			visit(r.oid, r.data)
 		}
-		return true
-	})
-	if err == nil {
-		err = copyErr
-	}
-	if err != nil {
-		return abort(err)
 	}
 	if res.PagesAfter, err = fresh.Pages(); err != nil {
 		return abort(err)
