@@ -4,7 +4,7 @@ GO ?= go
 # pre-merge gate sweeps wider). Override: make crash CRASH_SCHEDULES=500
 CRASH_SCHEDULES ?= 120
 
-.PHONY: build test vet fmtcheck race bench crash maint mvcc pipeline oo1 metrics-lint verify
+.PHONY: build test vet fmtcheck race bench crash maint mvcc pipeline oo1 server metrics-lint verify
 
 build:
 	$(GO) build ./...
@@ -73,8 +73,17 @@ oo1:
 	$(GO) test -race -count=1 -run 'TestOO1' ./internal/bench/
 	$(GO) test -race -count=1 -run 'TestClusteredRewrite|TestSnapshotPinnedAcrossClusteredRewrite|TestCrashDuringClusteredCompaction' .
 
+# The wire server stack under the race detector: protocol codec units
+# (including the junk-buffer decoder fuzz), client/server parity and
+# transaction semantics, admission-control sheds, panic isolation, idle
+# eviction with lock release, the malformed/oversized-frame fuzz, and
+# the drain-under-load regression (zero committed-transaction loss
+# across shutdown + restart).
+server:
+	$(GO) test -race -count=1 ./internal/server/...
+
 # The full pre-merge gate: compile, static checks, formatting drift, the
 # whole test suite under the race detector, a wide crash sweep, the
-# maintenance matrix, the MVCC snapshot stack, the commit pipeline, and
-# the clustering stack.
-verify: build vet fmtcheck metrics-lint race crash maint mvcc pipeline oo1
+# maintenance matrix, the MVCC snapshot stack, the commit pipeline, the
+# clustering stack, and the wire server stack.
+verify: build vet fmtcheck metrics-lint race crash maint mvcc pipeline oo1 server

@@ -5,13 +5,19 @@
 //
 // Usage:
 //
-//	kimbench [-quick] [-only E3] [-recovery out.json] [-metrics out.json] [-oo1 out.json] [-http addr]
+//	kimbench [-quick] [-only E3] [-recovery out.json] [-metrics out.json] [-oo1 out.json] [-server out.json] [-http addr]
 //
 // -oo1 runs the OO1-style clustering experiment (E17): cold-cache closure
 // traversals over a seeded, 90%-fragmented part/connection graph, measured
 // on the fragmented layout, after a default (scan-order) compaction, and
 // after a composite-clustered compaction, plus a heat-ordered-placement
 // lookup experiment; the JSON report is tracked as BENCH_oo1.json.
+//
+// -server runs the wire-server experiment (E18): hundreds of concurrent
+// client sessions drive a mixed workload against an in-process kimsrv
+// over loopback TCP, reporting sustained ops/sec, client-observed
+// p50/p99/p999 latency, admission-control sheds and graceful-drain time;
+// the JSON report is tracked as BENCH_server.json.
 package main
 
 import (
@@ -40,6 +46,7 @@ var (
 	metrics  = flag.String("metrics", "", "run the obs workload, write the metric snapshot report to this path, and exit")
 	mvcc     = flag.String("mvcc", "", "measure snapshot-reader throughput vs a bulk writer, write the JSON report to this path, and exit")
 	oo1      = flag.String("oo1", "", "measure cold-cache OO1 traversals on fragmented vs compacted vs composite-clustered layouts, write the JSON report to this path, and exit")
+	servOut  = flag.String("server", "", "drive hundreds of concurrent wire sessions against an in-process kimsrv, write the JSON report to this path, and exit")
 	httpAddr = flag.String("http", "", "serve /metrics and /debug/pprof on this address while running (e.g. localhost:6060)")
 )
 
@@ -70,6 +77,10 @@ func main() {
 	}
 	if *oo1 != "" {
 		runOO1Bench(*oo1)
+		return
+	}
+	if *servOut != "" {
+		runServerBench(*servOut)
 		return
 	}
 	experiments := []struct {

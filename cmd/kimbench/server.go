@@ -1,0 +1,202 @@
+package main
+
+// Server throughput/latency datapoints: hundreds of concurrent wire
+// sessions drive a mixed workload (attribute reads, object fetches,
+// updates, inserts, queries, explicit transactions) against one kimsrv
+// over loopback TCP. The report (BENCH_server.json) records sustained
+// ops/sec and the client-observed p50/p99/p999 request latency, plus how
+// the admission controller behaved (sheds) and how long the final
+// graceful drain took. The acceptance bar is >= 200 concurrent sessions
+// sustained without server failure.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"oodb"
+	"oodb/internal/server"
+	"oodb/internal/server/client"
+)
+
+type serverReport struct {
+	Experiment  string  `json:"experiment"`
+	Description string  `json:"description"`
+	Sessions    int     `json:"sessions"`
+	WindowMS    int     `json:"window_ms"`
+	Preloaded   int     `json:"preloaded_objects"`
+	Ops         uint64  `json:"ops"`
+	OpsPerSec   float64 `json:"ops_per_sec"`
+	P50us       float64 `json:"p50_us"`
+	P99us       float64 `json:"p99_us"`
+	P999us      float64 `json:"p999_us"`
+	Sheds       uint64  `json:"sheds"`        // typed-retryable admission rejections
+	Errors      uint64  `json:"other_errors"` // anything that was not OK or a shed
+	DrainMS     float64 `json:"drain_ms"`
+	MinSessions int     `json:"min_sessions_bar"`
+	BarMet      bool    `json:"bar_met"`
+}
+
+// runServerBench drives the wire server under concurrent session load and
+// writes the JSON report to outPath.
+func runServerBench(outPath string) {
+	sessions := scale(256, 32)
+	preload := scale(2000, 400)
+	window := 4 * time.Second
+	if *quick {
+		window = time.Second
+	}
+
+	db, done := openDB()
+	defer done()
+	_, err := db.DefineClass("Part", nil,
+		oodb.Attr{Name: "name", Domain: "String"},
+		oodb.Attr{Name: "weight", Domain: "Integer"},
+	)
+	check(err)
+	oids := make([]oodb.OID, 0, preload)
+	for len(oids) < preload {
+		check(db.Do(func(tx *oodb.Tx) error {
+			for j := 0; j < 500 && len(oids) < preload; j++ {
+				oid, err := tx.Insert("Part", oodb.Attrs{
+					"name":   oodb.String(fmt.Sprintf("part-%d", len(oids))),
+					"weight": oodb.Int(int64(len(oids) % 10000)),
+				})
+				if err != nil {
+					return err
+				}
+				oids = append(oids, oid)
+			}
+			return nil
+		}))
+	}
+
+	srv := server.New(db, server.Options{MaxSessions: sessions + 8})
+	check(srv.Start())
+	addr := srv.Addr().String()
+	fmt.Printf("kimbench: server bench: %d sessions on %s, %v window\n", sessions, addr, window)
+
+	var ops, sheds, errs uint64
+	latencies := make([][]int64, sessions)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	var ready sync.WaitGroup
+	start := make(chan struct{})
+	for s := 0; s < sessions; s++ {
+		wg.Add(1)
+		ready.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			c, err := client.Dial(addr, client.Options{Role: "bench"})
+			ready.Done()
+			if err != nil {
+				atomic.AddUint64(&errs, 1)
+				return
+			}
+			defer c.Close()
+			lat := make([]int64, 0, 1<<14)
+			defer func() { latencies[id] = lat }()
+			<-start
+			for n := 0; ; n++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				oid := oids[(id*2654435761+n)%len(oids)]
+				t0 := time.Now()
+				var err error
+				switch n % 16 {
+				case 0: // explicit transaction: two writes, one commit
+					if err = c.Begin(); err == nil {
+						if _, err = c.Insert("Part", map[string]oodb.Value{
+							"name": oodb.String("txp"), "weight": oodb.Int(int64(n)),
+						}); err == nil {
+							err = c.Commit()
+						} else {
+							_ = c.Abort()
+						}
+					}
+				case 1: // auto-commit update
+					err = c.Update(oid, map[string]oodb.Value{"weight": oodb.Int(int64(n % 10000))})
+				case 2: // indexless associative query over a small slice
+					_, err = c.QuerySnapshot(fmt.Sprintf(
+						`SELECT name FROM Part WHERE weight = %d`, n%10000))
+				case 3: // whole-object fetch
+					_, err = c.Fetch(oid)
+				default: // attribute read (the OO1-style hot path)
+					_, err = c.Get(oid, "weight")
+				}
+				switch {
+				case err == nil:
+					lat = append(lat, time.Since(t0).Nanoseconds())
+					atomic.AddUint64(&ops, 1)
+				case client.Retryable(err):
+					atomic.AddUint64(&sheds, 1)
+				default:
+					atomic.AddUint64(&errs, 1)
+					return
+				}
+			}
+		}(s)
+	}
+	ready.Wait()
+	live := srv.Sessions()
+	close(start)
+	t0 := time.Now()
+	time.Sleep(window)
+	close(stop)
+	wg.Wait()
+	elapsed := time.Since(t0)
+
+	var all []int64
+	for _, lat := range latencies {
+		all = append(all, lat...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	pct := func(q float64) float64 {
+		if len(all) == 0 {
+			return 0
+		}
+		i := int(q * float64(len(all)))
+		if i >= len(all) {
+			i = len(all) - 1
+		}
+		return float64(all[i]) / 1e3
+	}
+
+	d0 := time.Now()
+	check(srv.Drain(10 * time.Second))
+	drain := time.Since(d0)
+
+	rep := serverReport{
+		Experiment:  "E18",
+		Description: "concurrent wire sessions vs one kimsrv: sustained ops/sec and client-observed latency under admission control",
+		Sessions:    live,
+		WindowMS:    int(elapsed.Milliseconds()),
+		Preloaded:   preload,
+		Ops:         ops,
+		OpsPerSec:   float64(ops) / elapsed.Seconds(),
+		P50us:       pct(0.50),
+		P99us:       pct(0.99),
+		P999us:      pct(0.999),
+		Sheds:       sheds,
+		Errors:      errs,
+		DrainMS:     float64(drain.Microseconds()) / 1e3,
+		MinSessions: 200,
+	}
+	rep.BarMet = (*quick || rep.Sessions >= rep.MinSessions) && errs == 0
+
+	out, err := json.MarshalIndent(rep, "", "  ")
+	check(err)
+	check(os.WriteFile(outPath, out, 0o644))
+	fmt.Printf("kimbench: server bench: %d sessions, %.0f ops/sec, p50 %.0fus p99 %.0fus p999 %.0fus, %d sheds, drain %.1fms -> %s\n",
+		rep.Sessions, rep.OpsPerSec, rep.P50us, rep.P99us, rep.P999us, rep.Sheds, rep.DrainMS, outPath)
+	if !rep.BarMet {
+		check(fmt.Errorf("server bench bar not met: %d sessions (want >= %d), %d errors", rep.Sessions, rep.MinSessions, errs))
+	}
+}

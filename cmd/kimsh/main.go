@@ -6,6 +6,15 @@
 // Usage:
 //
 //	kimsh -db /path/to/dbdir
+//	kimsh -connect host:port [-role r] [-token t]
+//
+// With -db the shell embeds the engine. With -connect (or the .connect
+// command) it becomes a remote shell: data commands — queries, .insert,
+// .set, .del, .get, and the explicit .begin/.commit/.abort transaction
+// commands — travel over the kimw wire protocol to a kimsrv, exercising
+// exactly the client surface an application would. Schema and
+// maintenance commands need the embedded engine and refuse politely in
+// remote mode.
 //
 // Commands:
 //
@@ -26,6 +35,10 @@
 //	.stats [Class]                      collect and show planner statistics
 //	.metrics                            dump the obs metric snapshot as JSON
 //	.checkpoint                         force a checkpoint
+//	.connect host:port [role [token]]   switch to remote mode against a kimsrv
+//	.disconnect                         drop the remote session
+//	.begin / .commit / .abort           explicit transaction (remote mode)
+//	.ping                               round-trip the wire (remote mode)
 //	.help / .quit
 //
 // Value literals: integers, floats, 'strings', true/false, null, @class:seq
@@ -39,20 +52,25 @@ import (
 	"fmt"
 	"net/http"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 
 	"oodb"
 	"oodb/internal/maint"
 	"oodb/internal/obs"
+	"oodb/internal/server/client"
 )
 
 func main() {
-	dbdir := flag.String("db", "", "database directory (required)")
+	dbdir := flag.String("db", "", "database directory (or use -connect for remote mode)")
+	connect := flag.String("connect", "", "connect to a kimsrv at host:port instead of embedding the engine")
+	role := flag.String("role", "public", "role name for -connect")
+	token := flag.String("token", "", "authentication token for -connect")
 	httpAddr := flag.String("http", "", "serve /metrics and /debug/pprof on this address (e.g. localhost:6060)")
 	flag.Parse()
-	if *dbdir == "" {
-		fmt.Fprintln(os.Stderr, "kimsh: -db directory required")
+	if *dbdir == "" && *connect == "" {
+		fmt.Fprintln(os.Stderr, "kimsh: need -db directory or -connect host:port")
 		os.Exit(2)
 	}
 	if *httpAddr != "" {
@@ -62,14 +80,28 @@ func main() {
 			}
 		}()
 	}
-	db, err := oodb.Open(*dbdir, oodb.Options{})
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "kimsh:", err)
-		os.Exit(1)
+	sh := &shell{out: os.Stdout}
+	if *dbdir != "" {
+		db, err := oodb.Open(*dbdir, oodb.Options{})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "kimsh:", err)
+			os.Exit(1)
+		}
+		defer db.Close()
+		sh.db = db
+		sh.mnt = db.Maintenance(maint.Options{})
 	}
-	defer db.Close()
-
-	sh := &shell{db: db, out: os.Stdout, mnt: db.Maintenance(maint.Options{})}
+	if *connect != "" {
+		if err := sh.connect([]string{*connect, *role, *token}); err != nil {
+			fmt.Fprintln(os.Stderr, "kimsh:", err)
+			os.Exit(1)
+		}
+	}
+	defer func() {
+		if sh.remote != nil {
+			sh.remote.Close()
+		}
+	}()
 	sc := bufio.NewScanner(os.Stdin)
 	fmt.Print("kimdb> ")
 	for sc.Scan() {
@@ -88,17 +120,46 @@ func main() {
 }
 
 type shell struct {
-	db  *oodb.DB
-	out *os.File
-	mnt *maint.Manager
+	db     *oodb.DB
+	out    *os.File
+	mnt    *maint.Manager
+	remote *client.Client
+}
+
+// needDB guards commands that require the embedded engine.
+func (sh *shell) needDB() error {
+	if sh.db == nil {
+		return fmt.Errorf("command needs the embedded engine (start with -db); remote mode carries data commands only")
+	}
+	return nil
 }
 
 func (sh *shell) exec(line string) error {
+	// Remote-mode routing: data commands travel the wire; everything else
+	// falls through to the embedded engine (if any).
+	if sh.remote != nil {
+		if handled, err := sh.execRemote(line); handled {
+			return err
+		}
+	}
+	head := strings.Fields(line)
+	switch head[0] {
+	case ".connect":
+		return sh.connect(head[1:])
+	case ".disconnect", ".begin", ".commit", ".abort", ".ping":
+		return fmt.Errorf("not connected (use .connect host:port)")
+	}
+	if sh.db == nil && line != ".help" {
+		return sh.needDB()
+	}
 	switch {
 	case strings.HasPrefix(strings.ToLower(line), "select"):
+		if err := sh.needDB(); err != nil {
+			return err
+		}
 		return sh.query(line)
 	case line == ".help":
-		fmt.Fprintln(sh.out, "queries: SELECT ... ; commands: .defclass .attr .index .indexes .classes .schema .insert .set .del .get .explain .analyze .compact .stats .metrics .snapshot .snapshots .schemadiff .checkpoint .quit")
+		fmt.Fprintln(sh.out, "queries: SELECT ... ; commands: .defclass .attr .index .indexes .classes .schema .insert .set .del .get .explain .analyze .compact .stats .metrics .snapshot .snapshots .schemadiff .checkpoint .connect .disconnect .begin .commit .abort .ping .quit")
 		return nil
 	case line == ".metrics":
 		out, err := json.MarshalIndent(sh.db.Metrics(), "", "  ")
@@ -494,4 +555,130 @@ func parseValue(s string) (oodb.Value, error) {
 		return oodb.Float(f), nil
 	}
 	return oodb.String(s), nil
+}
+
+// connect dials a kimsrv and switches the shell to remote mode.
+func (sh *shell) connect(args []string) error {
+	if len(args) < 1 || args[0] == "" {
+		return fmt.Errorf("usage: .connect host:port [role [token]]")
+	}
+	opts := client.Options{}
+	if len(args) > 1 && args[1] != "" {
+		opts.Role = args[1]
+	}
+	if len(args) > 2 {
+		opts.Token = args[2]
+	}
+	c, err := client.Dial(args[0], opts)
+	if err != nil {
+		return err
+	}
+	if sh.remote != nil {
+		_ = sh.remote.Close()
+	}
+	sh.remote = c
+	role := opts.Role
+	if role == "" {
+		role = "public"
+	}
+	fmt.Fprintf(sh.out, "  connected to %s as %q (session %d)\n", args[0], role, c.SessionID())
+	return nil
+}
+
+// execRemote routes data commands over the wire. It reports whether the
+// command was remote-handled; unhandled commands fall through to the
+// embedded engine.
+func (sh *shell) execRemote(line string) (bool, error) {
+	if strings.HasPrefix(strings.ToLower(line), "select") {
+		res, err := sh.remote.Query(line)
+		if err != nil {
+			return true, err
+		}
+		fmt.Fprintln(sh.out, " ", strings.Join(res.Cols, " | "))
+		for _, row := range res.Rows {
+			parts := make([]string, len(row.Values))
+			for i, v := range row.Values {
+				parts[i] = v.String()
+			}
+			fmt.Fprintln(sh.out, " ", strings.Join(parts, " | "))
+		}
+		fmt.Fprintf(sh.out, "  (%d rows)\n", len(res.Rows))
+		return true, nil
+	}
+	fields := strings.Fields(line)
+	switch fields[0] {
+	case ".connect":
+		return true, sh.connect(fields[1:])
+	case ".disconnect":
+		err := sh.remote.Close()
+		sh.remote = nil
+		fmt.Fprintln(sh.out, "  disconnected")
+		return true, err
+	case ".ping":
+		return true, sh.remote.Ping()
+	case ".begin":
+		return true, sh.remote.Begin()
+	case ".commit":
+		return true, sh.remote.Commit()
+	case ".abort":
+		return true, sh.remote.Abort()
+	case ".insert":
+		if len(fields) < 2 {
+			return true, fmt.Errorf("usage: .insert Class a=v ...")
+		}
+		attrs, err := parseAttrs(fields[2:])
+		if err != nil {
+			return true, err
+		}
+		oid, err := sh.remote.Insert(fields[1], attrs)
+		if err == nil {
+			fmt.Fprintf(sh.out, "  @%s\n", oid)
+		}
+		return true, err
+	case ".set":
+		if len(fields) < 3 {
+			return true, fmt.Errorf("usage: .set @c:s a=v ...")
+		}
+		oid, err := parseOID(fields[1])
+		if err != nil {
+			return true, err
+		}
+		attrs, err := parseAttrs(fields[2:])
+		if err != nil {
+			return true, err
+		}
+		return true, sh.remote.Update(oid, attrs)
+	case ".del":
+		if len(fields) != 2 {
+			return true, fmt.Errorf("usage: .del @c:s")
+		}
+		oid, err := parseOID(fields[1])
+		if err != nil {
+			return true, err
+		}
+		return true, sh.remote.Delete(oid)
+	case ".get":
+		if len(fields) != 2 {
+			return true, fmt.Errorf("usage: .get @c:s")
+		}
+		oid, err := parseOID(fields[1])
+		if err != nil {
+			return true, err
+		}
+		obj, err := sh.remote.Fetch(oid)
+		if err != nil {
+			return true, err
+		}
+		fmt.Fprintf(sh.out, "  @%s (%s)\n", obj.OID, obj.Class)
+		names := make([]string, 0, len(obj.Attrs))
+		for name := range obj.Attrs {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			fmt.Fprintf(sh.out, "    %s = %s\n", name, obj.Attrs[name])
+		}
+		return true, nil
+	}
+	return false, nil
 }

@@ -1,0 +1,44 @@
+package server
+
+import "oodb/internal/obs"
+
+// Server metrics, layer "server". The gauges are not just reporting: the
+// admission controller reads the same counters it publishes here
+// (sessions, in-flight requests) to decide handshake rejection and
+// queue-depth shedding, so /metrics always shows the exact state the
+// controller acted on.
+var (
+	// Sessions.
+	mSessionsActive   = obs.RegisterGauge("server_sessions_active")
+	mSessionsOpened   = obs.RegisterCounter("server_sessions_opened_total")
+	mSessionsEvicted  = obs.RegisterCounter("server_sessions_evicted_total")
+	mSessionsRejected = obs.RegisterCounter("server_sessions_rejected_total")
+
+	// Requests. Per-verb counters follow server_requests_<verb>_total.
+	mReqInflight  = obs.RegisterGauge("server_requests_inflight")
+	mReqShed      = obs.RegisterCounter("server_requests_shed_total")
+	mReqErrors    = obs.RegisterCounter("server_requests_errors_total")
+	mReqLatencyNs = obs.RegisterHistogram("server_request_latency_ns")
+
+	mReqQuery       = obs.RegisterCounter("server_requests_query_total")
+	mReqSnapshot    = obs.RegisterCounter("server_requests_snapshot_total")
+	mReqFetch       = obs.RegisterCounter("server_requests_fetch_total")
+	mReqGet         = obs.RegisterCounter("server_requests_get_total")
+	mReqInsert      = obs.RegisterCounter("server_requests_insert_total")
+	mReqUpdate      = obs.RegisterCounter("server_requests_update_total")
+	mReqDelete      = obs.RegisterCounter("server_requests_delete_total")
+	mReqBegin       = obs.RegisterCounter("server_requests_begin_total")
+	mReqCommit      = obs.RegisterCounter("server_requests_commit_total")
+	mReqCommitAsync = obs.RegisterCounter("server_requests_commitasync_total")
+	mReqAbort       = obs.RegisterCounter("server_requests_abort_total")
+	mReqPing        = obs.RegisterCounter("server_requests_ping_total")
+
+	// Wire traffic.
+	mBytesIn  = obs.RegisterCounter("server_bytes_in_total")
+	mBytesOut = obs.RegisterCounter("server_bytes_out_total")
+
+	// Lifecycle.
+	mConnPanics  = obs.RegisterCounter("server_conn_panics_total")
+	mDrainAborts = obs.RegisterCounter("server_drain_aborted_txns_total")
+	mDrains      = obs.RegisterCounter("server_drain_started_total")
+)

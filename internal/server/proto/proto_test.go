@@ -1,0 +1,201 @@
+package proto
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"oodb/internal/model"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	payloads := [][]byte{{}, {0x01}, bytes.Repeat([]byte{0xAB}, 70000)}
+	for _, p := range payloads {
+		if err := WriteFrame(&buf, p); err != nil {
+			t.Fatalf("WriteFrame: %v", err)
+		}
+	}
+	for i, want := range payloads {
+		got, err := ReadFrame(&buf, MaxFrame)
+		if err != nil {
+			t.Fatalf("ReadFrame %d: %v", i, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("frame %d: got %d bytes, want %d", i, len(got), len(want))
+		}
+	}
+	if _, err := ReadFrame(&buf, MaxFrame); err != io.EOF {
+		t.Fatalf("after last frame: got %v, want io.EOF", err)
+	}
+}
+
+func TestReadFrameRefusesOversize(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, make([]byte, 1024)); err != nil {
+		t.Fatal(err)
+	}
+	_, err := ReadFrame(&buf, 512)
+	if !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("got %v, want ErrFrameTooLarge", err)
+	}
+}
+
+func TestReadFrameTruncated(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, make([]byte, 100)); err != nil {
+		t.Fatal(err)
+	}
+	short := buf.Bytes()[:buf.Len()-10]
+	_, err := ReadFrame(bytes.NewReader(short), MaxFrame)
+	if err != io.ErrUnexpectedEOF {
+		t.Fatalf("got %v, want io.ErrUnexpectedEOF", err)
+	}
+}
+
+func TestHelloRoundTrip(t *testing.T) {
+	h := Hello{Version: Version, Role: "engineer", Token: "s3cret"}
+	buf := AppendHello(nil, h)
+	got, err := ReadHello(NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != h {
+		t.Fatalf("got %+v, want %+v", got, h)
+	}
+}
+
+func TestHelloBadMagic(t *testing.T) {
+	buf := AppendHello(nil, Hello{Version: 1, Role: "r"})
+	buf[0] ^= 0xFF
+	if _, err := ReadHello(NewReader(buf)); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("got %v, want ErrMalformed", err)
+	}
+}
+
+func TestAttrsRoundTrip(t *testing.T) {
+	attrs := map[string]model.Value{
+		"weight": model.Int(7600),
+		"name":   model.String("clamp"),
+		"parts":  model.Set(model.Ref(model.OID(42)), model.Int(-1)),
+		"ok":     model.Bool(true),
+		"ratio":  model.Float(2.5),
+		"note":   model.Null,
+	}
+	buf := AppendAttrs(nil, attrs)
+	got := NewReader(buf).Attrs()
+	if len(got) != len(attrs) {
+		t.Fatalf("got %d attrs, want %d", len(got), len(attrs))
+	}
+	for name, v := range attrs {
+		if model.Compare(got[name], v) != 0 {
+			t.Fatalf("attr %q: got %v, want %v", name, got[name], v)
+		}
+	}
+}
+
+func TestResultRoundTrip(t *testing.T) {
+	res := &Result{
+		Cols: []string{"oid", "weight"},
+		Rows: []ResultRow{
+			{OID: model.OID(1<<40 | 7), Values: []model.Value{model.Ref(model.OID(1<<40 | 7)), model.Int(10)}},
+			{OID: 0, Values: []model.Value{model.Null, model.Float(1.5)}},
+		},
+	}
+	buf := AppendResult(nil, res)
+	got, err := ReadResult(NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Cols, res.Cols) {
+		t.Fatalf("cols: got %v, want %v", got.Cols, res.Cols)
+	}
+	if len(got.Rows) != len(res.Rows) {
+		t.Fatalf("rows: got %d, want %d", len(got.Rows), len(res.Rows))
+	}
+	for i := range res.Rows {
+		if got.Rows[i].OID != res.Rows[i].OID {
+			t.Fatalf("row %d oid: got %v, want %v", i, got.Rows[i].OID, res.Rows[i].OID)
+		}
+		for j := range res.Rows[i].Values {
+			if model.Compare(got.Rows[i].Values[j], res.Rows[i].Values[j]) != 0 {
+				t.Fatalf("row %d col %d differs", i, j)
+			}
+		}
+	}
+}
+
+func TestObjectRoundTrip(t *testing.T) {
+	o := &Object{
+		OID:   model.OID(3<<40 | 9),
+		Class: "Vehicle",
+		Attrs: map[string]model.Value{"weight": model.Int(7600)},
+	}
+	got, err := ReadObject(NewReader(AppendObject(nil, o)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.OID != o.OID || got.Class != o.Class || len(got.Attrs) != 1 ||
+		model.Compare(got.Attrs["weight"], o.Attrs["weight"]) != 0 {
+		t.Fatalf("got %+v, want %+v", got, o)
+	}
+}
+
+// TestReaderNeverPanics drives the decoding cursor with random junk: every
+// decode must end in a latched error or clean values, never a panic or an
+// out-of-range slice. This is the unit-level half of the server's
+// malformed-frame guarantee.
+func TestReaderNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 5000; i++ {
+		buf := make([]byte, rng.Intn(64))
+		rng.Read(buf)
+		r := NewReader(buf)
+		// Exercise every read primitive in a random order.
+		for k := 0; k < 8; k++ {
+			switch rng.Intn(6) {
+			case 0:
+				r.Byte()
+			case 1:
+				r.Uvarint()
+			case 2:
+				_ = r.ReadString()
+			case 3:
+				r.Value()
+			case 4:
+				r.Attrs()
+			case 5:
+				r.Uint32()
+			}
+		}
+		r2 := NewReader(buf)
+		_, _ = ReadResult(r2)
+		r3 := NewReader(buf)
+		_, _ = ReadObject(r3)
+		r4 := NewReader(buf)
+		_, _ = ReadHello(r4)
+	}
+}
+
+func TestErrorResponseShape(t *testing.T) {
+	buf := AppendError(nil, 7, ErrCodeRetryable, "shed")
+	r := NewReader(buf)
+	if st := r.Byte(); st != StatusErr {
+		t.Fatalf("status = %d", st)
+	}
+	if seq := r.Uint32(); seq != 7 {
+		t.Fatalf("seq = %d", seq)
+	}
+	if code := r.Byte(); code != ErrCodeRetryable {
+		t.Fatalf("code = %d", code)
+	}
+	if msg := r.ReadString(); msg != "shed" {
+		t.Fatalf("msg = %q", msg)
+	}
+	if r.Err() != nil {
+		t.Fatal(r.Err())
+	}
+}

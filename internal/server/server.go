@@ -1,0 +1,323 @@
+// Package server implements kimsrv: a concurrent session server that
+// multiplexes many network clients onto one embedded kimdb engine.
+//
+// The paper's architecture assumes an engine that serves applications —
+// shared access, sessions, authorization as database facilities (§5) —
+// and this package is that front end. Each accepted connection becomes a
+// session: a protocol handshake maps the client to a role (token
+// authentication, authorization through the internal/authz lattice), the
+// session gets its own memory-resident workspace (internal/workspace) for
+// cached object fetches, and an optional explicit transaction carries the
+// engine's full Session surface over the wire protocol defined in
+// internal/server/proto.
+//
+// Operational spine:
+//
+//   - Admission control: a session cap at handshake (typed ServerFull
+//     rejection), a per-session pipelined-request queue whose overflow is
+//     shed with a typed retryable error before any work is done, and a
+//     global in-flight execution cap with a bounded queue wait. The
+//     controller reads the same counters it publishes as server_* gauges.
+//   - Idle-session eviction: a janitor closes sessions idle past the
+//     limit; the session teardown aborts its open transaction, releasing
+//     its locks, so an abandoned client cannot wedge writers.
+//   - Fail isolation: a panic while executing one request is confined to
+//     its session (logged, counted, transaction aborted, connection
+//     closed); the server keeps serving.
+//   - Graceful drain: Drain refuses new sessions, lets queued and
+//     in-flight requests (commits included) finish, aborts stragglers
+//     after a deadline, checkpoints the engine and returns. Acknowledged
+//     commits are durable across drain + restart by the WAL's contract.
+package server
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"oodb"
+	"oodb/internal/authz"
+	"oodb/internal/obs"
+	"oodb/internal/server/proto"
+)
+
+// Options configures a Server. The zero value serves on an ephemeral port
+// in open mode (any role, no token, no authorization filtering).
+type Options struct {
+	// Addr is the listen address (default "127.0.0.1:0").
+	Addr string
+
+	// Authorizer, when non-nil, turns on authorization enforcement: every
+	// operation is checked against the lattice under the session's role,
+	// and query results are filtered to readable instances (the engine's
+	// Session semantics). Nil means open mode — every operation allowed.
+	Authorizer *authz.Authorizer
+
+	// Tokens, when non-nil, restricts handshakes to the listed roles and
+	// requires each to present its token (empty string = no token needed).
+	// Nil accepts any role name.
+	Tokens map[string]string
+
+	// MaxSessions caps concurrently connected sessions (default 1024).
+	// Excess handshakes are refused with a typed ServerFull error.
+	MaxSessions int
+
+	// SessionQueue caps pipelined requests buffered per session (default
+	// 8). Overflow is shed with a typed retryable error.
+	SessionQueue int
+
+	// MaxInFlight caps requests executing concurrently across all
+	// sessions (default 4×GOMAXPROCS). A request that cannot get a slot
+	// within QueueWait is shed with a typed retryable error.
+	MaxInFlight int
+
+	// QueueWait bounds how long a request waits for a global execution
+	// slot before being shed (default 25ms).
+	QueueWait time.Duration
+
+	// IdleTimeout evicts sessions with no request activity for this long
+	// (default 5m), aborting their open transaction.
+	IdleTimeout time.Duration
+
+	// HandshakeTimeout bounds the wait for the hello frame (default 10s).
+	HandshakeTimeout time.Duration
+
+	// WriteTimeout bounds each response write (default 30s).
+	WriteTimeout time.Duration
+
+	// MaxFrame caps accepted frame length (default proto.MaxFrame).
+	MaxFrame int
+
+	// DrainTimeout is how long Close lets in-flight work finish before
+	// aborting stragglers (default 5s). Drain takes an explicit deadline.
+	DrainTimeout time.Duration
+}
+
+func (o *Options) withDefaults() Options {
+	out := *o
+	if out.Addr == "" {
+		out.Addr = "127.0.0.1:0"
+	}
+	if out.MaxSessions <= 0 {
+		out.MaxSessions = 1024
+	}
+	if out.SessionQueue <= 0 {
+		out.SessionQueue = 8
+	}
+	if out.MaxInFlight <= 0 {
+		out.MaxInFlight = 4 * runtime.GOMAXPROCS(0)
+	}
+	if out.QueueWait <= 0 {
+		out.QueueWait = 25 * time.Millisecond
+	}
+	if out.IdleTimeout <= 0 {
+		out.IdleTimeout = 5 * time.Minute
+	}
+	if out.HandshakeTimeout <= 0 {
+		out.HandshakeTimeout = 10 * time.Second
+	}
+	if out.WriteTimeout <= 0 {
+		out.WriteTimeout = 30 * time.Second
+	}
+	if out.MaxFrame <= 0 || out.MaxFrame > proto.MaxFrame {
+		out.MaxFrame = proto.MaxFrame
+	}
+	if out.DrainTimeout <= 0 {
+		out.DrainTimeout = 5 * time.Second
+	}
+	return out
+}
+
+// ErrServerClosed is returned by Start after Drain or Close.
+var ErrServerClosed = errors.New("server: closed")
+
+// Server is a running kimsrv instance.
+type Server struct {
+	db   *oodb.DB
+	opts Options
+
+	ln       net.Listener
+	mu       sync.Mutex
+	conns    map[*conn]struct{}
+	draining atomic.Bool
+	started  atomic.Bool
+
+	sessionSeq atomic.Uint64
+	sessions   atomic.Int64 // active sessions (mirrors mSessionsActive)
+	inflight   chan struct{}
+
+	wg          sync.WaitGroup // accept loop + connection goroutines
+	janitorStop chan struct{}
+
+	// testHook, when set, runs inside request execution after admission;
+	// tests use it to hold sessions busy or to inject panics.
+	testHook func(verb byte)
+}
+
+// New returns an unstarted server over db.
+func New(db *oodb.DB, opts Options) *Server {
+	o := opts.withDefaults()
+	return &Server{
+		db:          db,
+		opts:        o,
+		conns:       make(map[*conn]struct{}),
+		inflight:    make(chan struct{}, o.MaxInFlight),
+		janitorStop: make(chan struct{}),
+	}
+}
+
+// Start opens the listener and begins accepting sessions. It returns once
+// the server is listening; Addr reports the bound address.
+func (s *Server) Start() error {
+	ln, err := net.Listen("tcp", s.opts.Addr)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.ln = ln
+	s.mu.Unlock()
+	s.started.Store(true)
+	s.wg.Add(2)
+	go s.acceptLoop(ln)
+	go s.janitor()
+	obs.Logf("server: listening on %s (max_sessions=%d max_inflight=%d)",
+		ln.Addr(), s.opts.MaxSessions, s.opts.MaxInFlight)
+	return nil
+}
+
+// Addr returns the bound listen address (nil before Start).
+func (s *Server) Addr() net.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return nil
+	}
+	return s.ln.Addr()
+}
+
+// Sessions returns the number of active sessions.
+func (s *Server) Sessions() int { return int(s.sessions.Load()) }
+
+func (s *Server) acceptLoop(ln net.Listener) {
+	defer s.wg.Done()
+	for {
+		nc, err := ln.Accept()
+		if err != nil {
+			// Listener closed (drain) or fatal accept error: stop.
+			return
+		}
+		s.wg.Add(1)
+		go s.serveConn(nc)
+	}
+}
+
+// janitor scans sessions for idle eviction.
+func (s *Server) janitor() {
+	defer s.wg.Done()
+	period := s.opts.IdleTimeout / 4
+	if period < 10*time.Millisecond {
+		period = 10 * time.Millisecond
+	}
+	if period > time.Second {
+		period = time.Second
+	}
+	t := time.NewTicker(period)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.janitorStop:
+			return
+		case <-t.C:
+			cutoff := time.Now().Add(-s.opts.IdleTimeout).UnixNano()
+			s.mu.Lock()
+			var evict []*conn
+			for c := range s.conns {
+				if c.lastActive.Load() < cutoff {
+					evict = append(evict, c)
+				}
+			}
+			s.mu.Unlock()
+			for _, c := range evict {
+				c.evict()
+			}
+		}
+	}
+}
+
+func (s *Server) addConn(c *conn) {
+	s.mu.Lock()
+	s.conns[c] = struct{}{}
+	s.mu.Unlock()
+}
+
+func (s *Server) removeConn(c *conn) {
+	s.mu.Lock()
+	delete(s.conns, c)
+	s.mu.Unlock()
+}
+
+// Drain performs a graceful shutdown: refuse new sessions, let queued and
+// in-flight requests finish (commits included), abort sessions that are
+// still running after timeout, then checkpoint the engine. It is safe to
+// call once; the listener does not reopen.
+func (s *Server) Drain(timeout time.Duration) error {
+	if !s.started.Load() {
+		return ErrServerClosed
+	}
+	if s.draining.Swap(true) {
+		return ErrServerClosed // already draining
+	}
+	mDrains.Add(1)
+	obs.Logf("server: drain started (timeout %v)", timeout)
+	s.mu.Lock()
+	ln := s.ln
+	s.mu.Unlock()
+	if ln != nil {
+		_ = ln.Close()
+	}
+	close(s.janitorStop)
+
+	// Ask every session to stop reading new requests and finish what it
+	// has queued. startDrain kicks the blocked frame read with an
+	// immediate read deadline; the reader treats that as end-of-input
+	// rather than an error, so responses already in flight still go out.
+	s.mu.Lock()
+	for c := range s.conns {
+		c.startDrain()
+	}
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() { s.wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(timeout):
+		// Stragglers: force-close their connections. Session teardown
+		// aborts any open transaction, releasing its locks.
+		obs.Logf("server: drain deadline reached; force-closing %d sessions", s.Sessions())
+		s.mu.Lock()
+		for c := range s.conns {
+			_ = c.nc.Close()
+		}
+		s.mu.Unlock()
+		<-done
+	}
+
+	// Every session is gone; make the drained state durable so a restart
+	// replays nothing and starts from a clean log.
+	if err := s.db.Checkpoint(); err != nil {
+		return fmt.Errorf("server: drain checkpoint: %w", err)
+	}
+	obs.Logf("server: drain complete")
+	return nil
+}
+
+// Close drains with the configured DrainTimeout.
+func (s *Server) Close() error { return s.Drain(s.opts.DrainTimeout) }
+
+// Draining reports whether the server has begun shutdown.
+func (s *Server) Draining() bool { return s.draining.Load() }

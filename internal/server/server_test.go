@@ -1,0 +1,584 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"oodb"
+	"oodb/internal/authz"
+	"oodb/internal/model"
+	"oodb/internal/server/client"
+	"oodb/internal/server/proto"
+)
+
+// newTestDB opens a fresh database with a small schema.
+func newTestDB(t *testing.T) *oodb.DB {
+	t.Helper()
+	db, err := oodb.Open(t.TempDir(), oodb.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	if _, err := db.DefineClass("Part", nil,
+		oodb.Attr{Name: "name", Domain: "String"},
+		oodb.Attr{Name: "weight", Domain: "Integer"},
+	); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+// startServer starts a server over db and tears it down with the test.
+func startServer(t *testing.T, db *oodb.DB, opts Options) *Server {
+	t.Helper()
+	s := New(db, opts)
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = s.Drain(2 * time.Second) })
+	return s
+}
+
+func dial(t *testing.T, s *Server, opts client.Options) *client.Client {
+	t.Helper()
+	c, err := client.Dial(s.Addr().String(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+func TestClientServerRoundTrip(t *testing.T) {
+	db := newTestDB(t)
+	s := startServer(t, db, Options{})
+	c := dial(t, s, client.Options{Role: "app"})
+
+	if err := c.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	oid, err := c.Insert("Part", map[string]model.Value{
+		"name": model.String("cam"), "weight": model.Int(12),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Fetch: effective attributes come back with class name.
+	obj, err := c.Fetch(oid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if obj.Class != "Part" || model.Compare(obj.Attrs["weight"], model.Int(12)) != 0 {
+		t.Fatalf("fetch: got %+v", obj)
+	}
+
+	// Get: one attribute.
+	v, err := c.Get(oid, "name")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if model.Compare(v, model.String("cam")) != 0 {
+		t.Fatalf("get: %v", v)
+	}
+
+	// Update + cached re-read through the session workspace.
+	if err := c.Update(oid, map[string]model.Value{"weight": model.Int(15)}); err != nil {
+		t.Fatal(err)
+	}
+	if v, err = c.Get(oid, "weight"); err != nil || model.Compare(v, model.Int(15)) != 0 {
+		t.Fatalf("get after update: %v %v (read-your-writes through the workspace)", v, err)
+	}
+
+	// Query and snapshot query agree.
+	for _, q := range []func(string) (*client.Result, error){c.Query, c.QuerySnapshot} {
+		res, err := q(`SELECT name FROM Part WHERE weight > 10`)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Rows) != 1 || model.Compare(res.Rows[0].Values[0], model.String("cam")) != 0 {
+			t.Fatalf("query: %+v", res)
+		}
+	}
+
+	// Delete, then NotFound.
+	if err := c.Delete(oid); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Fetch(oid); !errors.Is(err, client.ErrNotFound) {
+		t.Fatalf("fetch deleted: %v, want ErrNotFound", err)
+	}
+}
+
+// TestClientServerParity runs the same workload embedded and remote and
+// compares what each surface observes — the wire adds transport, not
+// semantics.
+func TestClientServerParity(t *testing.T) {
+	db := newTestDB(t)
+	s := startServer(t, db, Options{})
+	c := dial(t, s, client.Options{Role: "app"})
+
+	// Same inserts through both surfaces.
+	var localOID oodb.OID
+	if err := db.Do(func(tx *oodb.Tx) error {
+		var err error
+		localOID, err = tx.Insert("Part", oodb.Attrs{"name": oodb.String("local"), "weight": oodb.Int(1)})
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	remoteOID, err := c.Insert("Part", map[string]model.Value{
+		"name": model.String("remote"), "weight": model.Int(2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const q = `SELECT name, weight FROM Part`
+	lres, err := db.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rres, err := c.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lres.Rows) != 2 || len(rres.Rows) != len(lres.Rows) {
+		t.Fatalf("row counts: local %d remote %d", len(lres.Rows), len(rres.Rows))
+	}
+	render := func(cols []string, rows [][]model.Value) string {
+		out := fmt.Sprintf("%v\n", cols)
+		for _, vals := range rows {
+			for _, v := range vals {
+				out += v.String() + "|"
+			}
+			out += "\n"
+		}
+		return out
+	}
+	lrows := make([][]model.Value, len(lres.Rows))
+	for i, r := range lres.Rows {
+		lrows[i] = r.Values
+	}
+	rrows := make([][]model.Value, len(rres.Rows))
+	for i, r := range rres.Rows {
+		rrows[i] = r.Values
+	}
+	if render(lres.Cols, lrows) != render(rres.Cols, rrows) {
+		t.Fatalf("rendered results differ:\nlocal:\n%s\nremote:\n%s",
+			render(lres.Cols, lrows), render(rres.Cols, rrows))
+	}
+
+	// Both sides see each other's objects identically.
+	for _, oid := range []oodb.OID{localOID, remoteOID} {
+		lobj, err := db.Fetch(oid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		robj, err := c.Fetch(oid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, attr := range []string{"name", "weight"} {
+			lv, err := db.Get(lobj, attr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if model.Compare(lv, robj.Attrs[attr]) != 0 {
+				t.Fatalf("oid %v attr %s: local %v remote %v", oid, attr, lv, robj.Attrs[attr])
+			}
+		}
+	}
+}
+
+func TestExplicitTransaction(t *testing.T) {
+	db := newTestDB(t)
+	s := startServer(t, db, Options{})
+	c := dial(t, s, client.Options{Role: "app"})
+
+	// Abort rolls back.
+	if err := c.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	oid, err := c.Insert("Part", map[string]model.Value{"name": model.String("tmp"), "weight": model.Int(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Inside the transaction the session reads its own uncommitted write.
+	res, err := c.Query(`SELECT name FROM Part WHERE name = 'tmp'`)
+	if err != nil || len(res.Rows) != 1 {
+		t.Fatalf("in-tx query: %v rows=%v", err, res)
+	}
+	if err := c.Abort(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Fetch(oid); !errors.Is(err, client.ErrNotFound) {
+		t.Fatalf("after abort: %v, want ErrNotFound", err)
+	}
+
+	// Commit persists.
+	if err := c.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	oid, err = c.Insert("Part", map[string]model.Value{"name": model.String("kept"), "weight": model.Int(2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Fetch(oid); err != nil {
+		t.Fatalf("committed object missing: %v", err)
+	}
+
+	// Transaction-state errors are typed.
+	if err := c.Commit(); !errors.Is(err, client.ErrTxState) {
+		t.Fatalf("commit without tx: %v", err)
+	}
+	if err := c.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Begin(); !errors.Is(err, client.ErrTxState) {
+		t.Fatalf("double begin: %v", err)
+	}
+	if err := c.Abort(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHandshakeRejections(t *testing.T) {
+	db := newTestDB(t)
+	az := db.Authorizer()
+	az.AddRole("reader")
+	s := startServer(t, db, Options{
+		Authorizer:  az,
+		Tokens:      map[string]string{"reader": "tok"},
+		MaxSessions: 1,
+	})
+
+	// Bad token.
+	if _, err := client.Dial(s.Addr().String(), client.Options{Role: "reader", Token: "wrong"}); !errors.Is(err, client.ErrAuth) {
+		t.Fatalf("bad token: %v", err)
+	}
+	// Unknown role.
+	if _, err := client.Dial(s.Addr().String(), client.Options{Role: "nobody"}); !errors.Is(err, client.ErrAuth) {
+		t.Fatalf("unknown role: %v", err)
+	}
+	// Session limit.
+	c1 := dial(t, s, client.Options{Role: "reader", Token: "tok"})
+	_ = c1
+	if _, err := client.Dial(s.Addr().String(), client.Options{Role: "reader", Token: "tok"}); !errors.Is(err, client.ErrServerFull) {
+		t.Fatalf("over session limit: %v", err)
+	}
+}
+
+func TestProtocolVersionMismatch(t *testing.T) {
+	db := newTestDB(t)
+	s := startServer(t, db, Options{})
+	nc, err := net.Dial("tcp", s.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	body := proto.AppendHello(nil, proto.Hello{Version: proto.Version + 7, Role: "x"})
+	payload := proto.AppendRequest(nil, proto.VerbHello, 1)
+	payload = append(payload, body...)
+	if err := proto.WriteFrame(nc, payload); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := proto.ReadFrame(nc, proto.MaxFrame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := proto.NewReader(resp)
+	if st := r.Byte(); st != proto.StatusErr {
+		t.Fatalf("status %d", st)
+	}
+	r.Uint32()
+	if code := r.Byte(); code != proto.ErrCodeVersion {
+		t.Fatalf("code %d, want ErrCodeVersion", code)
+	}
+}
+
+// TestAuthorizationEnforced proves the wire surface applies the same
+// lattice semantics as the embedded Session: content filtering on
+// queries, typed denials on writes.
+func TestAuthorizationEnforced(t *testing.T) {
+	db := newTestDB(t)
+	cl, err := db.ClassByName("Part")
+	if err != nil {
+		t.Fatal(err)
+	}
+	az := db.Authorizer()
+	az.AddRole("reader")
+	az.AddRole("writer")
+	if err := az.Grant(authz.Grant{Role: "reader", Type: authz.Read, Object: authz.Class(cl.ID)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := az.Grant(authz.Grant{Role: "writer", Type: authz.Write, Object: authz.Class(cl.ID)}); err != nil {
+		t.Fatal(err)
+	}
+	s := startServer(t, db, Options{Authorizer: az})
+
+	w := dial(t, s, client.Options{Role: "writer"})
+	oid, err := w.Insert("Part", map[string]model.Value{"name": model.String("axle"), "weight": model.Int(3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	r := dial(t, s, client.Options{Role: "reader"})
+	// Reader may read...
+	if _, err := r.Fetch(oid); err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.Query(`SELECT name FROM Part`)
+	if err != nil || len(res.Rows) != 1 {
+		t.Fatalf("reader query: %v %v", err, res)
+	}
+	// ...but not write.
+	if err := r.Update(oid, map[string]model.Value{"weight": model.Int(9)}); !errors.Is(err, client.ErrDenied) {
+		t.Fatalf("reader update: %v, want ErrDenied", err)
+	}
+	if err := r.Delete(oid); !errors.Is(err, client.ErrDenied) {
+		t.Fatalf("reader delete: %v, want ErrDenied", err)
+	}
+	if _, err := r.Insert("Part", map[string]model.Value{"name": model.String("x")}); !errors.Is(err, client.ErrDenied) {
+		t.Fatalf("reader insert: %v, want ErrDenied", err)
+	}
+
+	// A role with no grants sees an empty world, not an error (content
+	// filtering, like a view).
+	az.AddRole("outsider")
+	o := dial(t, s, client.Options{Role: "outsider"})
+	res, err = o.Query(`SELECT name FROM Part`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 0 {
+		t.Fatalf("outsider sees %d rows", len(res.Rows))
+	}
+	if _, err := o.Fetch(oid); !errors.Is(err, client.ErrDenied) {
+		t.Fatalf("outsider fetch: %v, want ErrDenied", err)
+	}
+}
+
+// TestIdleSessionEviction proves an evicted session's open transaction is
+// aborted and its locks released, so an abandoned client cannot wedge
+// writers.
+func TestIdleSessionEviction(t *testing.T) {
+	db := newTestDB(t)
+	s := startServer(t, db, Options{IdleTimeout: 150 * time.Millisecond})
+	var oid model.OID
+	if err := db.Do(func(tx *oodb.Tx) error {
+		var err error
+		oid, err = tx.Insert("Part", oodb.Attrs{"name": oodb.String("contended"), "weight": oodb.Int(1)})
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	idle := dial(t, s, client.Options{Role: "app"})
+	if err := idle.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	// The idle session takes an exclusive lock and then goes silent.
+	if err := idle.Update(oid, map[string]model.Value{"weight": model.Int(2)}); err != nil {
+		t.Fatal(err)
+	}
+
+	evictedBefore := mSessionsEvicted.Value()
+	deadline := time.Now().Add(5 * time.Second)
+	for mSessionsEvicted.Value() == evictedBefore {
+		if time.Now().After(deadline) {
+			t.Fatal("idle session never evicted")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// The abandoned transaction's lock must be gone: a new session can
+	// write the same object. (db.Do would retry a deadlock, but it cannot
+	// wait out a lock that is never released — a 2s cap proves release.)
+	active := dial(t, s, client.Options{Role: "app"})
+	done := make(chan error, 1)
+	go func() {
+		done <- active.Update(oid, map[string]model.Value{"weight": model.Int(3)})
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("update after eviction: %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("update blocked: evicted session's locks not released")
+	}
+
+	// The evicted client's connection is dead.
+	if err := idle.Ping(); err == nil {
+		t.Fatal("evicted session still answers")
+	}
+}
+
+// TestSessionQueueShed fills one session's pipeline while its worker is
+// held busy: overflow must come back as typed retryable sheds without
+// executing, and the server must stay healthy.
+func TestSessionQueueShed(t *testing.T) {
+	db := newTestDB(t)
+	gate := make(chan struct{})
+	s := startServer(t, db, Options{SessionQueue: 2, MaxInFlight: 64})
+	s.testHook = func(verb byte) {
+		if verb == proto.VerbPing {
+			<-gate
+		}
+	}
+
+	nc, err := net.Dial("tcp", s.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	hello := proto.AppendRequest(nil, proto.VerbHello, 1)
+	hello = proto.AppendHello(hello, proto.Hello{Version: proto.Version, Role: "app"})
+	if err := proto.WriteFrame(nc, hello); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := proto.ReadFrame(nc, proto.MaxFrame); err != nil {
+		t.Fatal(err)
+	}
+
+	// Pipeline many pings: 1 executes (blocked on the gate), SessionQueue
+	// buffer, the rest shed.
+	const n = 10
+	for seq := uint32(2); seq < 2+n; seq++ {
+		if err := proto.WriteFrame(nc, proto.AppendRequest(nil, proto.VerbPing, seq)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sheds := 0
+	for i := 0; i < n-3; i++ { // at least n-1-SessionQueue responses are sheds
+		resp, err := proto.ReadFrame(nc, proto.MaxFrame)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := proto.NewReader(resp)
+		if st := r.Byte(); st == proto.StatusErr {
+			r.Uint32()
+			if code := r.Byte(); code == proto.ErrCodeRetryable {
+				sheds++
+				continue
+			}
+		}
+		t.Fatalf("expected retryable shed, got frame %v", resp)
+	}
+	if sheds == 0 {
+		t.Fatal("no sheds observed")
+	}
+	close(gate) // release the worker; remaining pings complete
+	for i := 0; i < 3; i++ {
+		if _, err := proto.ReadFrame(nc, proto.MaxFrame); err != nil {
+			t.Fatalf("queued responses after release: %v", err)
+		}
+	}
+}
+
+// TestPanicIsolation injects a panic into one session's request: that
+// session dies, its transaction aborts, and the server keeps serving
+// other sessions.
+func TestPanicIsolation(t *testing.T) {
+	db := newTestDB(t)
+	s := startServer(t, db, Options{})
+	var once sync.Once
+	s.testHook = func(verb byte) {
+		if verb == proto.VerbPing {
+			var fire bool
+			once.Do(func() { fire = true })
+			if fire {
+				panic("injected")
+			}
+		}
+	}
+
+	victim := dial(t, s, client.Options{Role: "app"})
+	before := mConnPanics.Value()
+	_ = victim.Ping() // the injected panic kills this session
+	deadline := time.Now().Add(2 * time.Second)
+	for mConnPanics.Value() == before {
+		if time.Now().After(deadline) {
+			t.Fatal("panic not recorded")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Server still healthy for a new session.
+	healthy := dial(t, s, client.Options{Role: "app"})
+	if err := healthy.Ping(); err != nil {
+		t.Fatalf("server unhealthy after isolated panic: %v", err)
+	}
+}
+
+// TestConcurrentSessions is the -race stress: many sessions doing mixed
+// reads, writes and transactions at once.
+func TestConcurrentSessions(t *testing.T) {
+	db := newTestDB(t)
+	s := startServer(t, db, Options{MaxInFlight: 32})
+
+	const sessions = 16
+	const opsPer = 20
+	var wg sync.WaitGroup
+	errs := make(chan error, sessions)
+	for i := 0; i < sessions; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			c, err := client.Dial(s.Addr().String(), client.Options{Role: "app"})
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer c.Close()
+			for op := 0; op < opsPer; op++ {
+				oid, err := c.Insert("Part", map[string]model.Value{
+					"name":   model.String(fmt.Sprintf("p-%d-%d", id, op)),
+					"weight": model.Int(int64(op)),
+				})
+				if err != nil {
+					errs <- fmt.Errorf("insert: %w", err)
+					return
+				}
+				if _, err := c.Get(oid, "weight"); err != nil {
+					errs <- fmt.Errorf("get: %w", err)
+					return
+				}
+				if op%3 == 0 {
+					if err := c.Update(oid, map[string]model.Value{"weight": model.Int(int64(op + 100))}); err != nil {
+						errs <- fmt.Errorf("update: %w", err)
+						return
+					}
+				}
+				if op%5 == 0 {
+					if _, err := c.QuerySnapshot(fmt.Sprintf(`SELECT name FROM Part WHERE weight = %d`, op)); err != nil {
+						errs <- fmt.Errorf("snapshot query: %w", err)
+						return
+					}
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil && !client.Retryable(err) {
+			t.Fatal(err)
+		}
+	}
+
+	res, err := db.Query(`SELECT * FROM Part`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != sessions*opsPer {
+		t.Fatalf("rows = %d, want %d", len(res.Rows), sessions*opsPer)
+	}
+}
