@@ -39,9 +39,20 @@ func AppendValue(dst []byte, v Value) []byte {
 	return dst
 }
 
+// maxDecodeDepth bounds set nesting while decoding. DecodeValue also runs
+// on untrusted wire bytes (internal/server/proto), where a stream of
+// nested set headers — two bytes per level — could otherwise recurse until
+// the stack overflows, a fatal runtime error no recover() can contain.
+// Deeper nesting than this is refused as corrupt.
+const maxDecodeDepth = 32
+
 // DecodeValue decodes one value from the front of buf, returning the value
 // and the number of bytes consumed.
 func DecodeValue(buf []byte) (Value, int, error) {
+	return decodeValue(buf, 0)
+}
+
+func decodeValue(buf []byte, depth int) (Value, int, error) {
 	if len(buf) == 0 {
 		return Null, 0, ErrCorrupt
 	}
@@ -84,6 +95,9 @@ func DecodeValue(buf []byte) (Value, int, error) {
 		}
 		return Ref(OID(o)), n + m, nil
 	case KindSet:
+		if depth >= maxDecodeDepth {
+			return Null, 0, fmt.Errorf("%w: set nesting beyond %d", ErrCorrupt, maxDecodeDepth)
+		}
 		cnt, m := binary.Uvarint(buf[n:])
 		if m <= 0 || cnt > uint64(len(buf)) {
 			return Null, 0, ErrCorrupt
@@ -91,7 +105,7 @@ func DecodeValue(buf []byte) (Value, int, error) {
 		n += m
 		members := make([]Value, 0, cnt)
 		for i := uint64(0); i < cnt; i++ {
-			mv, used, err := DecodeValue(buf[n:])
+			mv, used, err := decodeValue(buf[n:], depth+1)
 			if err != nil {
 				return Null, 0, err
 			}

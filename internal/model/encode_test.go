@@ -64,6 +64,39 @@ func TestDecodeValueCorrupt(t *testing.T) {
 	}
 }
 
+func TestDecodeValueDepthLimit(t *testing.T) {
+	// nested returns the encoding of levels set headers (one member each)
+	// around a null: Set(Set(...Set(Null)...)).
+	nested := func(levels int) []byte {
+		buf := make([]byte, 0, 2*levels+1)
+		for i := 0; i < levels; i++ {
+			buf = append(buf, byte(KindSet), 1)
+		}
+		return append(buf, byte(KindNull))
+	}
+
+	// Nesting at the limit decodes.
+	v, n, err := DecodeValue(nested(maxDecodeDepth))
+	if err != nil {
+		t.Fatalf("decode at depth limit: %v", err)
+	}
+	if n != 2*maxDecodeDepth+1 || v.Kind() != KindSet {
+		t.Fatalf("depth-limit decode consumed %d bytes, kind %v", n, v.Kind())
+	}
+
+	// One level past the limit is refused as corrupt.
+	if _, _, err := DecodeValue(nested(maxDecodeDepth + 1)); err == nil {
+		t.Fatal("nesting past the limit decoded")
+	}
+
+	// A hostile stream of set headers — the stack-overflow shape a
+	// network peer can cheaply send — must fail, not crash. Truncated on
+	// purpose: the depth check has to fire long before the data runs out.
+	if _, _, err := DecodeValue(nested(1 << 20)[:1<<20]); err == nil {
+		t.Fatal("hostile deep nesting decoded")
+	}
+}
+
 func TestKeyOrderMatchesCompare(t *testing.T) {
 	r := rand.New(rand.NewSource(99))
 	vals := make([]Value, 120)

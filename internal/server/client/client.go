@@ -216,6 +216,14 @@ func (c *Client) roundTrip(verb byte, body []byte) ([]byte, error) {
 	_ = c.nc.SetDeadline(time.Now().Add(c.opts.RequestTimeout))
 	resp, err := c.roundTripLocked(verb, body)
 	_ = c.nc.SetDeadline(time.Time{})
+	if err != nil && (errors.Is(err, ErrClosed) || errors.Is(err, ErrProtocol)) {
+		// A timeout, partial read/write or sequence mismatch leaves the
+		// stream desynchronized: later frames would be misparsed or
+		// matched to the wrong request. Latch closed so every later call
+		// fails fast with ErrClosed instead.
+		c.closed = true
+		_ = c.nc.Close()
+	}
 	return resp, err
 }
 

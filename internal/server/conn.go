@@ -71,8 +71,14 @@ func (s *Server) serveConn(nc net.Conn) {
 		return
 	}
 	s.addConn(c)
+	// A Drain that swept s.conns between the handshake's draining check
+	// and addConn never saw this connection; re-check so it still gets
+	// its read-deadline kick instead of idling out the drain timeout.
+	if s.draining.Load() {
+		c.startDrain()
+	}
 	mSessionsOpened.Add(1)
-	mSessionsActive.Set(s.sessions.Add(1))
+	mSessionsActive.Set(s.sessions.Load())
 
 	workerDone := make(chan struct{})
 	go func() {
@@ -109,8 +115,9 @@ func (cr *countingReader) Read(p []byte) (int, error) {
 }
 
 // handshake reads and answers the hello frame. It reports whether the
-// session may proceed.
-func (c *conn) handshake() bool {
+// session may proceed; on success the session slot in s.sessions is
+// already reserved (teardown in serveConn releases it).
+func (c *conn) handshake() (ok bool) {
 	s := c.srv
 	_ = c.nc.SetReadDeadline(time.Now().Add(s.opts.HandshakeTimeout))
 	payload, err := proto.ReadFrame(c.br, s.opts.MaxFrame)
@@ -138,10 +145,21 @@ func (c *conn) handshake() bool {
 			fmt.Sprintf("protocol version %d not supported (server speaks %d)", hello.Version, proto.Version))
 	case s.draining.Load():
 		return reject(proto.ErrCodeDraining, "server is draining")
-	case s.sessions.Load() >= int64(s.opts.MaxSessions):
+	}
+	// Reserve the session slot atomically before any further checks:
+	// N concurrent handshakes racing a check-then-increment could all
+	// pass a bare Load comparison and overshoot the cap. Any rejection
+	// past this point rolls the reservation back.
+	if s.sessions.Add(1) > int64(s.opts.MaxSessions) {
+		s.sessions.Add(-1)
 		return reject(proto.ErrCodeServerFull,
 			fmt.Sprintf("session limit %d reached", s.opts.MaxSessions))
 	}
+	defer func() {
+		if !ok {
+			s.sessions.Add(-1)
+		}
+	}()
 	if s.opts.Tokens != nil {
 		want, ok := s.opts.Tokens[hello.Role]
 		if !ok || want != hello.Token {

@@ -134,6 +134,37 @@ func TestMalformedFramesNeverCrash(t *testing.T) {
 	}
 	nc2.Close()
 
+	// Round 6: a deeply nested set value in an Insert body. Two bytes per
+	// nesting level means a single frame can claim hundreds of thousands
+	// of levels; unbounded decode recursion would overflow the worker's
+	// stack — a fatal runtime error recover() cannot contain. The decoder
+	// must refuse it as a bad request and keep the connection alive.
+	nc3 := rawDial(t, s, true)
+	deep := proto.AppendRequest(nil, proto.VerbInsert, 1)
+	deep = proto.AppendString(deep, "Part")
+	deep = proto.AppendUvarint(deep, 1) // one attribute
+	deep = proto.AppendString(deep, "name")
+	for i := 0; i < 20000; i++ {
+		deep = append(deep, 7 /* KindSet */, 1)
+	}
+	if err := proto.WriteFrame(nc3, deep); err != nil {
+		t.Fatal(err)
+	}
+	_ = nc3.SetReadDeadline(time.Now().Add(2 * time.Second))
+	resp, err = proto.ReadFrame(nc3, proto.MaxFrame)
+	if err != nil {
+		t.Fatalf("deep-set insert: connection died: %v", err)
+	}
+	r = proto.NewReader(resp)
+	if st := r.Byte(); st != proto.StatusErr {
+		t.Fatalf("deep-set insert: status %d", st)
+	}
+	r.Uint32()
+	if code := r.Byte(); code != proto.ErrCodeBadRequest {
+		t.Fatalf("deep-set insert: code %d, want ErrCodeBadRequest", code)
+	}
+	nc3.Close()
+
 	if got := mConnPanics.Value(); got != panicsBefore {
 		t.Fatalf("server recorded %d panics under fuzz", got-panicsBefore)
 	}

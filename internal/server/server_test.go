@@ -275,6 +275,76 @@ func TestHandshakeRejections(t *testing.T) {
 	}
 }
 
+// TestSessionCapNotOvershot races many concurrent handshakes against a
+// small session cap: the atomic slot reservation must never admit more
+// than MaxSessions, no matter how the handshakes interleave.
+func TestSessionCapNotOvershot(t *testing.T) {
+	db := newTestDB(t)
+	const limit = 4
+	s := startServer(t, db, Options{MaxSessions: limit})
+
+	const dials = 32
+	var mu sync.Mutex
+	var admitted []*client.Client
+	var wg sync.WaitGroup
+	for i := 0; i < dials; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c, err := client.Dial(s.Addr().String(), client.Options{Role: "app"})
+			if err != nil {
+				if !errors.Is(err, client.ErrServerFull) {
+					t.Errorf("unexpected dial error: %v", err)
+				}
+				return
+			}
+			mu.Lock()
+			admitted = append(admitted, c)
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	defer func() {
+		for _, c := range admitted {
+			_ = c.Close()
+		}
+	}()
+	if len(admitted) > limit {
+		t.Fatalf("%d sessions admitted past cap %d", len(admitted), limit)
+	}
+	if got := s.Sessions(); got > limit {
+		t.Fatalf("server counts %d active sessions, cap %d", got, limit)
+	}
+}
+
+// TestClientFailsFastAfterTimeout: a request timeout leaves the stream
+// desynchronized (the late response is still in flight), so the client
+// must latch closed and fail later calls immediately with ErrClosed
+// instead of writing onto the broken stream.
+func TestClientFailsFastAfterTimeout(t *testing.T) {
+	db := newTestDB(t)
+	gate := make(chan struct{})
+	s := startServer(t, db, Options{})
+	s.testHook = func(verb byte) {
+		if verb == proto.VerbPing {
+			<-gate
+		}
+	}
+	defer close(gate)
+
+	c := dial(t, s, client.Options{Role: "app", RequestTimeout: 100 * time.Millisecond})
+	if err := c.Ping(); !errors.Is(err, client.ErrClosed) {
+		t.Fatalf("stalled ping: %v, want ErrClosed wrap", err)
+	}
+	start := time.Now()
+	if err := c.Ping(); !errors.Is(err, client.ErrClosed) {
+		t.Fatalf("ping after timeout: %v, want ErrClosed", err)
+	}
+	if elapsed := time.Since(start); elapsed > 50*time.Millisecond {
+		t.Fatalf("call after timeout took %v; want immediate ErrClosed", elapsed)
+	}
+}
+
 func TestProtocolVersionMismatch(t *testing.T) {
 	db := newTestDB(t)
 	s := startServer(t, db, Options{})
