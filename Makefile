@@ -4,7 +4,7 @@ GO ?= go
 # pre-merge gate sweeps wider). Override: make crash CRASH_SCHEDULES=500
 CRASH_SCHEDULES ?= 120
 
-.PHONY: build test vet fmtcheck race bench crash maint mvcc pipeline oo1 server metrics-lint verify
+.PHONY: build test vet fmtcheck race bench crash maint mvcc pipeline oo1 server shard metrics-lint verify
 
 build:
 	$(GO) build ./...
@@ -82,8 +82,18 @@ oo1:
 server:
 	$(GO) test -race -count=1 ./internal/server/...
 
+# The sharding layer under the race detector: consistent-hash ring and
+# global-OID translation units, scatter-gather parity against a single
+# database, owner-routed object operations, per-class placement, remote
+# federation-source parity, and the fault-injection suite (member down
+# mid-scatter -> typed partial failure; member crash + restart mid-write
+# storm -> no acked write lost).
+shard:
+	$(GO) test -race -count=1 ./internal/shard/
+	$(GO) test -race -count=1 -run 'TestPushdown' ./internal/federation/
+
 # The full pre-merge gate: compile, static checks, formatting drift, the
 # whole test suite under the race detector, a wide crash sweep, the
 # maintenance matrix, the MVCC snapshot stack, the commit pipeline, the
-# clustering stack, and the wire server stack.
-verify: build vet fmtcheck metrics-lint race crash maint mvcc pipeline oo1 server
+# clustering stack, the wire server stack, and the sharding layer.
+verify: build vet fmtcheck metrics-lint race crash maint mvcc pipeline oo1 server shard

@@ -1,0 +1,8 @@
+//go:build !linux
+
+package main
+
+// dropFileCache is a no-op off Linux: the shard benchmark then measures
+// with whatever the host page cache holds (reported numbers are still
+// honest, the single-member side is just artificially warm).
+func dropFileCache(path string) {}

@@ -47,6 +47,7 @@ var (
 	mvcc     = flag.String("mvcc", "", "measure snapshot-reader throughput vs a bulk writer, write the JSON report to this path, and exit")
 	oo1      = flag.String("oo1", "", "measure cold-cache OO1 traversals on fragmented vs compacted vs composite-clustered layouts, write the JSON report to this path, and exit")
 	servOut  = flag.String("server", "", "drive hundreds of concurrent wire sessions against an in-process kimsrv, write the JSON report to this path, and exit")
+	shardOut = flag.String("shard", "", "measure scatter-gather throughput over 4 kimsrv members vs 1, write the JSON report to this path, and exit")
 	httpAddr = flag.String("http", "", "serve /metrics and /debug/pprof on this address while running (e.g. localhost:6060)")
 )
 
@@ -81,6 +82,10 @@ func main() {
 	}
 	if *servOut != "" {
 		runServerBench(*servOut)
+		return
+	}
+	if *shardOut != "" {
+		runShardBench(*shardOut)
 		return
 	}
 	experiments := []struct {

@@ -7,6 +7,7 @@
 //
 //	kimsh -db /path/to/dbdir
 //	kimsh -connect host:port [-role r] [-token t]
+//	kimsh -shards host1:p1,host2:p2,... [-role r] [-token t]
 //
 // With -db the shell embeds the engine. With -connect (or the .connect
 // command) it becomes a remote shell: data commands — queries, .insert,
@@ -15,6 +16,12 @@
 // exactly the client surface an application would. Schema and
 // maintenance commands need the embedded engine and refuse politely in
 // remote mode.
+//
+// With -shards the shell fronts a whole shard group: queries
+// scatter-gather across every member, .insert places new objects by
+// consistent hashing, and .set/.del/.get route to the owner recorded in
+// the object's global OID. The .shard command inspects the group
+// (.shard status / .shard place / .shard refresh).
 //
 // Commands:
 //
@@ -39,6 +46,7 @@
 //	.disconnect                         drop the remote session
 //	.begin / .commit / .abort           explicit transaction (remote mode)
 //	.ping                               round-trip the wire (remote mode)
+//	.shard status|place|refresh         inspect the shard group (shard mode)
 //	.help / .quit
 //
 // Value literals: integers, floats, 'strings', true/false, null, @class:seq
@@ -48,6 +56,7 @@ package main
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"net/http"
@@ -60,17 +69,19 @@ import (
 	"oodb/internal/maint"
 	"oodb/internal/obs"
 	"oodb/internal/server/client"
+	"oodb/internal/shard"
 )
 
 func main() {
 	dbdir := flag.String("db", "", "database directory (or use -connect for remote mode)")
 	connect := flag.String("connect", "", "connect to a kimsrv at host:port instead of embedding the engine")
-	role := flag.String("role", "public", "role name for -connect")
-	token := flag.String("token", "", "authentication token for -connect")
+	shards := flag.String("shards", "", "comma-separated kimsrv addresses forming one sharded database")
+	role := flag.String("role", "public", "role name for -connect / -shards")
+	token := flag.String("token", "", "authentication token for -connect / -shards")
 	httpAddr := flag.String("http", "", "serve /metrics and /debug/pprof on this address (e.g. localhost:6060)")
 	flag.Parse()
-	if *dbdir == "" && *connect == "" {
-		fmt.Fprintln(os.Stderr, "kimsh: need -db directory or -connect host:port")
+	if *dbdir == "" && *connect == "" && *shards == "" {
+		fmt.Fprintln(os.Stderr, "kimsh: need -db directory, -connect host:port, or -shards a,b,...")
 		os.Exit(2)
 	}
 	if *httpAddr != "" {
@@ -97,6 +108,24 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	if *shards != "" {
+		r, err := shard.New(strings.Split(*shards, ","),
+			shard.Options{Client: client.Options{Role: *role, Token: *token}})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "kimsh:", err)
+			os.Exit(1)
+		}
+		r.Start()
+		defer r.Close()
+		sh.sharded = r
+		healthy := 0
+		for _, st := range r.Probe() {
+			if st.Healthy {
+				healthy++
+			}
+		}
+		fmt.Fprintf(sh.out, "  shard group: %d members (%d healthy)\n", len(r.Addrs()), healthy)
+	}
 	defer func() {
 		if sh.remote != nil {
 			sh.remote.Close()
@@ -120,10 +149,11 @@ func main() {
 }
 
 type shell struct {
-	db     *oodb.DB
-	out    *os.File
-	mnt    *maint.Manager
-	remote *client.Client
+	db      *oodb.DB
+	out     *os.File
+	mnt     *maint.Manager
+	remote  *client.Client
+	sharded *shard.Router
 }
 
 // needDB guards commands that require the embedded engine.
@@ -135,8 +165,14 @@ func (sh *shell) needDB() error {
 }
 
 func (sh *shell) exec(line string) error {
-	// Remote-mode routing: data commands travel the wire; everything else
-	// falls through to the embedded engine (if any).
+	// Shard-mode routing first (a shard group is a kind of remote), then
+	// single-server remote; everything else falls through to the embedded
+	// engine (if any).
+	if sh.sharded != nil {
+		if handled, err := sh.execShard(line); handled {
+			return err
+		}
+	}
 	if sh.remote != nil {
 		if handled, err := sh.execRemote(line); handled {
 			return err
@@ -148,6 +184,8 @@ func (sh *shell) exec(line string) error {
 		return sh.connect(head[1:])
 	case ".disconnect", ".begin", ".commit", ".abort", ".ping":
 		return fmt.Errorf("not connected (use .connect host:port)")
+	case ".shard":
+		return fmt.Errorf("not sharded (start with -shards a,b,...)")
 	}
 	if sh.db == nil && line != ".help" {
 		return sh.needDB()
@@ -159,7 +197,7 @@ func (sh *shell) exec(line string) error {
 		}
 		return sh.query(line)
 	case line == ".help":
-		fmt.Fprintln(sh.out, "queries: SELECT ... ; commands: .defclass .attr .index .indexes .classes .schema .insert .set .del .get .explain .analyze .compact .stats .metrics .snapshot .snapshots .schemadiff .checkpoint .connect .disconnect .begin .commit .abort .ping .quit")
+		fmt.Fprintln(sh.out, "queries: SELECT ... ; commands: .defclass .attr .index .indexes .classes .schema .insert .set .del .get .explain .analyze .compact .stats .metrics .snapshot .snapshots .schemadiff .checkpoint .connect .disconnect .begin .commit .abort .ping .shard .quit")
 		return nil
 	case line == ".metrics":
 		out, err := json.MarshalIndent(sh.db.Metrics(), "", "  ")
@@ -677,6 +715,163 @@ func (sh *shell) execRemote(line string) (bool, error) {
 		sort.Strings(names)
 		for _, name := range names {
 			fmt.Fprintf(sh.out, "    %s = %s\n", name, obj.Attrs[name])
+		}
+		return true, nil
+	}
+	return false, nil
+}
+
+// execShard routes data commands through the shard router. Queries
+// scatter-gather; object commands route to the owner encoded in the
+// global OID. Unhandled commands fall through (to the embedded engine,
+// if any).
+func (sh *shell) execShard(line string) (bool, error) {
+	if strings.HasPrefix(strings.ToLower(line), "select") {
+		res, err := sh.sharded.Query(line)
+		if err != nil {
+			var pe *shard.PartialError
+			if errors.As(err, &pe) && pe.Result != nil {
+				for _, f := range pe.Failed {
+					fmt.Fprintf(sh.out, "  ! member %d (%s) failed: %v\n", f.Member, f.Addr, f.Err)
+				}
+				fmt.Fprintf(sh.out, "  (partial: %d rows from surviving members, NOT the full answer)\n",
+					len(pe.Result.Rows))
+			}
+			return true, err
+		}
+		fmt.Fprintln(sh.out, " ", strings.Join(res.Cols, " | "))
+		for _, row := range res.Rows {
+			parts := make([]string, len(row.Values))
+			for i, v := range row.Values {
+				parts[i] = v.String()
+			}
+			fmt.Fprintln(sh.out, " ", strings.Join(parts, " | "))
+		}
+		fmt.Fprintf(sh.out, "  (%d rows)\n", len(res.Rows))
+		return true, nil
+	}
+	fields := strings.Fields(line)
+	switch fields[0] {
+	case ".shard":
+		sub := "status"
+		if len(fields) > 1 {
+			sub = fields[1]
+		}
+		switch sub {
+		case "status":
+			for _, st := range sh.sharded.Probe() {
+				state := "healthy"
+				if !st.Healthy {
+					state = "DOWN"
+				}
+				fmt.Fprintf(sh.out, "  member %d  %-21s  %s\n", st.Member, st.Addr, state)
+			}
+			return true, nil
+		case "place":
+			pm, err := sh.sharded.Placement()
+			if err != nil {
+				return true, err
+			}
+			names := make([]string, 0, len(pm))
+			for name := range pm {
+				names = append(names, name)
+			}
+			sort.Strings(names)
+			for _, name := range names {
+				fmt.Fprintf(sh.out, "  %s: members %v\n", name, pm[name])
+			}
+			return true, nil
+		case "refresh":
+			if err := sh.sharded.Refresh(); err != nil {
+				return true, err
+			}
+			fmt.Fprintln(sh.out, "  placement map refreshed")
+			return true, nil
+		default:
+			return true, fmt.Errorf("usage: .shard status|place|refresh")
+		}
+	case ".ping":
+		healthy := 0
+		st := sh.sharded.Probe()
+		for _, s := range st {
+			if s.Healthy {
+				healthy++
+			}
+		}
+		if healthy < len(st) {
+			return true, fmt.Errorf("%d/%d members healthy", healthy, len(st))
+		}
+		fmt.Fprintf(sh.out, "  %d/%d members healthy\n", healthy, len(st))
+		return true, nil
+	case ".insert":
+		if len(fields) < 2 {
+			return true, fmt.Errorf("usage: .insert Class a=v ...")
+		}
+		attrs, err := parseAttrs(fields[2:])
+		if err != nil {
+			return true, err
+		}
+		oid, err := sh.sharded.Insert(fields[1], attrs)
+		if err == nil {
+			fmt.Fprintf(sh.out, "  @%s\n", oid)
+		}
+		return true, err
+	case ".set":
+		if len(fields) < 3 {
+			return true, fmt.Errorf("usage: .set @c:s a=v ...")
+		}
+		oid, err := parseOID(fields[1])
+		if err != nil {
+			return true, err
+		}
+		attrs, err := parseAttrs(fields[2:])
+		if err != nil {
+			return true, err
+		}
+		return true, sh.sharded.Update(oid, attrs)
+	case ".del":
+		if len(fields) != 2 {
+			return true, fmt.Errorf("usage: .del @c:s")
+		}
+		oid, err := parseOID(fields[1])
+		if err != nil {
+			return true, err
+		}
+		return true, sh.sharded.Delete(oid)
+	case ".get":
+		if len(fields) != 2 {
+			return true, fmt.Errorf("usage: .get @c:s")
+		}
+		oid, err := parseOID(fields[1])
+		if err != nil {
+			return true, err
+		}
+		obj, err := sh.sharded.Fetch(oid)
+		if err != nil {
+			return true, err
+		}
+		fmt.Fprintf(sh.out, "  @%s (%s)\n", obj.OID, obj.Class)
+		names := make([]string, 0, len(obj.Attrs))
+		for name := range obj.Attrs {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			fmt.Fprintf(sh.out, "    %s = %s\n", name, obj.Attrs[name])
+		}
+		return true, nil
+	case ".classes":
+		pm, err := sh.sharded.Placement()
+		if err != nil {
+			return true, err
+		}
+		names := make([]string, 0, len(pm))
+		for name := range pm {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			fmt.Fprintf(sh.out, "  %s\n", name)
 		}
 		return true, nil
 	}

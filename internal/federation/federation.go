@@ -39,6 +39,31 @@ type Source interface {
 	Scan(class string, fn func(Entity) bool) error
 }
 
+// QueryableSource is an optional Source extension for members that can
+// evaluate a whole query themselves — a kimdb engine with its planner and
+// indexes, or a remote server reached over the wire — instead of being
+// driven through the per-entity Scan + predicate-evaluator path.
+//
+// RunQuery returns handled=false (with a nil error) to decline a query it
+// cannot or should not evaluate natively; the federation then falls back
+// to the Scan path. A source must only report handled=true for results
+// that match the fallback evaluator's semantics — the pushdown is an
+// optimization, never a semantic fork (pinned by the differential test).
+type QueryableSource interface {
+	Source
+	RunQuery(q *query.Query) (res *Result, handled bool, err error)
+}
+
+// pushdownable reports whether a parsed query is eligible for
+// QueryableSource pushdown. Queries without an explicit projection are
+// excluded (the scan path returns entity rows, which have no wire/native
+// equivalent), as are aggregates (rejected in federated queries anyway)
+// and ONLY scope (the common model's Scan is always hierarchy-scoped, so
+// a native ONLY would change semantics).
+func pushdownable(q *query.Query) bool {
+	return len(q.Select) > 0 && len(q.Aggregates) == 0 && !q.Only
+}
+
 // Errors of the federation layer.
 var (
 	ErrNoSource = errors.New("federation: no such source")
@@ -105,6 +130,15 @@ func (f *Federation) Query(source, src string) (*Result, error) {
 	}
 	if !found {
 		return nil, fmt.Errorf("%w: %s.%s", ErrNoClass, source, q.From)
+	}
+	if qs, can := s.(QueryableSource); can && pushdownable(q) {
+		res, handled, err := qs.RunQuery(q)
+		if err != nil {
+			return nil, err
+		}
+		if handled {
+			return res, nil
+		}
 	}
 	res := &Result{}
 	if len(q.Select) == 0 {
@@ -326,6 +360,31 @@ func (s *OOSource) Scan(class string, fn func(Entity) bool) error {
 		}
 	}
 	return nil
+}
+
+// RunQuery implements QueryableSource: the query runs through the
+// engine's planner and executor (index selection, hierarchy scope) in a
+// fresh read transaction instead of the federation's per-entity
+// evaluator. Engine errors decline the pushdown rather than failing the
+// query: the engine is stricter than the lenient common model (an
+// unknown attribute is an error there, a null here), and declining keeps
+// the two paths semantically identical.
+func (s *OOSource) RunQuery(q *query.Query) (*Result, bool, error) {
+	tx := s.db.Begin()
+	defer tx.Abort()
+	eres, err := query.NewEngine(s.db).Run(tx, q.String())
+	if err != nil {
+		return nil, false, nil
+	}
+	res := &Result{Cols: eres.Cols, Rows: make([]Row, 0, len(eres.Rows))}
+	for _, row := range eres.Rows {
+		var ent Entity
+		if row.Object != nil {
+			ent = &ooEntity{src: s, obj: row.Object}
+		}
+		res.Rows = append(res.Rows, Row{Entity: ent, Values: row.Values})
+	}
+	return res, true, nil
 }
 
 type ooEntity struct {

@@ -1,0 +1,168 @@
+package federation
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"oodb/internal/core"
+	"oodb/internal/model"
+	"oodb/internal/schema"
+)
+
+// scanOnly hides the QueryableSource extension of a source, forcing the
+// federation through the per-entity Scan + evaluator path.
+type scanOnly struct{ Source }
+
+// encodeRows renders a federated result into the engine's canonical value
+// encoding, row by row, so two results can be compared byte-identically.
+func encodeRows(res *Result) []byte {
+	var buf []byte
+	for _, row := range res.Rows {
+		for _, v := range row.Values {
+			buf = model.AppendValue(buf, v)
+		}
+		buf = append(buf, '\n')
+	}
+	return buf
+}
+
+// TestPushdownDifferential pins the QueryableSource contract: for every
+// eligible query shape, the pushed-down result is byte-identical to the
+// Scan+evaluator path over the same data.
+func TestPushdownDifferential(t *testing.T) {
+	odb, err := core.Open(t.TempDir(), core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer odb.Close()
+	dept, _ := odb.DefineClass("Dept", nil,
+		schema.AttrSpec{Name: "city", Domain: schema.ClassString})
+	emp, _ := odb.DefineClass("Emp", nil,
+		schema.AttrSpec{Name: "name", Domain: schema.ClassString},
+		schema.AttrSpec{Name: "salary", Domain: schema.ClassInteger},
+		schema.AttrSpec{Name: "dept", Domain: dept.ID},
+		schema.AttrSpec{Name: "grade", Domain: schema.ClassString, Default: model.String("junior")})
+	odb.DefineClass("Manager", []model.ClassID{emp.ID},
+		schema.AttrSpec{Name: "reports", Domain: schema.ClassInteger})
+
+	tx := odb.Begin()
+	cities := []string{"Austin", "Detroit", "Paris"}
+	var depts []model.OID
+	for _, c := range cities {
+		d, err := tx.InsertClass(dept.ID, map[string]model.Value{"city": model.String(c)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		depts = append(depts, d)
+	}
+	for i := 0; i < 40; i++ {
+		attrs := map[string]model.Value{
+			"name":   model.String(fmt.Sprintf("e%02d", i)),
+			"salary": model.Int(int64(50 + i*7%100)),
+		}
+		if i%5 != 0 { // a few employees have no dept (null mid-path)
+			attrs["dept"] = model.Ref(depts[i%len(depts)])
+		}
+		if i%3 == 0 {
+			attrs["grade"] = model.String("senior")
+		}
+		class := "Emp"
+		if i%4 == 0 {
+			class = "Manager"
+			attrs["reports"] = model.Int(int64(i))
+		}
+		if _, err := tx.Insert(class, attrs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	src := NewOOSource(odb)
+	pushed := New()
+	pushed.Register("oo", src)
+	scanned := New()
+	scanned.Register("oo", scanOnly{src})
+
+	queries := []string{
+		// Plain projection + predicate.
+		`SELECT name, salary FROM Emp WHERE salary > 80 ORDER BY name`,
+		// Nested path through a reference, null mid-path included.
+		`SELECT name, dept.city FROM Emp WHERE dept.city = 'Austin' ORDER BY name`,
+		// Default values visible through both paths.
+		`SELECT name FROM Emp WHERE grade = 'junior' ORDER BY name`,
+		// Hierarchy scope: Managers appear under Emp on both paths.
+		`SELECT name FROM Emp WHERE salary >= 50 ORDER BY name DESC`,
+		// LIMIT after ORDER BY.
+		`SELECT name, salary FROM Emp ORDER BY name LIMIT 7`,
+		// Compound predicate.
+		`SELECT name FROM Emp WHERE salary > 60 AND grade = 'senior' ORDER BY name`,
+	}
+	for _, qsrc := range queries {
+		rp, err := pushed.Query("oo", qsrc)
+		if err != nil {
+			t.Fatalf("pushdown %q: %v", qsrc, err)
+		}
+		rs, err := scanned.Query("oo", qsrc)
+		if err != nil {
+			t.Fatalf("scan %q: %v", qsrc, err)
+		}
+		if len(rp.Cols) != len(rs.Cols) {
+			t.Fatalf("%q: cols %v vs %v", qsrc, rp.Cols, rs.Cols)
+		}
+		for i := range rp.Cols {
+			if rp.Cols[i] != rs.Cols[i] {
+				t.Fatalf("%q: cols %v vs %v", qsrc, rp.Cols, rs.Cols)
+			}
+		}
+		bp, bs := encodeRows(rp), encodeRows(rs)
+		if !bytes.Equal(bp, bs) {
+			t.Fatalf("%q: pushdown result differs from evaluator path\npushdown: %d rows\nscan:     %d rows",
+				qsrc, len(rp.Rows), len(rs.Rows))
+		}
+		if len(rp.Rows) == 0 {
+			t.Fatalf("%q: empty result proves nothing", qsrc)
+		}
+	}
+}
+
+// TestPushdownDecline pins the fallback: queries the engine would reject
+// (unknown attribute) still succeed through the lenient evaluator path,
+// so the pushdown is never a semantic fork.
+func TestPushdownDecline(t *testing.T) {
+	odb, err := core.Open(t.TempDir(), core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer odb.Close()
+	cl, _ := odb.DefineClass("Thing", nil,
+		schema.AttrSpec{Name: "n", Domain: schema.ClassInteger})
+	tx := odb.Begin()
+	if _, err := tx.InsertClass(cl.ID, map[string]model.Value{"n": model.Int(1)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	f := New()
+	f.Register("oo", NewOOSource(odb))
+	// The engine errors on the unknown attribute; the federation must
+	// fall back to the lenient path (0 rows, no error).
+	res, err := f.Query("oo", `SELECT n FROM Thing WHERE mystery = 1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 0 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	// Entity-shaped results (no projection) never push down.
+	res, err = f.Query("oo", `SELECT * FROM Thing`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cols) != 1 || res.Cols[0] != "entity" || len(res.Rows) != 1 || res.Rows[0].Entity == nil {
+		t.Fatalf("entity result = %+v", res)
+	}
+}

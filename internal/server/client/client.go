@@ -398,6 +398,20 @@ func (c *Client) Abort() error {
 	return err
 }
 
+// Classes returns the sorted class names of the served database.
+func (c *Client) Classes() ([]string, error) {
+	body, err := c.roundTrip(proto.VerbClasses, nil)
+	if err != nil {
+		return nil, err
+	}
+	r := proto.NewReader(body)
+	names := r.Strings()
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("%w: bad class list: %v", ErrProtocol, err)
+	}
+	return names, nil
+}
+
 // Ping checks liveness end-to-end through the session worker.
 func (c *Client) Ping() error {
 	_, err := c.roundTrip(proto.VerbPing, nil)

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"sort"
 	"sync/atomic"
 	"time"
 
@@ -305,6 +306,8 @@ func countVerb(verb byte) {
 		mReqAbort.Add(1)
 	case proto.VerbPing:
 		mReqPing.Add(1)
+	case proto.VerbClasses:
+		mReqClasses.Add(1)
 	}
 }
 
@@ -378,6 +381,8 @@ func (c *conn) dispatch(verb byte, r *proto.Reader) ([]byte, error) {
 	switch verb {
 	case proto.VerbPing:
 		return nil, nil
+	case proto.VerbClasses:
+		return c.doClasses()
 	case proto.VerbQuery, proto.VerbQuerySnapshot:
 		src := r.ReadString()
 		if err := r.Err(); err != nil {
@@ -444,6 +449,23 @@ func (c *conn) dispatch(verb byte, r *proto.Reader) ([]byte, error) {
 	default:
 		return nil, fmt.Errorf("%w: unknown verb %d", proto.ErrMalformed, verb)
 	}
+}
+
+// doClasses returns the sorted class names of the served database — the
+// schema surface a federation or shard router needs to enumerate remote
+// members. Read access to the database is required when an authorizer is
+// configured, mirroring the aggregate-row rule in doQuery.
+func (c *conn) doClasses() ([]byte, error) {
+	if err := c.check(authz.Read, authz.Database()); err != nil {
+		return nil, err
+	}
+	classes := c.srv.db.Engine().Catalog.Classes()
+	names := make([]string, 0, len(classes))
+	for _, cl := range classes {
+		names = append(names, cl.Name)
+	}
+	sort.Strings(names)
+	return proto.AppendStrings(nil, names), nil
 }
 
 // check runs one authorization check, or allows everything in open mode.

@@ -32,6 +32,7 @@ var (
 	mReqCommitAsync = obs.RegisterCounter("server_requests_commitasync_total")
 	mReqAbort       = obs.RegisterCounter("server_requests_abort_total")
 	mReqPing        = obs.RegisterCounter("server_requests_ping_total")
+	mReqClasses     = obs.RegisterCounter("server_requests_classes_total")
 
 	// Wire traffic.
 	mBytesIn  = obs.RegisterCounter("server_bytes_in_total")

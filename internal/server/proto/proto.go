@@ -69,6 +69,7 @@ const (
 	VerbCommitAsync
 	VerbAbort
 	VerbPing
+	VerbClasses
 )
 
 // VerbName returns the lowercase name of a verb (for metrics and errors).
@@ -100,6 +101,8 @@ func VerbName(v byte) string {
 		return "abort"
 	case VerbPing:
 		return "ping"
+	case VerbClasses:
+		return "classes"
 	default:
 		return fmt.Sprintf("verb(%d)", v)
 	}
@@ -208,6 +211,15 @@ func AppendString(dst []byte, s string) []byte {
 	return append(dst, s...)
 }
 
+// AppendStrings appends a uvarint-counted list of strings.
+func AppendStrings(dst []byte, ss []string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(ss)))
+	for _, s := range ss {
+		dst = AppendString(dst, s)
+	}
+	return dst
+}
+
 // AppendUvarint appends a uvarint.
 func AppendUvarint(dst []byte, v uint64) []byte {
 	return binary.AppendUvarint(dst, v)
@@ -307,6 +319,23 @@ func (r *Reader) ReadString() string {
 	s := string(r.buf[r.off : r.off+int(n)])
 	r.off += int(n)
 	return s
+}
+
+// Strings reads a uvarint-counted list of strings.
+func (r *Reader) Strings() []string {
+	n := r.Uvarint()
+	if r.err != nil || n > uint64(r.Remaining())+1 {
+		r.fail()
+		return nil
+	}
+	ss := make([]string, 0, n)
+	for i := uint64(0); i < n; i++ {
+		ss = append(ss, r.ReadString())
+	}
+	if r.err != nil {
+		return nil
+	}
+	return ss
 }
 
 // OID reads an object identifier.

@@ -1,0 +1,24 @@
+package shard
+
+import "oodb/internal/obs"
+
+// Shard metrics, layer "shard". The health gauge is what the prober
+// writes and what .shard status reads, so the operator always sees the
+// exact state the router acts on.
+var (
+	// Membership and health.
+	mMembersHealthy = obs.RegisterGauge("shard_members_healthy")
+	mProbeFailures  = obs.RegisterCounter("shard_probe_failures_total")
+
+	// Scatter-gather queries.
+	mScatterQueries = obs.RegisterCounter("shard_scatter_queries_total")
+	mScatterPartial = obs.RegisterCounter("shard_scatter_partial_total")
+	mScatterLatency = obs.RegisterHistogram("shard_scatter_latency_ns")
+
+	// Routed single-object operations.
+	mRoutedOps    = obs.RegisterCounter("shard_routed_ops_total")
+	mRoutedErrors = obs.RegisterCounter("shard_routed_errors_total")
+
+	// Retries driven by client.Retryable classification.
+	mRetries = obs.RegisterCounter("shard_retries_total")
+)

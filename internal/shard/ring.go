@@ -1,0 +1,84 @@
+package shard
+
+import (
+	"hash/fnv"
+	"sort"
+	"strconv"
+)
+
+// ring is a consistent hash ring over member indexes. Each member owns
+// vnodes points on a 64-bit circle; a key belongs to the first point at
+// or clockwise of its hash. Virtual nodes smooth the load split, and the
+// allowed-set restriction lets one ring serve per-class placement maps
+// (walk clockwise until a point's member is in the class's subset).
+//
+// The ring only places NEW objects; an object's global OID records the
+// member it landed on (see the package comment), so ring changes never
+// need data movement for existing objects to stay reachable.
+type ring struct {
+	points []ringPoint // sorted by hash
+}
+
+type ringPoint struct {
+	hash   uint64
+	member int
+}
+
+// newRing builds a ring over members 0..n-1 with the given virtual node
+// count per member (minimum 1).
+func newRing(n, vnodes int) *ring {
+	if vnodes < 1 {
+		vnodes = 1
+	}
+	r := &ring{points: make([]ringPoint, 0, n*vnodes)}
+	for m := 0; m < n; m++ {
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, ringPoint{
+				hash:   hashKey("member-" + strconv.Itoa(m) + "/" + strconv.Itoa(v)),
+				member: m,
+			})
+		}
+	}
+	sort.Slice(r.points, func(a, b int) bool {
+		if r.points[a].hash != r.points[b].hash {
+			return r.points[a].hash < r.points[b].hash
+		}
+		return r.points[a].member < r.points[b].member
+	})
+	return r
+}
+
+// hashKey is FNV-1a over the key bytes, pushed through a 64-bit
+// avalanche finalizer. Raw FNV-1a output clusters for short keys that
+// differ only in a trailing counter ("member-2/0".."member-2/63"), which
+// would collapse the vnode points into one arc per member; the
+// finalizer (the murmur3 fmix64 constants) scatters those clusters
+// uniformly over the circle.
+func hashKey(key string) uint64 {
+	f := fnv.New64a()
+	_, _ = f.Write([]byte(key))
+	h := f.Sum64()
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return h
+}
+
+// owner returns the member owning key, restricted to the allowed set
+// (nil allows every member). It returns -1 if no allowed member exists.
+func (r *ring) owner(key string, allowed map[int]bool) int {
+	if len(r.points) == 0 {
+		return -1
+	}
+	h := hashKey(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	for i := 0; i < len(r.points); i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if allowed == nil || allowed[p.member] {
+			return p.member
+		}
+	}
+	return -1
+}

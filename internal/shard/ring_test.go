@@ -1,0 +1,68 @@
+package shard
+
+import (
+	"strconv"
+	"testing"
+
+	"oodb/internal/model"
+)
+
+func TestRingDeterministicAndBalanced(t *testing.T) {
+	r1 := newRing(4, 64)
+	r2 := newRing(4, 64)
+	counts := make([]int, 4)
+	for i := 0; i < 10000; i++ {
+		key := "Part#" + strconv.Itoa(i)
+		m := r1.owner(key, nil)
+		if m2 := r2.owner(key, nil); m2 != m {
+			t.Fatalf("ring not deterministic: key %q -> %d vs %d", key, m, m2)
+		}
+		counts[m]++
+	}
+	for m, n := range counts {
+		if n < 1000 { // perfectly even would be 2500; require >10%
+			t.Fatalf("member %d owns only %d/10000 keys: %v", m, n, counts)
+		}
+	}
+}
+
+func TestRingAllowedSubset(t *testing.T) {
+	r := newRing(4, 32)
+	allowed := map[int]bool{1: true, 3: true}
+	seen := make(map[int]int)
+	for i := 0; i < 2000; i++ {
+		m := r.owner("k"+strconv.Itoa(i), allowed)
+		if m != 1 && m != 3 {
+			t.Fatalf("owner %d outside allowed set", m)
+		}
+		seen[m]++
+	}
+	if seen[1] == 0 || seen[3] == 0 {
+		t.Fatalf("subset not balanced: %v", seen)
+	}
+	if m := r.owner("k", map[int]bool{}); m != -1 {
+		t.Fatalf("empty allowed set returned %d", m)
+	}
+}
+
+func TestOIDTranslationRoundTrip(t *testing.T) {
+	for _, m := range []int{0, 1, 7, 255} {
+		local := model.MakeOID(42, 12345)
+		g, err := globalOID(m, local)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gm, back := splitOID(g)
+		if gm != m || back != local {
+			t.Fatalf("member %d: %s -> %s -> (%d, %s)", m, local, g, gm, back)
+		}
+		if m == 0 && g != local {
+			t.Fatalf("member 0 must keep local OIDs verbatim: %s != %s", g, local)
+		}
+	}
+	// Out-of-space local sequence is refused, not silently folded.
+	big := model.MakeOID(1, 1<<33)
+	if _, err := globalOID(1, big); err == nil {
+		t.Fatal("oversized local seq accepted")
+	}
+}

@@ -1,0 +1,710 @@
+package shard
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"oodb/internal/model"
+	"oodb/internal/query"
+	"oodb/internal/server/client"
+)
+
+// Options configures a Router. The zero value is usable.
+type Options struct {
+	// Client configures every member connection (role, token, timeouts).
+	Client client.Options
+	// Vnodes is the virtual node count per member on the hash ring
+	// (default 64).
+	Vnodes int
+	// Fanout bounds concurrent member requests per scatter (default 4).
+	Fanout int
+	// Retries is how many times a retryable member error (admission shed,
+	// session limit — client.Retryable) is retried with exponential
+	// backoff before it counts as the member's failure (default 3).
+	Retries int
+	// RetryBase is the first retry delay (default 25ms); RetryCap bounds
+	// the exponential growth (default 1s).
+	RetryBase time.Duration
+	RetryCap  time.Duration
+	// ProbeInterval is the health-probe period (default 2s).
+	ProbeInterval time.Duration
+}
+
+func (o *Options) withDefaults() Options {
+	out := *o
+	if out.Vnodes <= 0 {
+		out.Vnodes = 64
+	}
+	if out.Fanout <= 0 {
+		out.Fanout = 4
+	}
+	if out.Retries < 0 {
+		out.Retries = 0
+	} else if out.Retries == 0 {
+		out.Retries = 3
+	}
+	if out.RetryBase <= 0 {
+		out.RetryBase = 25 * time.Millisecond
+	}
+	if out.RetryCap < out.RetryBase {
+		out.RetryCap = time.Second
+		if out.RetryCap < out.RetryBase {
+			out.RetryCap = out.RetryBase
+		}
+	}
+	if out.ProbeInterval <= 0 {
+		out.ProbeInterval = 2 * time.Second
+	}
+	return out
+}
+
+// member is one kimsrv process in the shard set.
+type member struct {
+	idx     int
+	addr    string
+	rd      *client.Redialer
+	healthy atomic.Bool
+}
+
+// Router presents N kimsrv members as one logical database: scatter-
+// gather queries, owner-routed single-object operations, health probes.
+// Safe for concurrent use.
+type Router struct {
+	opts    Options
+	members []*member
+	ring    *ring
+
+	mu        sync.Mutex
+	placement map[string]map[int]bool // class -> members whose schema carries it
+
+	insertSeq atomic.Uint64
+	closed    atomic.Bool
+	probeStop chan struct{}
+	probeWg   sync.WaitGroup
+}
+
+// New returns a router over the given member addresses. Member indexes —
+// and therefore the OID space — follow the order of addrs, so a shard
+// set must keep its address list stable (append-only) across restarts.
+// No connection is made until the first operation or Start.
+func New(addrs []string, opts Options) (*Router, error) {
+	if len(addrs) == 0 {
+		return nil, fmt.Errorf("%w: empty member list", ErrNoMember)
+	}
+	if len(addrs) > MaxMembers {
+		return nil, fmt.Errorf("%w: %d members exceed the %d the OID scheme can route",
+			ErrOIDSpace, len(addrs), MaxMembers)
+	}
+	o := opts.withDefaults()
+	r := &Router{
+		opts:      o,
+		ring:      newRing(len(addrs), o.Vnodes),
+		placement: make(map[string]map[int]bool),
+		probeStop: make(chan struct{}),
+	}
+	for i, addr := range addrs {
+		r.members = append(r.members, &member{
+			idx:  i,
+			addr: addr,
+			rd:   client.NewRedialer(addr, o.Client, client.RedialOptions{}),
+		})
+	}
+	return r, nil
+}
+
+// Start launches the health prober (one immediate probe, then every
+// ProbeInterval). Optional: the router works without it, but Status and
+// the shard_members_healthy gauge stay cold.
+func (r *Router) Start() {
+	r.probe()
+	r.probeWg.Add(1)
+	go func() {
+		defer r.probeWg.Done()
+		t := time.NewTicker(r.opts.ProbeInterval)
+		defer t.Stop()
+		for {
+			select {
+			case <-r.probeStop:
+				return
+			case <-t.C:
+				r.probe()
+			}
+		}
+	}()
+}
+
+// probe pings every member once and publishes the health gauge.
+func (r *Router) probe() {
+	healthy := int64(0)
+	for _, m := range r.members {
+		err := m.rd.Do(func(c *client.Client) error { return c.Ping() })
+		if err != nil {
+			mProbeFailures.Add(1)
+			m.healthy.Store(false)
+			continue
+		}
+		m.healthy.Store(true)
+		healthy++
+	}
+	mMembersHealthy.Set(healthy)
+}
+
+// Close stops the prober and closes every member connection.
+func (r *Router) Close() error {
+	if r.closed.Swap(true) {
+		return nil
+	}
+	close(r.probeStop)
+	r.probeWg.Wait()
+	for _, m := range r.members {
+		_ = m.rd.Close()
+	}
+	return nil
+}
+
+// MemberStatus is one member's view in Status.
+type MemberStatus struct {
+	Member  int
+	Addr    string
+	Healthy bool
+}
+
+// Status reports each member's last probe outcome (call Start, or Probe
+// once, for fresh data).
+func (r *Router) Status() []MemberStatus {
+	out := make([]MemberStatus, len(r.members))
+	for i, m := range r.members {
+		out[i] = MemberStatus{Member: m.idx, Addr: m.addr, Healthy: m.healthy.Load()}
+	}
+	return out
+}
+
+// Probe runs one synchronous health sweep (for callers not using Start).
+func (r *Router) Probe() []MemberStatus {
+	r.probe()
+	return r.Status()
+}
+
+// Addrs returns the member addresses in index order.
+func (r *Router) Addrs() []string {
+	out := make([]string, len(r.members))
+	for i, m := range r.members {
+		out[i] = m.addr
+	}
+	return out
+}
+
+// call runs one operation against a member, retrying retryable failures
+// (admission-control sheds, session limits) with capped exponential
+// backoff. Connection-level failures redial once inside rd.Do; anything
+// still failing after that is the member's answer.
+func (r *Router) call(m *member, fn func(*client.Client) error) error {
+	backoff := r.opts.RetryBase
+	for attempt := 0; ; attempt++ {
+		err := m.rd.Do(fn)
+		if err == nil || !client.Retryable(err) || attempt >= r.opts.Retries {
+			return err
+		}
+		mRetries.Add(1)
+		time.Sleep(backoff)
+		backoff *= 2
+		if backoff > r.opts.RetryCap {
+			backoff = r.opts.RetryCap
+		}
+	}
+}
+
+// --- Placement ----------------------------------------------------------
+
+// Refresh rebuilds the per-class placement map by asking every member
+// for its class list. It fails — leaving the previous map in place — if
+// any member cannot answer: building a partial map would silently
+// shrink scatters, which is exactly what the partial-failure contract
+// forbids.
+func (r *Router) Refresh() error {
+	classes := make(map[string]map[int]bool)
+	for _, m := range r.members {
+		var names []string
+		err := r.call(m, func(c *client.Client) error {
+			var err error
+			names, err = c.Classes()
+			return err
+		})
+		if err != nil {
+			return fmt.Errorf("shard: refresh: member %d (%s): %w", m.idx, m.addr, err)
+		}
+		for _, name := range names {
+			set := classes[name]
+			if set == nil {
+				set = make(map[int]bool)
+				classes[name] = set
+			}
+			set[m.idx] = true
+		}
+	}
+	r.mu.Lock()
+	r.placement = classes
+	r.mu.Unlock()
+	return nil
+}
+
+// Placement returns the class → member-indexes map (sorted), refreshing
+// it if empty.
+func (r *Router) Placement() (map[string][]int, error) {
+	r.mu.Lock()
+	empty := len(r.placement) == 0
+	r.mu.Unlock()
+	if empty {
+		if err := r.Refresh(); err != nil {
+			return nil, err
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string][]int, len(r.placement))
+	for class, set := range r.placement {
+		idxs := make([]int, 0, len(set))
+		for i := range set {
+			idxs = append(idxs, i)
+		}
+		sort.Ints(idxs)
+		out[class] = idxs
+	}
+	return out, nil
+}
+
+// membersFor returns the members carrying class, in index order. An
+// unknown class triggers one placement refresh before failing.
+func (r *Router) membersFor(class string) ([]*member, error) {
+	for refreshed := false; ; refreshed = true {
+		r.mu.Lock()
+		set, ok := r.placement[class]
+		r.mu.Unlock()
+		if ok {
+			out := make([]*member, 0, len(set))
+			for _, m := range r.members {
+				if set[m.idx] {
+					out = append(out, m)
+				}
+			}
+			return out, nil
+		}
+		if refreshed {
+			return nil, fmt.Errorf("%w: class %q on no member", ErrNoMember, class)
+		}
+		if err := r.Refresh(); err != nil {
+			return nil, err
+		}
+	}
+}
+
+// memberOf resolves a global OID's owner.
+func (r *Router) memberOf(g model.OID) (*member, model.OID, error) {
+	idx, local := splitOID(g)
+	if idx >= len(r.members) {
+		return nil, model.NilOID, fmt.Errorf("%w: OID %s names member %d of %d",
+			ErrNoMember, g, idx, len(r.members))
+	}
+	return r.members[idx], local, nil
+}
+
+// --- Single-object operations ------------------------------------------
+
+// Insert creates an object on the member the hash ring assigns, chosen
+// among the members whose schema carries the class, and returns its
+// global OID. Reference values must name objects on the same member
+// (ErrCrossMember otherwise). The object's placement is permanent: the
+// returned OID records the member, so reads never consult the ring.
+func (r *Router) Insert(class string, attrs map[string]model.Value) (model.OID, error) {
+	members, err := r.membersFor(class)
+	if err != nil {
+		return model.NilOID, err
+	}
+	allowed := make(map[int]bool, len(members))
+	for _, m := range members {
+		allowed[m.idx] = true
+	}
+	key := class + "#" + strconv.FormatUint(r.insertSeq.Add(1), 10)
+	idx := r.ring.owner(key, allowed)
+	if idx < 0 {
+		return model.NilOID, fmt.Errorf("%w: class %q on no member", ErrNoMember, class)
+	}
+	m := r.members[idx]
+	local := make(map[string]model.Value, len(attrs))
+	for name, v := range attrs {
+		lv, err := toLocal(m.idx, v)
+		if err != nil {
+			return model.NilOID, err
+		}
+		local[name] = lv
+	}
+	mRoutedOps.Add(1)
+	var oid model.OID
+	err = r.call(m, func(c *client.Client) error {
+		var err error
+		oid, err = c.Insert(class, local)
+		return err
+	})
+	if err != nil {
+		mRoutedErrors.Add(1)
+		return model.NilOID, MemberError{Member: m.idx, Addr: m.addr, Err: err}
+	}
+	return globalOID(m.idx, oid)
+}
+
+// Fetch returns the object with its effective attributes; reference
+// values come back in the global OID space.
+func (r *Router) Fetch(g model.OID) (*client.Object, error) {
+	m, local, err := r.memberOf(g)
+	if err != nil {
+		return nil, err
+	}
+	mRoutedOps.Add(1)
+	var obj *client.Object
+	err = r.call(m, func(c *client.Client) error {
+		var err error
+		obj, err = c.FetchFresh(local)
+		return err
+	})
+	if err != nil {
+		mRoutedErrors.Add(1)
+		return nil, MemberError{Member: m.idx, Addr: m.addr, Err: err}
+	}
+	out := &client.Object{OID: g, Class: obj.Class, Attrs: make(map[string]model.Value, len(obj.Attrs))}
+	for name, v := range obj.Attrs {
+		gv, err := toGlobal(m.idx, v)
+		if err != nil {
+			return nil, err
+		}
+		out.Attrs[name] = gv
+	}
+	return out, nil
+}
+
+// Get reads one attribute; reference values come back global.
+func (r *Router) Get(g model.OID, attr string) (model.Value, error) {
+	m, local, err := r.memberOf(g)
+	if err != nil {
+		return model.Null, err
+	}
+	mRoutedOps.Add(1)
+	var v model.Value
+	err = r.call(m, func(c *client.Client) error {
+		var err error
+		v, err = c.Get(local, attr)
+		return err
+	})
+	if err != nil {
+		mRoutedErrors.Add(1)
+		return model.Null, MemberError{Member: m.idx, Addr: m.addr, Err: err}
+	}
+	return toGlobal(m.idx, v)
+}
+
+// Update writes attributes on the owning member. Reference values must
+// be local to that member.
+func (r *Router) Update(g model.OID, attrs map[string]model.Value) error {
+	m, local, err := r.memberOf(g)
+	if err != nil {
+		return err
+	}
+	lattrs := make(map[string]model.Value, len(attrs))
+	for name, v := range attrs {
+		lv, err := toLocal(m.idx, v)
+		if err != nil {
+			return err
+		}
+		lattrs[name] = lv
+	}
+	mRoutedOps.Add(1)
+	if err := r.call(m, func(c *client.Client) error { return c.Update(local, lattrs) }); err != nil {
+		mRoutedErrors.Add(1)
+		return MemberError{Member: m.idx, Addr: m.addr, Err: err}
+	}
+	return nil
+}
+
+// Delete removes the object on its owning member.
+func (r *Router) Delete(g model.OID) error {
+	m, local, err := r.memberOf(g)
+	if err != nil {
+		return err
+	}
+	mRoutedOps.Add(1)
+	if err := r.call(m, func(c *client.Client) error { return c.Delete(local) }); err != nil {
+		mRoutedErrors.Add(1)
+		return MemberError{Member: m.idx, Addr: m.addr, Err: err}
+	}
+	return nil
+}
+
+// --- Scatter-gather queries --------------------------------------------
+
+// Query parses src and fans it out to every member carrying the FROM
+// class, with bounded parallelism, then merges deterministically:
+// results concatenate in member-index order (each member's local order
+// preserved), ORDER BY re-sorts the merged rows on the member-evaluated
+// key, LIMIT truncates after the merge, and aggregates combine
+// arithmetically (COUNT/SUM add, MIN/MAX compare, AVG recomputed from
+// shipped SUM+COUNT).
+//
+// If any member fails after retries, Query returns a *PartialError
+// carrying both the failures and the merged rows from the members that
+// answered — never a silently truncated plain result.
+func (r *Router) Query(src string) (*Result, error) {
+	if r.closed.Load() {
+		return nil, ErrClosed
+	}
+	q, err := query.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	mScatterQueries.Add(1)
+	defer func() { mScatterLatency.Observe(uint64(time.Since(start))) }()
+	if len(q.Aggregates) > 0 {
+		return r.queryAggregate(q)
+	}
+	return r.queryRows(q)
+}
+
+// memberResult is one member's translated scatter slice.
+type memberResult struct {
+	m    *member
+	res  *client.Result
+	rows []Row
+	err  error
+}
+
+// scatter ships src to every given member with bounded parallelism.
+func (r *Router) scatter(members []*member, src string) []memberResult {
+	out := make([]memberResult, len(members))
+	sem := make(chan struct{}, r.opts.Fanout)
+	var wg sync.WaitGroup
+	for i, m := range members {
+		wg.Add(1)
+		go func(i int, m *member) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			var res *client.Result
+			err := r.call(m, func(c *client.Client) error {
+				var err error
+				res, err = c.Query(src)
+				return err
+			})
+			out[i] = memberResult{m: m, res: res, err: err}
+		}(i, m)
+	}
+	wg.Wait()
+	return out
+}
+
+// queryRows handles non-aggregate queries.
+func (r *Router) queryRows(q *query.Query) (*Result, error) {
+	if q.OrderBy != nil && len(q.Select) == 0 {
+		return nil, fmt.Errorf("%w: ORDER BY needs an explicit projection in a sharded query", ErrUnsupported)
+	}
+
+	// Rewrite: the merge needs the ORDER BY key per row, so if the sort
+	// path is not already projected, ship it as an extra trailing column
+	// and strip it after the sort. LIMIT ships too — each member's top-K
+	// is a superset of the global top-K's slice from that member.
+	shipped := *q
+	orderIdx := -1
+	stripKey := false
+	if q.OrderBy != nil {
+		for i, p := range q.Select {
+			if p.String() == q.OrderBy.String() {
+				orderIdx = i
+				break
+			}
+		}
+		if orderIdx < 0 {
+			shipped.Select = append(append([]query.Path{}, q.Select...), *q.OrderBy)
+			orderIdx = len(shipped.Select) - 1
+			stripKey = true
+		}
+	}
+
+	members, err := r.membersFor(q.From)
+	if err != nil {
+		return nil, err
+	}
+	results := r.scatter(members, shipped.String())
+
+	// Translate surviving slices into the global OID space.
+	var failed []MemberError
+	res := &Result{}
+	for i := range results {
+		mr := &results[i]
+		if mr.err != nil {
+			failed = append(failed, MemberError{Member: mr.m.idx, Addr: mr.m.addr, Err: mr.err})
+			continue
+		}
+		if res.Cols == nil {
+			res.Cols = mr.res.Cols
+		}
+		for _, row := range mr.res.Rows {
+			g, err := globalOID(mr.m.idx, row.OID)
+			if err != nil {
+				return nil, err
+			}
+			vals := make([]model.Value, len(row.Values))
+			for j, v := range row.Values {
+				if vals[j], err = toGlobal(mr.m.idx, v); err != nil {
+					return nil, err
+				}
+			}
+			res.Rows = append(res.Rows, Row{OID: g, Values: vals})
+		}
+	}
+
+	// Deterministic merge: concatenation above followed member-index
+	// order; a stable sort on the shipped key keeps that order for ties.
+	if q.OrderBy != nil && orderIdx >= 0 {
+		sort.SliceStable(res.Rows, func(a, b int) bool {
+			c := model.Compare(res.Rows[a].Values[orderIdx], res.Rows[b].Values[orderIdx])
+			if q.Desc {
+				return c > 0
+			}
+			return c < 0
+		})
+	}
+	if q.Limit > 0 && len(res.Rows) > q.Limit {
+		res.Rows = res.Rows[:q.Limit]
+	}
+	if stripKey {
+		res.Cols = res.Cols[:len(res.Cols)-1]
+		for i := range res.Rows {
+			res.Rows[i].Values = res.Rows[i].Values[:len(res.Rows[i].Values)-1]
+		}
+	}
+	if len(failed) > 0 {
+		mScatterPartial.Add(1)
+		return nil, &PartialError{Result: res, Failed: failed}
+	}
+	return res, nil
+}
+
+// queryAggregate handles aggregate queries: AVG ships as SUM+COUNT (a
+// mean of per-member means would be wrong under skew); everything else
+// ships verbatim and combines arithmetically.
+func (r *Router) queryAggregate(q *query.Query) (*Result, error) {
+	shipped := *q
+	shipped.Aggregates = nil
+	// plan[i] locates the shipped column(s) feeding original aggregate i.
+	type aggPlan struct{ a, b int }
+	plan := make([]aggPlan, len(q.Aggregates))
+	for i, item := range q.Aggregates {
+		if item.Func == query.AggAvg {
+			plan[i] = aggPlan{a: len(shipped.Aggregates), b: len(shipped.Aggregates) + 1}
+			shipped.Aggregates = append(shipped.Aggregates,
+				query.AggItem{Func: query.AggSum, Path: item.Path},
+				query.AggItem{Func: query.AggCount, Path: item.Path})
+		} else {
+			plan[i] = aggPlan{a: len(shipped.Aggregates), b: -1}
+			shipped.Aggregates = append(shipped.Aggregates, item)
+		}
+	}
+
+	members, err := r.membersFor(q.From)
+	if err != nil {
+		return nil, err
+	}
+	results := r.scatter(members, shipped.String())
+
+	var failed []MemberError
+	var parts [][]model.Value
+	for i := range results {
+		mr := &results[i]
+		if mr.err != nil {
+			failed = append(failed, MemberError{Member: mr.m.idx, Addr: mr.m.addr, Err: mr.err})
+			continue
+		}
+		if len(mr.res.Rows) != 1 {
+			failed = append(failed, MemberError{Member: mr.m.idx, Addr: mr.m.addr,
+				Err: fmt.Errorf("aggregate returned %d rows", len(mr.res.Rows))})
+			continue
+		}
+		parts = append(parts, mr.res.Rows[0].Values)
+	}
+
+	res := &Result{Rows: []Row{{}}}
+	vals := make([]model.Value, len(q.Aggregates))
+	for i, item := range q.Aggregates {
+		res.Cols = append(res.Cols, item.String())
+		vals[i] = combineAgg(item.Func, plan[i].a, plan[i].b, parts)
+	}
+	res.Rows[0].Values = vals
+	if len(failed) > 0 {
+		mScatterPartial.Add(1)
+		return nil, &PartialError{Result: res, Failed: failed}
+	}
+	return res, nil
+}
+
+// combineAgg folds one aggregate's per-member values, mirroring the
+// engine's semantics (internal/query aggregate): SUM stays Int when
+// every part is Int; MIN/MAX skip nulls; AVG over zero rows is Null.
+func combineAgg(f query.AggFunc, a, b int, parts [][]model.Value) model.Value {
+	switch f {
+	case query.AggCount:
+		var n int64
+		for _, p := range parts {
+			if i, ok := p[a].AsInt(); ok {
+				n += i
+			}
+		}
+		return model.Int(n)
+	case query.AggSum:
+		var sum float64
+		allInt := true
+		for _, p := range parts {
+			v := p[a]
+			if v.Kind() != model.KindInt {
+				allInt = false
+			}
+			if f, ok := v.AsFloat(); ok {
+				sum += f
+			}
+		}
+		if allInt {
+			return model.Int(int64(sum))
+		}
+		return model.Float(sum)
+	case query.AggAvg:
+		var sum float64
+		var n int64
+		for _, p := range parts {
+			if f, ok := p[a].AsFloat(); ok {
+				sum += f
+			}
+			if i, ok := p[b].AsInt(); ok {
+				n += i
+			}
+		}
+		if n == 0 {
+			return model.Null
+		}
+		return model.Float(sum / float64(n))
+	default: // MIN, MAX
+		best := model.Null
+		for _, p := range parts {
+			v := p[a]
+			if v.IsNull() {
+				continue
+			}
+			if best.IsNull() ||
+				(f == query.AggMin && model.Compare(v, best) < 0) ||
+				(f == query.AggMax && model.Compare(v, best) > 0) {
+				best = v
+			}
+		}
+		return best
+	}
+}
