@@ -104,6 +104,25 @@ func Retryable(err error) bool {
 	return errors.Is(err, ErrRetryable) || errors.Is(err, ErrServerFull)
 }
 
+// notSentError marks a connection error raised before the request was
+// written to the wire; see NotSent.
+type notSentError struct{ err error }
+
+func (e *notSentError) Error() string { return e.err.Error() }
+func (e *notSentError) Unwrap() error { return e.err }
+
+// NotSent reports whether err is a connection failure that provably
+// happened before the request reached the wire — the client had already
+// latched closed — so the server cannot have executed the request and a
+// retry on a fresh connection is safe even for non-idempotent
+// operations. A connection error without this mark (write failure,
+// response timeout, lost frame) is ambiguous: the server may already
+// have executed the request exactly once.
+func NotSent(err error) bool {
+	var ns *notSentError
+	return errors.As(err, &ns)
+}
+
 // Options configures Dial.
 type Options struct {
 	// Role is the session's role name (authorization subject).
@@ -211,7 +230,9 @@ func (c *Client) roundTrip(verb byte, body []byte) ([]byte, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.closed {
-		return nil, ErrClosed
+		// Nothing was sent on this latched connection; mark the error so
+		// Redialer.Do may safely retry even non-idempotent requests.
+		return nil, &notSentError{ErrClosed}
 	}
 	_ = c.nc.SetDeadline(time.Now().Add(c.opts.RequestTimeout))
 	resp, err := c.roundTripLocked(verb, body)

@@ -123,11 +123,25 @@ func (rd *Redialer) Invalidate(c *Client) {
 }
 
 // Do runs fn with a live client. If fn fails with a connection-level
-// error (ErrClosed, ErrProtocol) the connection is discarded and the
-// call is retried once on a fresh dial — transparently healing the
-// latched-closed state for idempotent operations. Any other error, and
-// any error on the second attempt, is returned as-is.
-func (rd *Redialer) Do(fn func(*Client) error) error {
+// error (ErrClosed, ErrProtocol) the connection is discarded so the
+// next call dials afresh. The failed call itself is retried once on a
+// fresh dial only when the failure provably preceded the send — the
+// borrowed client had already latched closed (NotSent) — because then
+// the server cannot have executed the request, making the heal safe
+// even for non-idempotent operations. A connection error raised
+// mid-round-trip (write failure, response timeout, lost frame) is
+// returned as-is: the server may have executed the request already,
+// and blindly re-sending could execute it twice. Operations that are
+// idempotent can opt into the broader heal with DoIdempotent.
+func (rd *Redialer) Do(fn func(*Client) error) error { return rd.do(fn, false) }
+
+// DoIdempotent is Do for operations the caller asserts are idempotent
+// (reads, pings, attribute writes that converge): it additionally
+// retries once when the connection died mid-round-trip, accepting that
+// the server may execute the request a second time.
+func (rd *Redialer) DoIdempotent(fn func(*Client) error) error { return rd.do(fn, true) }
+
+func (rd *Redialer) do(fn func(*Client) error, idempotent bool) error {
 	for attempt := 0; ; attempt++ {
 		c, err := rd.Client()
 		if err != nil {
@@ -137,10 +151,13 @@ func (rd *Redialer) Do(fn func(*Client) error) error {
 		if err == nil {
 			return nil
 		}
-		if !connErr(err) || attempt > 0 {
+		if connErr(err) {
+			rd.Invalidate(c)
+		}
+		retriable := NotSent(err) || (idempotent && connErr(err))
+		if !retriable || attempt > 0 {
 			return err
 		}
-		rd.Invalidate(c)
 	}
 }
 

@@ -2,6 +2,7 @@ package server
 
 import (
 	"errors"
+	"fmt"
 	"testing"
 	"time"
 
@@ -97,6 +98,70 @@ func TestRedialerHealsLatchedClient(t *testing.T) {
 			t.Fatalf("redialer never recovered: %v", err)
 		}
 		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestRedialerDoAtMostOnce pins the heal/at-most-once split: Do retries
+// only failures that provably preceded the send (a latched-closed
+// client, client.NotSent), and returns mid-round-trip connection errors
+// without re-sending — a non-idempotent request the server may already
+// have executed is never blindly sent twice. DoIdempotent opts into the
+// broader heal.
+func TestRedialerDoAtMostOnce(t *testing.T) {
+	db := newTestDB(t)
+	s := startServer(t, db, Options{})
+	rd := client.NewRedialer(s.Addr().String(), client.Options{Role: "app"}, client.RedialOptions{})
+	defer rd.Close()
+
+	// Latch the cached connection closed behind the redialer's back: the
+	// next request fails before anything reaches the wire, so Do must
+	// transparently redial and run it on the fresh connection.
+	c, err := rd.Client()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = c.Close()
+	calls := 0
+	err = rd.Do(func(c *client.Client) error {
+		calls++
+		return c.Ping()
+	})
+	if err != nil {
+		t.Fatalf("Do over a latched client: %v", err)
+	}
+	if calls != 2 {
+		t.Fatalf("calls = %d, want 2 (latched attempt + healed retry)", calls)
+	}
+
+	// A connection error surfaced mid-round-trip (after the send) is NOT
+	// retried: the server may have executed the request already.
+	calls = 0
+	err = rd.Do(func(c *client.Client) error {
+		calls++
+		return fmt.Errorf("%w: response lost mid-flight", client.ErrClosed)
+	})
+	if !errors.Is(err, client.ErrClosed) {
+		t.Fatalf("mid-flight error = %v", err)
+	}
+	if calls != 1 {
+		t.Fatalf("calls = %d, want 1 (no blind re-send)", calls)
+	}
+
+	// DoIdempotent accepts the double-execution risk: the same mid-flight
+	// error is retried once on a fresh connection.
+	calls = 0
+	err = rd.DoIdempotent(func(c *client.Client) error {
+		calls++
+		if calls == 1 {
+			return fmt.Errorf("%w: response lost mid-flight", client.ErrClosed)
+		}
+		return c.Ping()
+	})
+	if err != nil {
+		t.Fatalf("DoIdempotent: %v", err)
+	}
+	if calls != 2 {
+		t.Fatalf("calls = %d, want 2 (mid-flight attempt + retry)", calls)
 	}
 }
 

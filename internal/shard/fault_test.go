@@ -83,6 +83,39 @@ func TestScatterPartialFailureTyped(t *testing.T) {
 	}
 }
 
+// TestScatterAllMembersDownTyped pins the no-survivors corner of the
+// partial-failure contract: with every member down, a query whose ORDER
+// BY key is not projected (the strip-key rewrite) must still surface a
+// typed *PartialError over an empty merged result — not panic stripping
+// a column from a result no member delivered.
+func TestScatterAllMembersDownTyped(t *testing.T) {
+	r, srvs, _ := startMembers(t, 2, defineParts)
+	for i := 0; i < 10; i++ {
+		if _, err := r.Insert("Part", partAttrs(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, s := range srvs {
+		if err := s.Drain(2 * time.Second); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, err := r.Query(`SELECT name FROM Part ORDER BY weight`)
+	if err == nil {
+		t.Fatal("scatter with every member dead returned a plain result")
+	}
+	var pe *PartialError
+	if !errors.As(err, &pe) {
+		t.Fatalf("error is %T (%v), want *PartialError", err, err)
+	}
+	if len(pe.Failed) != 2 {
+		t.Fatalf("failed = %+v, want both members", pe.Failed)
+	}
+	if pe.Result == nil || len(pe.Result.Rows) != 0 {
+		t.Fatalf("partial result = %+v, want empty", pe.Result)
+	}
+}
+
 // startOnAddr starts a server, retrying briefly while the OS releases
 // the previous listener's port.
 func startOnAddr(t *testing.T, s *server.Server) {

@@ -53,13 +53,13 @@ func (s *RemoteSource) Addr() string { return s.rd.Addr() }
 
 // Ping checks liveness end-to-end through the member's session worker.
 func (s *RemoteSource) Ping() error {
-	return s.rd.Do(func(c *client.Client) error { return c.Ping() })
+	return s.rd.DoIdempotent(func(c *client.Client) error { return c.Ping() })
 }
 
 // Classes implements federation.Source over the wire.
 func (s *RemoteSource) Classes() []string {
 	var names []string
-	err := s.rd.Do(func(c *client.Client) error {
+	err := s.rd.DoIdempotent(func(c *client.Client) error {
 		var err error
 		names, err = c.Classes()
 		return err
@@ -76,7 +76,7 @@ func (s *RemoteSource) Classes() []string {
 // wire fetches.
 func (s *RemoteSource) Scan(class string, fn func(federation.Entity) bool) error {
 	var res *client.Result
-	err := s.rd.Do(func(c *client.Client) error {
+	err := s.rd.DoIdempotent(func(c *client.Client) error {
 		var err error
 		res, err = c.Query("SELECT * FROM " + class)
 		return err
@@ -104,7 +104,7 @@ func (s *RemoteSource) RunQuery(q *query.Query) (*federation.Result, bool, error
 		return nil, false, nil
 	}
 	var wire *client.Result
-	err := s.rd.Do(func(c *client.Client) error {
+	err := s.rd.DoIdempotent(func(c *client.Client) error {
 		var err error
 		wire, err = c.Query(q.String())
 		return err
@@ -140,7 +140,7 @@ func (e *remoteEntity) fetchInto() bool {
 		return true
 	}
 	var obj *client.Object
-	err := e.src.rd.Do(func(c *client.Client) error {
+	err := e.src.rd.DoIdempotent(func(c *client.Client) error {
 		var err error
 		obj, err = c.Fetch(e.oid)
 		return err

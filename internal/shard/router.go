@@ -24,7 +24,8 @@ type Options struct {
 	Fanout int
 	// Retries is how many times a retryable member error (admission shed,
 	// session limit — client.Retryable) is retried with exponential
-	// backoff before it counts as the member's failure (default 3).
+	// backoff before it counts as the member's failure. Zero means the
+	// default of 3; a negative value disables retries entirely.
 	Retries int
 	// RetryBase is the first retry delay (default 25ms); RetryCap bounds
 	// the exponential growth (default 1s).
@@ -141,7 +142,7 @@ func (r *Router) Start() {
 func (r *Router) probe() {
 	healthy := int64(0)
 	for _, m := range r.members {
-		err := m.rd.Do(func(c *client.Client) error { return c.Ping() })
+		err := m.rd.DoIdempotent(func(c *client.Client) error { return c.Ping() })
 		if err != nil {
 			mProbeFailures.Add(1)
 			m.healthy.Store(false)
@@ -200,12 +201,20 @@ func (r *Router) Addrs() []string {
 
 // call runs one operation against a member, retrying retryable failures
 // (admission-control sheds, session limits) with capped exponential
-// backoff. Connection-level failures redial once inside rd.Do; anything
-// still failing after that is the member's answer.
-func (r *Router) call(m *member, fn func(*client.Client) error) error {
+// backoff. idempotent selects the redial heal mode: idempotent
+// operations (reads, converging writes) also retry connection errors
+// raised mid-round-trip, while non-idempotent ones (Insert, Delete)
+// only retry requests that provably never reached the wire — a lost
+// response must surface as the member's failure, never re-send and
+// possibly double-execute (see client.Redialer.Do vs DoIdempotent).
+func (r *Router) call(m *member, idempotent bool, fn func(*client.Client) error) error {
+	do := m.rd.Do
+	if idempotent {
+		do = m.rd.DoIdempotent
+	}
 	backoff := r.opts.RetryBase
 	for attempt := 0; ; attempt++ {
-		err := m.rd.Do(fn)
+		err := do(fn)
 		if err == nil || !client.Retryable(err) || attempt >= r.opts.Retries {
 			return err
 		}
@@ -229,7 +238,7 @@ func (r *Router) Refresh() error {
 	classes := make(map[string]map[int]bool)
 	for _, m := range r.members {
 		var names []string
-		err := r.call(m, func(c *client.Client) error {
+		err := r.call(m, true, func(c *client.Client) error {
 			var err error
 			names, err = c.Classes()
 			return err
@@ -302,6 +311,26 @@ func (r *Router) membersFor(class string) ([]*member, error) {
 	}
 }
 
+// refMembers collects into set the owning member index of every
+// reference inside v (recursively through sets). Nil references carry
+// no placement and are skipped.
+func refMembers(v model.Value, set map[int]bool) {
+	switch v.Kind() {
+	case model.KindRef:
+		g, _ := v.AsRef()
+		if g.IsNil() {
+			return
+		}
+		owner, _ := splitOID(g)
+		set[owner] = true
+	case model.KindSet:
+		vals, _ := v.AsSet()
+		for _, e := range vals {
+			refMembers(e, set)
+		}
+	}
+}
+
 // memberOf resolves a global OID's owner.
 func (r *Router) memberOf(g model.OID) (*member, model.OID, error) {
 	idx, local := splitOID(g)
@@ -314,10 +343,12 @@ func (r *Router) memberOf(g model.OID) (*member, model.OID, error) {
 
 // --- Single-object operations ------------------------------------------
 
-// Insert creates an object on the member the hash ring assigns, chosen
-// among the members whose schema carries the class, and returns its
-// global OID. Reference values must name objects on the same member
-// (ErrCrossMember otherwise). The object's placement is permanent: the
+// Insert creates an object and returns its global OID. References pin
+// placement: an insert whose attributes reference existing objects
+// lands on the referents' member (references never cross members, so
+// the referents must all share one — ErrCrossMember otherwise). A
+// ref-free insert is placed by the hash ring among the members whose
+// schema carries the class. Either way the placement is permanent: the
 // returned OID records the member, so reads never consult the ring.
 func (r *Router) Insert(class string, attrs map[string]model.Value) (model.OID, error) {
 	members, err := r.membersFor(class)
@@ -328,10 +359,38 @@ func (r *Router) Insert(class string, attrs map[string]model.Value) (model.OID, 
 	for _, m := range members {
 		allowed[m.idx] = true
 	}
-	key := class + "#" + strconv.FormatUint(r.insertSeq.Add(1), 10)
-	idx := r.ring.owner(key, allowed)
-	if idx < 0 {
-		return model.NilOID, fmt.Errorf("%w: class %q on no member", ErrNoMember, class)
+	refs := make(map[int]bool)
+	for _, v := range attrs {
+		refMembers(v, refs)
+	}
+	var idx int
+	switch {
+	case len(refs) > 1:
+		owners := make([]int, 0, len(refs))
+		for i := range refs {
+			owners = append(owners, i)
+		}
+		sort.Ints(owners)
+		return model.NilOID, fmt.Errorf("%w: insert references objects on members %v",
+			ErrCrossMember, owners)
+	case len(refs) == 1:
+		for i := range refs {
+			idx = i
+		}
+		if idx >= len(r.members) {
+			return model.NilOID, fmt.Errorf("%w: reference names member %d of %d",
+				ErrNoMember, idx, len(r.members))
+		}
+		if !allowed[idx] {
+			return model.NilOID, fmt.Errorf("%w: class %q not on member %d, where the referenced objects live",
+				ErrNoMember, class, idx)
+		}
+	default:
+		key := class + "#" + strconv.FormatUint(r.insertSeq.Add(1), 10)
+		idx = r.ring.owner(key, allowed)
+		if idx < 0 {
+			return model.NilOID, fmt.Errorf("%w: class %q on no member", ErrNoMember, class)
+		}
 	}
 	m := r.members[idx]
 	local := make(map[string]model.Value, len(attrs))
@@ -344,7 +403,7 @@ func (r *Router) Insert(class string, attrs map[string]model.Value) (model.OID, 
 	}
 	mRoutedOps.Add(1)
 	var oid model.OID
-	err = r.call(m, func(c *client.Client) error {
+	err = r.call(m, false, func(c *client.Client) error {
 		var err error
 		oid, err = c.Insert(class, local)
 		return err
@@ -365,7 +424,7 @@ func (r *Router) Fetch(g model.OID) (*client.Object, error) {
 	}
 	mRoutedOps.Add(1)
 	var obj *client.Object
-	err = r.call(m, func(c *client.Client) error {
+	err = r.call(m, true, func(c *client.Client) error {
 		var err error
 		obj, err = c.FetchFresh(local)
 		return err
@@ -393,7 +452,7 @@ func (r *Router) Get(g model.OID, attr string) (model.Value, error) {
 	}
 	mRoutedOps.Add(1)
 	var v model.Value
-	err = r.call(m, func(c *client.Client) error {
+	err = r.call(m, true, func(c *client.Client) error {
 		var err error
 		v, err = c.Get(local, attr)
 		return err
@@ -421,7 +480,7 @@ func (r *Router) Update(g model.OID, attrs map[string]model.Value) error {
 		lattrs[name] = lv
 	}
 	mRoutedOps.Add(1)
-	if err := r.call(m, func(c *client.Client) error { return c.Update(local, lattrs) }); err != nil {
+	if err := r.call(m, true, func(c *client.Client) error { return c.Update(local, lattrs) }); err != nil {
 		mRoutedErrors.Add(1)
 		return MemberError{Member: m.idx, Addr: m.addr, Err: err}
 	}
@@ -435,7 +494,7 @@ func (r *Router) Delete(g model.OID) error {
 		return err
 	}
 	mRoutedOps.Add(1)
-	if err := r.call(m, func(c *client.Client) error { return c.Delete(local) }); err != nil {
+	if err := r.call(m, false, func(c *client.Client) error { return c.Delete(local) }); err != nil {
 		mRoutedErrors.Add(1)
 		return MemberError{Member: m.idx, Addr: m.addr, Err: err}
 	}
@@ -492,7 +551,7 @@ func (r *Router) scatter(members []*member, src string) []memberResult {
 			sem <- struct{}{}
 			defer func() { <-sem }()
 			var res *client.Result
-			err := r.call(m, func(c *client.Client) error {
+			err := r.call(m, true, func(c *client.Client) error {
 				var err error
 				res, err = c.Query(src)
 				return err
@@ -578,7 +637,9 @@ func (r *Router) queryRows(q *query.Query) (*Result, error) {
 	if q.Limit > 0 && len(res.Rows) > q.Limit {
 		res.Rows = res.Rows[:q.Limit]
 	}
-	if stripKey {
+	// res.Cols is nil when no member survived: there is nothing to strip,
+	// and slicing would panic instead of reaching the PartialError below.
+	if stripKey && len(res.Cols) > 0 {
 		res.Cols = res.Cols[:len(res.Cols)-1]
 		for i := range res.Rows {
 			res.Rows[i].Values = res.Rows[i].Values[:len(res.Rows[i].Values)-1]

@@ -316,6 +316,82 @@ func TestRoutedObjectOps(t *testing.T) {
 	}
 }
 
+// TestInsertRefPlacement pins reference-driven placement: an insert
+// whose attributes reference existing objects lands on the referents'
+// member deterministically (references never cross members, so the ring
+// must not gamble on landing there ~1/N of the time), and an insert
+// whose referents span two members is refused with ErrCrossMember.
+func TestInsertRefPlacement(t *testing.T) {
+	r, _, _ := startMembers(t, 3, func(t *testing.T, db *oodb.DB) {
+		defineParts(t, db)
+		if _, err := db.DefineClass("Link", nil,
+			oodb.Attr{Name: "a", Domain: "Part"},
+			oodb.Attr{Name: "b", Domain: "Part"},
+		); err != nil {
+			t.Fatal(err)
+		}
+	})
+
+	var oids []model.OID
+	owners := map[int]model.OID{}
+	for i := 0; i < 24; i++ {
+		g, err := r.Insert("Part", partAttrs(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		oids = append(oids, g)
+		m, _ := splitOID(g)
+		owners[m] = g
+	}
+	if len(owners) < 2 {
+		t.Fatalf("dataset did not spread over members: %v", owners)
+	}
+
+	// Every referencing insert must land with its referent, whichever
+	// member that is.
+	for i, g := range oids {
+		attrs := partAttrs(100 + i)
+		attrs["mate"] = model.Ref(g)
+		ng, err := r.Insert("Part", attrs)
+		if err != nil {
+			t.Fatalf("insert referencing %s: %v", g, err)
+		}
+		gm, _ := splitOID(g)
+		nm, _ := splitOID(ng)
+		if nm != gm {
+			t.Fatalf("insert referencing member %d landed on member %d", gm, nm)
+		}
+		v, err := r.Get(ng, "mate")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, _ := v.AsRef(); got != g {
+			t.Fatalf("mate = %s, want %s", got, g)
+		}
+	}
+
+	// Two referents on one member co-place; on two members it is a typed
+	// refusal, not a ~1/N gamble.
+	var m0, m1 model.OID
+	for _, g := range owners {
+		if m0.IsNil() {
+			m0 = g
+		} else if m1.IsNil() {
+			m1 = g
+		}
+	}
+	if _, err := r.Insert("Link", map[string]model.Value{
+		"a": model.Ref(m0), "b": model.Ref(m0),
+	}); err != nil {
+		t.Fatalf("co-located refs: %v", err)
+	}
+	if _, err := r.Insert("Link", map[string]model.Value{
+		"a": model.Ref(m0), "b": model.Ref(m1),
+	}); !errors.Is(err, ErrCrossMember) {
+		t.Fatalf("cross-member refs: %v, want ErrCrossMember", err)
+	}
+}
+
 // TestPlacementSubset pins the per-class placement map: a class defined
 // on a subset of members only ever lands (and scatters) there.
 func TestPlacementSubset(t *testing.T) {
